@@ -1,0 +1,147 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section 6) and runs Bechamel microbenchmarks of the hot
+   kernels (one per table).
+
+   Usage:
+     bench/main.exe                 -- all tables, figures, npc, ablation, micro
+     bench/main.exe table3          -- one artifact
+     bench/main.exe table4 --full   -- the full 8..1024 sweep of Table 4
+     bench/main.exe micro           -- microbenchmarks only                  *)
+
+module Experiments = Qcp_report.Experiments
+
+let section title body =
+  Printf.printf "==================================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "==================================================================\n";
+  print_string body;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks: one Test.make per table/figure kernel.    *)
+(* ------------------------------------------------------------------ *)
+
+let micro_tests () =
+  let open Bechamel in
+  let acetyl = Qcp_env.Molecules.acetyl_chloride in
+  let crotonic = Qcp_env.Molecules.trans_crotonic_acid in
+  let qec3 = Qcp_circuit.Catalog.qec3_encode in
+  let phaseest = Qcp_circuit.Catalog.phase_estimation 4 in
+  let weights = Qcp_env.Environment.weights acetyl in
+  let table1_kernel () =
+    (* Table 1's kernel: one timing-model evaluation. *)
+    Qcp_circuit.Timing.runtime ~weights ~place:(fun q -> 2 - q) qec3
+  in
+  let table2_kernel () =
+    match
+      Qcp.Placer.place (Qcp.Options.default ~threshold:100.0) acetyl qec3
+    with
+    | Qcp.Placer.Placed p -> Qcp.Placer.runtime p
+    | Qcp.Placer.Unplaceable _ -> nan
+  in
+  let table3_kernel () =
+    match
+      Qcp.Placer.place (Qcp.Options.default ~threshold:100.0) crotonic phaseest
+    with
+    | Qcp.Placer.Placed p -> Qcp.Placer.runtime p
+    | Qcp.Placer.Unplaceable _ -> nan
+  in
+  let table4_rng = Qcp_util.Rng.create 99 in
+  let table4_circuit, _ = Qcp_circuit.Random_circuit.hidden_stages table4_rng ~n:32 in
+  let table4_env = Qcp_env.Environment.chain 32 in
+  let table4_kernel () =
+    match
+      Qcp.Placer.place (Qcp.Options.fast ~threshold:50.0) table4_env table4_circuit
+    with
+    | Qcp.Placer.Placed p -> Qcp.Placer.runtime p
+    | Qcp.Placer.Unplaceable _ -> nan
+  in
+  let bonds = Qcp_env.Environment.adjacency crotonic ~threshold:100.0 in
+  let figure3_kernel () =
+    Qcp_route.Bisect_router.route bonds ~perm:[| 1; 3; 4; 6; 5; 2; 0 |]
+  in
+  let pattern = Qcp_graph.Generators.path_graph 5 in
+  let monomorph_kernel () =
+    Qcp_graph.Monomorph.enumerate ~limit:100 ~pattern ~target:bonds ()
+  in
+  let petersen = Qcp_graph.Generators.petersen () in
+  let npc_kernel () = Qcp.Np_reduction.optimal_cost petersen in
+  Test.make_grouped ~name:"qcp"
+    [
+      Test.make ~name:"table1/timing-eval" (Staged.stage table1_kernel);
+      Test.make ~name:"table2/place-qec3-acetyl" (Staged.stage table2_kernel);
+      Test.make ~name:"table3/place-phaseest-crotonic" (Staged.stage table3_kernel);
+      Test.make ~name:"table4/place-chain32" (Staged.stage table4_kernel);
+      Test.make ~name:"figure3/route-crotonic" (Staged.stage figure3_kernel);
+      Test.make ~name:"kernel/monomorphism" (Staged.stage monomorph_kernel);
+      Test.make ~name:"npc/petersen-branch-bound" (Staged.stage npc_kernel);
+    ]
+
+let run_micro () =
+  let open Bechamel in
+  let open Bechamel.Toolkit in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) () in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] (micro_tests ()) in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+  Printf.printf "%-40s %16s\n" "microbenchmark" "time/run";
+  Printf.printf "%-40s %16s\n" (String.make 40 '-') (String.make 16 '-');
+  List.iter
+    (fun (name, r) ->
+      let estimate =
+        match Analyze.OLS.estimates r with
+        | Some [ value ] -> value
+        | Some _ | None -> nan
+      in
+      let pretty =
+        if estimate >= 1e9 then Printf.sprintf "%.3f s" (estimate /. 1e9)
+        else if estimate >= 1e6 then Printf.sprintf "%.3f ms" (estimate /. 1e6)
+        else if estimate >= 1e3 then Printf.sprintf "%.3f us" (estimate /. 1e3)
+        else Printf.sprintf "%.0f ns" estimate
+      in
+      Printf.printf "%-40s %16s\n" name pretty)
+    (List.sort compare rows)
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let full = List.mem "--full" args in
+  let args = List.filter (fun a -> a <> "--full") args in
+  let run = function
+    | "table1" -> section "Table 1" (Experiments.table1 ())
+    | "table2" -> section "Table 2" (Experiments.table2 ())
+    | "table3" -> section "Table 3" (Experiments.table3 ())
+    | "table4" -> section "Table 4" (Experiments.table4 ~full ())
+    | "figure1" -> section "Figure 1" (Experiments.figure1 ())
+    | "figure2" -> section "Figure 2" (Experiments.figure2 ())
+    | "figure3" -> section "Figure 3" (Experiments.figure3 ())
+    | "figure4" -> section "Figure 4" (Experiments.figure4 ())
+    | "npc" -> section "NP-completeness (Section 4)" (Experiments.npc ())
+    | "ablation" -> section "Ablation" (Experiments.ablation ())
+    | "fidelity" -> section "Fidelity (extension)" (Experiments.fidelity ())
+    | "arch" -> section "Architectures (extension)" (Experiments.architectures ())
+    | "schedule" -> section "Pulse schedule (extension)" (Experiments.schedule_demo ())
+    | "micro" ->
+      section "Microbenchmarks (Bechamel)" "";
+      run_micro ()
+    | other ->
+      Printf.eprintf
+        "unknown target %S (expected table1..table4, figure1..figure4, npc, ablation, fidelity, micro)\n"
+        other;
+      exit 2
+  in
+  match args with
+  | [] ->
+    List.iter run
+      [
+        "table1"; "table2"; "table3"; "table4"; "figure1"; "figure2";
+        "figure3"; "figure4"; "npc"; "ablation"; "fidelity"; "arch";
+        "schedule"; "micro";
+      ]
+  | targets -> List.iter run targets

@@ -1,0 +1,486 @@
+(* qcp: command-line quantum circuit placer.
+
+   Subcommands:
+     place    place a circuit onto a physical environment
+     route    build a SWAP network realizing a permutation
+     runtime  evaluate a circuit runtime under an explicit placement
+     gen      print catalog circuits / generated environments
+     report   regenerate the paper's tables and figures                 *)
+
+open Cmdliner
+
+module Environment = Qcp_env.Environment
+module Molecules = Qcp_env.Molecules
+module Catalog = Qcp_circuit.Catalog
+module Circuit = Qcp_circuit.Circuit
+
+(* ------------------------------------------------------------------ *)
+(* Shared argument converters                                          *)
+(* ------------------------------------------------------------------ *)
+
+let load_circuit spec =
+  match Catalog.by_name spec with
+  | Some c -> Ok c
+  | None -> (
+    match Qcp_circuit.Library.by_name spec with
+    | Some c -> Ok c
+    | None ->
+      if Sys.file_exists spec then
+        if Filename.check_suffix spec ".qasm" then
+          try Ok (Qcp_circuit.Qasm.parse_file spec) with
+          | Qcp_circuit.Qasm.Parse_error (line, msg) ->
+            Error (Printf.sprintf "%s:%d: %s" spec line msg)
+        else
+          try Ok (Qcp_circuit.Qc_format.parse_file spec) with
+          | Qcp_circuit.Qc_format.Parse_error (line, msg) ->
+            Error (Printf.sprintf "%s:%d: %s" spec line msg)
+      else
+        Error
+          (Printf.sprintf
+             "unknown circuit %S (catalog: %s; library: %s; or a .qc/.qasm file)"
+             spec
+             (String.concat ", " Catalog.names)
+             (String.concat ", " Qcp_circuit.Library.names)))
+
+let load_env spec =
+  match Molecules.by_name spec with
+  | Some env -> Ok env
+  | None ->
+    if Sys.file_exists spec then
+      try Ok (Qcp_env.Env_format.parse_file spec) with
+      | Qcp_env.Env_format.Parse_error (line, msg) ->
+        Error (Printf.sprintf "%s:%d: %s" spec line msg)
+    else (
+      match String.split_on_char ':' spec with
+      | [ "chain"; n ] -> (
+        match int_of_string_opt n with
+        | Some n when n > 0 -> Ok (Environment.chain n)
+        | Some _ | None -> Error "chain:<n> needs a positive integer")
+      | [ "grid"; r; c ] -> (
+        match (int_of_string_opt r, int_of_string_opt c) with
+        | Some r, Some c when r > 0 && c > 0 -> Ok (Environment.grid r c)
+        | _ -> Error "grid:<rows>:<cols> needs positive integers")
+      | _ ->
+        Error
+          (Printf.sprintf
+             "unknown environment %S (molecules: %s; generators: chain:<n>, \
+              grid:<r>:<c>; or give a .env file path)"
+             spec
+             (String.concat ", " Molecules.names)))
+
+let circuit_conv =
+  let parse spec = Result.map_error (fun m -> `Msg m) (load_circuit spec) in
+  Arg.conv (parse, fun ppf _ -> Format.pp_print_string ppf "<circuit>")
+
+let env_conv =
+  let parse spec = Result.map_error (fun m -> `Msg m) (load_env spec) in
+  Arg.conv (parse, fun ppf env -> Format.pp_print_string ppf (Environment.name env))
+
+let circuit_arg =
+  Arg.(
+    required
+    & opt (some circuit_conv) None
+    & info [ "c"; "circuit" ] ~docv:"CIRCUIT"
+        ~doc:"Catalog name (e.g. qft6, phaseest) or a .qc file path.")
+
+let env_arg =
+  Arg.(
+    required
+    & opt (some env_conv) None
+    & info [ "e"; "env" ] ~docv:"ENV"
+        ~doc:
+          "Molecule name (e.g. trans-crotonic), a generator (chain:16, \
+           grid:3:4) or a .env file path.")
+
+let threshold_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "t"; "threshold" ] ~docv:"DELAY"
+        ~doc:
+          "Fast-interaction Threshold in 1/10000 s units; defaults to the \
+           smallest value connecting the environment.")
+
+let options_term =
+  let make threshold no_lookahead fine_tune no_override router no_cap
+      sequential limit commute balance env =
+    let threshold =
+      match threshold with
+      | Some th -> th
+      | None -> Environment.min_threshold_connected env
+    in
+    {
+      (Qcp.Options.default ~threshold) with
+      Qcp.Options.lookahead = not no_lookahead;
+      fine_tune_passes = fine_tune;
+      leaf_override = not no_override;
+      router;
+      reuse_cap = (if no_cap then None else Some 3.0);
+      model =
+        (if sequential then Qcp_circuit.Timing.Sequential
+         else Qcp_circuit.Timing.Asap);
+      monomorphism_limit = limit;
+      commute_prepass = commute;
+      balance_boundaries = balance;
+    }
+  in
+  Term.(
+    const make $ threshold_arg
+    $ Arg.(value & flag & info [ "no-lookahead" ] ~doc:"Disable depth-2 lookahead.")
+    $ Arg.(
+        value & opt int 3
+        & info [ "fine-tune" ] ~docv:"PASSES" ~doc:"Hill-climbing passes (0 disables).")
+    $ Arg.(value & flag & info [ "no-leaf-override" ] ~doc:"Disable the leaf-target heuristic.")
+    $ Arg.(
+        value
+        & opt
+            (enum
+               [ ("bisect", Qcp.Options.Bisect);
+                 ("weighted", Qcp.Options.Bisect_weighted);
+                 ("token", Qcp.Options.Token);
+                 ("odd-even", Qcp.Options.Odd_even) ])
+            Qcp.Options.Bisect
+        & info [ "router" ] ~docv:"NAME"
+            ~doc:"SWAP router: bisect (paper), weighted, token, odd-even.")
+    $ Arg.(value & flag & info [ "no-reuse-cap" ] ~doc:"Disable the 3-uses interaction cap.")
+    $ Arg.(value & flag & info [ "sequential" ] ~doc:"Sequential-levels timing model.")
+    $ Arg.(
+        value & opt int 100
+        & info [ "k"; "monomorphisms" ] ~docv:"K" ~doc:"Monomorphism enumeration limit.")
+    $ Arg.(
+        value & flag
+        & info [ "commute" ]
+            ~doc:"Apply the commutation/identities pre-pass before placement.")
+    $ Arg.(
+        value & flag
+        & info [ "balance" ]
+            ~doc:"Refine subcircuit boundaries against swap-stage costs."))
+
+(* ------------------------------------------------------------------ *)
+(* place                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let place_run env circuit options_of_env auto verbose =
+  let options = options_of_env env in
+  let outcome =
+    if auto then
+      Qcp.Tuner.auto_place
+        ~options:(fun ~threshold -> { options with Qcp.Options.threshold })
+        env circuit
+    else Qcp.Placer.place options env circuit
+  in
+  match outcome with
+  | Qcp.Placer.Unplaceable msg ->
+    Printf.printf "N/A: %s\n" msg;
+    1
+  | Qcp.Placer.Placed p ->
+    Printf.printf "circuit   : %d qubits, %d gates (%d two-qubit)\n"
+      (Circuit.qubits circuit) (Circuit.gate_count circuit)
+      (Circuit.two_qubit_count circuit);
+    Printf.printf "environment: %s (%d nuclei), Threshold %g%s\n"
+      (Environment.name env) (Environment.size env)
+      p.Qcp.Placer.options.Qcp.Options.threshold
+      (if auto then " (auto-tuned)" else "");
+    Printf.printf "subcircuits: %d, swap stages: %d (%d levels total)\n"
+      (Qcp.Placer.subcircuit_count p)
+      (Qcp.Placer.swap_stage_count p)
+      (Qcp.Placer.swap_depth_total p);
+    Printf.printf "runtime    : %.4f sec (%.0f units of 1/10000 s)\n"
+      (Qcp.Placer.runtime_seconds p) (Qcp.Placer.runtime p);
+    (match Qcp.Placer.initial_placement p with
+    | Some placement ->
+      Printf.printf "initial placement:";
+      Array.iteri
+        (fun q v ->
+          Printf.printf " q%d->%s" q (Environment.nucleus env v))
+        placement;
+      print_newline ()
+    | None -> ());
+    let fidelity = Qcp.Fidelity.estimate p in
+    if fidelity < 1.0 then Printf.printf "fidelity   : %.4f (exp(-sum dt/T2))\n" fidelity;
+    if verbose then Format.printf "%a" Qcp.Placer.pp p;
+    0
+
+let place_cmd =
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every stage.")
+  in
+  let auto =
+    Arg.(
+      value & flag
+      & info [ "auto-threshold" ]
+          ~doc:"Sweep all meaningful thresholds and keep the fastest placement.")
+  in
+  let term =
+    Term.(
+      const (fun env circuit options auto verbose ->
+          place_run env circuit options auto verbose)
+      $ env_arg $ circuit_arg $ options_term $ auto $ verbose)
+  in
+  Cmd.v (Cmd.info "place" ~doc:"Place a circuit onto a physical environment.") term
+
+(* ------------------------------------------------------------------ *)
+(* route                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let perm_conv =
+  let parse s =
+    let parts = String.split_on_char ',' s in
+    try Ok (Array.of_list (List.map int_of_string parts))
+    with Failure _ -> Error (`Msg "permutation must be comma-separated integers")
+  in
+  Arg.conv (parse, fun ppf _ -> Format.pp_print_string ppf "<perm>")
+
+let route_run env threshold perm token_router =
+  let threshold =
+    match threshold with
+    | Some th -> th
+    | None -> Environment.min_threshold_connected env
+  in
+  match Environment.connected_adjacency env ~threshold with
+  | None ->
+    Printf.printf "N/A: the Threshold disallows every interaction\n";
+    1
+  | Some adjacency ->
+    if Array.length perm <> Environment.size env then begin
+      Printf.printf "error: permutation must list all %d vertices\n"
+        (Environment.size env);
+      1
+    end
+    else begin
+      let network =
+        if token_router then Qcp_route.Token_router.route adjacency ~perm
+        else Qcp_route.Bisect_router.route adjacency ~perm
+      in
+      Printf.printf "%d levels, %d swaps\n"
+        (Qcp_route.Swap_network.depth network)
+        (Qcp_route.Swap_network.swap_count network);
+      List.iteri
+        (fun i level ->
+          Printf.printf "level %d:" (i + 1);
+          List.iter
+            (fun (u, v) ->
+              Printf.printf " (%s,%s)" (Environment.nucleus env u)
+                (Environment.nucleus env v))
+            level;
+          print_newline ())
+        network;
+      0
+    end
+
+let route_cmd =
+  let perm_arg =
+    Arg.(
+      required
+      & opt (some perm_conv) None
+      & info [ "p"; "perm" ] ~docv:"P0,P1,..."
+          ~doc:"Destination vertex of the token at each vertex.")
+  in
+  let token =
+    Arg.(value & flag & info [ "token-router" ] ~doc:"Use the naive router.")
+  in
+  let term =
+    Term.(const route_run $ env_arg $ threshold_arg $ perm_arg $ token)
+  in
+  Cmd.v
+    (Cmd.info "route" ~doc:"Build a SWAP network realizing a permutation.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* runtime                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let runtime_run env circuit placement =
+  let n = Circuit.qubits circuit in
+  if Array.length placement <> n then begin
+    Printf.printf "error: placement must list all %d qubits\n" n;
+    1
+  end
+  else begin
+    let cost = Qcp.Baselines.evaluate env circuit ~placement in
+    Printf.printf "runtime: %.4f sec (%.0f units)\n" (cost /. 10000.0) cost;
+    0
+  end
+
+let runtime_cmd =
+  let placement_arg =
+    Arg.(
+      required
+      & opt (some perm_conv) None
+      & info [ "p"; "placement" ] ~docv:"V0,V1,..."
+          ~doc:"Physical vertex of each logical qubit.")
+  in
+  let term = Term.(const runtime_run $ env_arg $ circuit_arg $ placement_arg) in
+  Cmd.v
+    (Cmd.info "runtime" ~doc:"Evaluate a circuit under an explicit placement.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* gen                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let gen_run kind =
+  match kind with
+  | `Circuit spec -> (
+    match load_circuit spec with
+    | Ok c ->
+      print_string (Qcp_circuit.Qc_format.print c);
+      0
+    | Error msg ->
+      prerr_endline msg;
+      1)
+  | `Env spec -> (
+    match load_env spec with
+    | Ok env ->
+      print_string (Qcp_env.Env_format.print env);
+      0
+    | Error msg ->
+      prerr_endline msg;
+      1)
+
+let gen_cmd =
+  let what =
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("circuit", `C); ("env", `E) ])) None
+      & info [] ~docv:"circuit|env")
+  in
+  let spec = Arg.(required & pos 1 (some string) None & info [] ~docv:"NAME") in
+  let term =
+    Term.(
+      const (fun what spec ->
+          gen_run (match what with `C -> `Circuit spec | `E -> `Env spec))
+      $ what $ spec)
+  in
+  Cmd.v
+    (Cmd.info "gen"
+       ~doc:"Print a catalog circuit (.qc) or environment (.env) to stdout.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* report                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let report_run target full =
+  let module E = Qcp_report.Experiments in
+  let text =
+    match target with
+    | "table1" -> E.table1 ()
+    | "table2" -> E.table2 ()
+    | "table3" -> E.table3 ()
+    | "table4" -> E.table4 ~full ()
+    | "figure1" -> E.figure1 ()
+    | "figure2" -> E.figure2 ()
+    | "figure3" -> E.figure3 ()
+    | "figure4" -> E.figure4 ()
+    | "npc" -> E.npc ()
+    | "ablation" -> E.ablation ()
+    | "fidelity" -> E.fidelity ()
+    | "all" -> E.all ()
+    | other -> Printf.sprintf "unknown report target %S\n" other
+  in
+  print_string text;
+  0
+
+let report_cmd =
+  let target =
+    Arg.(
+      value
+      & pos 0 string "all"
+      & info [] ~docv:"TARGET"
+          ~doc:"table1..table4, figure1..figure4, npc, ablation, fidelity or all.")
+  in
+  let full =
+    Arg.(value & flag & info [ "full" ] ~doc:"Full Table-4 sweep (N up to 1024).")
+  in
+  let term = Term.(const report_run $ target $ full) in
+  Cmd.v
+    (Cmd.info "report" ~doc:"Regenerate the paper's tables and figures.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* tune                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let tune_run env circuit =
+  let results = Qcp.Tuner.sweep env circuit in
+  Printf.printf "%-14s %-16s %-12s %-12s\n" "threshold" "runtime" "subcircuits"
+    "swap levels";
+  List.iter
+    (fun (threshold, outcome) ->
+      match outcome with
+      | Qcp.Placer.Unplaceable _ -> Printf.printf "%-14.6g N/A\n" threshold
+      | Qcp.Placer.Placed p ->
+        Printf.printf "%-14.6g %-16s %-12d %-12d\n" threshold
+          (Printf.sprintf "%.4f sec" (Qcp.Placer.runtime_seconds p))
+          (Qcp.Placer.subcircuit_count p)
+          (Qcp.Placer.swap_depth_total p))
+    results;
+  match Qcp.Tuner.auto_place env circuit with
+  | Qcp.Placer.Placed p ->
+    Printf.printf "\nbest: threshold %g -> %.4f sec\n"
+      p.Qcp.Placer.options.Qcp.Options.threshold
+      (Qcp.Placer.runtime_seconds p);
+    0
+  | Qcp.Placer.Unplaceable msg ->
+    Printf.printf "\nno threshold admits a placement: %s\n" msg;
+    1
+
+let tune_cmd =
+  let term = Term.(const tune_run $ env_arg $ circuit_arg) in
+  Cmd.v
+    (Cmd.info "tune"
+       ~doc:"Sweep every meaningful Threshold and report the best placement.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* schedule                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let schedule_run env circuit options_of_env =
+  let options = options_of_env env in
+  match Qcp.Placer.place options env circuit with
+  | Qcp.Placer.Unplaceable msg ->
+    Printf.printf "N/A: %s\n" msg;
+    1
+  | Qcp.Placer.Placed p ->
+    print_string (Qcp.Schedule.render p);
+    0
+
+let schedule_cmd =
+  let term = Term.(const schedule_run $ env_arg $ circuit_arg $ options_term) in
+  Cmd.v
+    (Cmd.info "schedule"
+       ~doc:"Place a circuit and print its compiled pulse timeline.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* show                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let show_run circuit qasm =
+  if qasm then print_string (Qcp_circuit.Qasm.print circuit)
+  else print_string (Qcp_circuit.Pretty.render circuit);
+  0
+
+let show_cmd =
+  let qasm =
+    Arg.(value & flag & info [ "qasm" ] ~doc:"Emit OpenQASM 2.0 instead of a diagram.")
+  in
+  let term = Term.(const show_run $ circuit_arg $ qasm) in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Render a circuit as an ASCII diagram or OpenQASM.")
+    term
+
+let () =
+  let info =
+    Cmd.info "qcp" ~version:"1.0.0"
+      ~doc:"Quantum circuit placement (Maslov, Falconer, Mosca; DAC-2007)."
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            place_cmd; route_cmd; runtime_cmd; gen_cmd; show_cmd; schedule_cmd;
+            tune_cmd; report_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/custom_machine.ml: Format List Qcp Qcp_circuit Qcp_env

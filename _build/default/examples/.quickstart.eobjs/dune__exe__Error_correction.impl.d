@@ -1,0 +1,1 @@
+examples/error_correction.ml: Array Float Format Printf Qcp Qcp_circuit Qcp_env Qcp_util

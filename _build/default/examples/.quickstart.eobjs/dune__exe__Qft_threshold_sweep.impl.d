@@ -1,0 +1,1 @@
+examples/qft_threshold_sweep.ml: Float Format List Printf Qcp Qcp_circuit Qcp_env

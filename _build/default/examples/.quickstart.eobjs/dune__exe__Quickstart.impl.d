@@ -1,0 +1,1 @@
+examples/quickstart.ml: Float Format Qcp Qcp_circuit Qcp_env

@@ -1,0 +1,1 @@
+examples/random_campaign.ml: Format Printf Qcp Qcp_circuit Qcp_env Qcp_util

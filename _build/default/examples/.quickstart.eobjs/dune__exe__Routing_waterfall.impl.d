@@ -1,0 +1,1 @@
+examples/routing_waterfall.ml: Array Format List Qcp_env Qcp_graph Qcp_route Qcp_util String

@@ -1,0 +1,1 @@
+examples/routing_waterfall.mli:

@@ -1,0 +1,1 @@
+examples/shor_stages.ml: Array Format List Qcp Qcp_circuit Qcp_env Qcp_graph Qcp_util

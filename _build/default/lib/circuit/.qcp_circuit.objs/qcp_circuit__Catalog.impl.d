@@ -1,0 +1,1 @@
+lib/circuit/catalog.ml: Circuit Float Gate List Qcp_util

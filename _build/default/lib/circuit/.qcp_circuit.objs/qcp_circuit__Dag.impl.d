@@ -1,0 +1,1 @@
+lib/circuit/dag.ml: Array Circuit Float Gate List Qcp_util

@@ -1,0 +1,1 @@
+lib/circuit/levelize.ml: Array Circuit Gate Hashtbl List Qcp_util

@@ -1,0 +1,1 @@
+lib/circuit/library.ml: Circuit Gate List Qcp_util

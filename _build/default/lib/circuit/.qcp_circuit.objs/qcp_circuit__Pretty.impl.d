@@ -1,0 +1,1 @@
+lib/circuit/pretty.ml: Array Buffer Circuit Gate Levelize List Printf Qcp_util String

@@ -1,0 +1,1 @@
+lib/circuit/qc_format.ml: Buffer Circuit Gate List Printf String

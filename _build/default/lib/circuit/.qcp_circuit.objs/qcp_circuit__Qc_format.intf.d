@@ -1,0 +1,1 @@
+lib/circuit/qc_format.mli: Circuit

@@ -1,0 +1,1 @@
+lib/circuit/random_circuit.mli: Circuit Qcp_util

@@ -1,0 +1,1 @@
+lib/circuit/timing.ml: Array Circuit Float Gate Levelize List

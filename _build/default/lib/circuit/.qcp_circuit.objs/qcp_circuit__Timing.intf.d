@@ -1,0 +1,1 @@
+lib/circuit/timing.mli: Circuit

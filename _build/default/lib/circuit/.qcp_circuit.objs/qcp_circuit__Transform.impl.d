@@ -1,0 +1,1 @@
+lib/circuit/transform.ml: Array Circuit Dag Float Gate Hashtbl List Qcp_util

@@ -1,0 +1,151 @@
+let qec3_encode =
+  Circuit.make ~qubits:3
+    [
+      Gate.ry 0 90.0;
+      Gate.rz 0 (-90.0);
+      Gate.zz 0 1 90.0;
+      Gate.rz 1 90.0;
+      Gate.ry 2 90.0;
+      Gate.rz 2 90.0;
+      Gate.zz 1 2 90.0;
+      Gate.rz 1 (-90.0);
+      Gate.ry 1 90.0;
+    ]
+
+let qec5_encode =
+  let prelude =
+    List.concat_map
+      (fun q -> [ Gate.ry q 90.0; Gate.rz q 90.0 ])
+      (Qcp_util.Listx.range 5)
+  in
+  let chain =
+    List.concat_map
+      (fun i -> [ Gate.zz i (i + 1) 90.0; Gate.rz i (-90.0); Gate.ry (i + 1) 90.0 ])
+      (Qcp_util.Listx.range 4)
+  in
+  let closing = [ Gate.rz 4 90.0; Gate.ry 2 (-90.0); Gate.rz 0 (-90.0) ] in
+  Circuit.make ~qubits:5 (prelude @ chain @ closing)
+
+let cat_state n =
+  if n < 2 then invalid_arg "Catalog.cat_state: need at least 2 qubits";
+  (* NMR-decomposed CNOT block along the chain; 6 gates per link. *)
+  let link c t =
+    [
+      Gate.ry t 90.0;
+      Gate.rz t (-90.0);
+      Gate.zz c t 90.0;
+      Gate.rz c (-90.0);
+      Gate.rx t 90.0;
+      Gate.rz t 90.0;
+    ]
+  in
+  Circuit.make ~qubits:n
+    (List.concat_map (fun i -> link i (i + 1)) (Qcp_util.Listx.range (n - 1)))
+
+let controlled_phase_angle distance = 180.0 /. Float.of_int (1 lsl distance)
+
+let qft n =
+  let gates =
+    List.concat_map
+      (fun i ->
+        Gate.h i
+        :: List.map
+             (fun j -> Gate.cphase i j (controlled_phase_angle (j - i)))
+             (Qcp_util.Listx.range_from (i + 1) n))
+      (Qcp_util.Listx.range n)
+  in
+  Circuit.make ~qubits:n gates
+
+let default_band n =
+  max 2 (int_of_float (Float.ceil (Float.log (Float.of_int n) /. Float.log 2.0)))
+
+let aqft ?band n =
+  let band = match band with Some b -> b | None -> default_band n in
+  let gates =
+    List.concat_map
+      (fun i ->
+        Gate.h i
+        :: List.filter_map
+             (fun j ->
+               if j - i < band then
+                 Some (Gate.cphase i j (controlled_phase_angle (j - i)))
+               else None)
+             (Qcp_util.Listx.range_from (i + 1) n))
+      (Qcp_util.Listx.range n)
+  in
+  Circuit.make ~qubits:n gates
+
+let inverse_qft_gates n =
+  List.concat_map
+    (fun i ->
+      List.map
+        (fun j -> Gate.cphase j i (-.controlled_phase_angle (i - j)))
+        (List.rev (Qcp_util.Listx.range i))
+      @ [ Gate.h i ])
+    (List.rev (Qcp_util.Listx.range n))
+
+let phase_estimation t =
+  if t < 1 then invalid_arg "Catalog.phase_estimation: need a counting qubit";
+  let eigen = t in
+  let hadamards = List.map Gate.h (Qcp_util.Listx.range t) in
+  (* Controlled-U^(2^k): the eigenphase kicks back as a controlled phase. *)
+  let kicks =
+    List.map
+      (fun k -> Gate.cphase k eigen (Float.of_int (90 * (1 + (k mod 2)))))
+      (Qcp_util.Listx.range t)
+  in
+  Circuit.make ~qubits:(t + 1) (hadamards @ kicks @ inverse_qft_gates t)
+
+(* Steane [[7,1,3]] X stabilizer supports (Hamming(7,4) parity checks). *)
+let steane_checks = [ [ 0; 2; 4; 6 ]; [ 1; 2; 5; 6 ]; [ 3; 4; 5; 6 ] ]
+
+let steane_x1 =
+  let ancilla r = 7 + r in
+  let prepare = [ Gate.h 7; Gate.cnot 7 8; Gate.cnot 8 9 ] in
+  let checks =
+    List.concat
+      (List.mapi
+         (fun r row -> List.map (fun d -> Gate.cnot (ancilla r) d) row)
+         steane_checks)
+  in
+  let unprepare = [ Gate.cnot 8 9; Gate.cnot 7 8; Gate.h 7 ] in
+  Circuit.make ~qubits:10 (prepare @ checks @ unprepare)
+
+let steane_x2 =
+  (* Verified cat state + per-check fan-out with one ancilla per stabilizer. *)
+  let prepare =
+    [
+      Gate.h 7;
+      Gate.cnot 7 8;
+      Gate.cnot 7 9;
+      (* Verification round. *)
+      Gate.cnot 8 9;
+      Gate.cnot 7 9;
+    ]
+  in
+  let checks =
+    List.concat
+      (List.mapi
+         (fun r row ->
+           List.map (fun d -> Gate.cnot d (7 + r)) row @ [ Gate.h (7 + r) ])
+         steane_checks)
+  in
+  Circuit.make ~qubits:10 (prepare @ checks)
+
+let by_name = function
+  | "qec3" -> Some qec3_encode
+  | "qec5" -> Some qec5_encode
+  | "cat10" -> Some (cat_state 10)
+  | "phaseest" -> Some (phase_estimation 4)
+  | "qft6" -> Some (qft 6)
+  | "aqft9" -> Some (aqft 9)
+  | "aqft12" -> Some (aqft 12)
+  | "steane-x/z1" -> Some steane_x1
+  | "steane-x/z2" -> Some steane_x2
+  | _ -> None
+
+let names =
+  [
+    "qec3"; "qec5"; "cat10"; "phaseest"; "qft6"; "aqft9"; "aqft12";
+    "steane-x/z1"; "steane-x/z2";
+  ]

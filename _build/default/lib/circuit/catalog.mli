@@ -1,0 +1,51 @@
+(** The circuit families used in the paper's evaluation (Section 6).
+
+    Where the paper only prints gate/qubit counts, circuits are reconstructed
+    from the cited sources at exactly those counts; interaction structures
+    match the descriptions (see DESIGN.md, "Substitutions"). *)
+
+val qec3_encode : Circuit.t
+(** Encoding part of the 3-qubit error-correcting code (paper Figure 2,
+    from Laforest et al. [14]): 9 gates on 3 qubits — the timed sequence is
+    Ry_a(90), ZZ_ab(90), Ry_c(90), ZZ_bc(90), Ry_b(90) with free
+    z-rotations interleaved, exactly the sequence costed in Table 1. *)
+
+val qec5_encode : Circuit.t
+(** 5-qubit error-correction benchmark encoder (Knill et al. [12]):
+    25 gates on 5 qubits; two-qubit interactions along a 5-qubit chain. *)
+
+val cat_state : int -> Circuit.t
+(** Pseudo-cat state preparation over [n] qubits (Negrevergne et al. [20]):
+    chain of NMR-decomposed CNOT blocks; [cat_state 10] has the paper's
+    54 gates. *)
+
+val qft : int -> Circuit.t
+(** Exact quantum Fourier transform: Hadamards plus controlled phases on
+    every qubit pair (final bit-reversal swaps omitted — the paper treats
+    output permutations as free). *)
+
+val aqft : ?band:int -> int -> Circuit.t
+(** Approximate QFT: controlled phases only between qubits at distance
+    [< band]; [band] defaults to [max 2 (ceil (log2 n))]. *)
+
+val phase_estimation : int -> Circuit.t
+(** Phase estimation with [t] counting qubits and one eigenstate qubit
+    ([t+1] qubits total): Hadamards, controlled powers of the unitary, and
+    an inverse QFT on the counting register.  [phase_estimation 4] is the
+    paper's 5-qubit "phaseest". *)
+
+val steane_x1 : Circuit.t
+(** Steane [[7,1,3]] X-type syndrome extraction, first variant
+    (Nielsen-Chuang Fig. 10.16 style): 7 data + 3 cat-state ancilla qubits,
+    transversal CNOTs for the three X stabilizers. *)
+
+val steane_x2 : Circuit.t
+(** Second variant (Fig. 10.17 style): verified cat-state preparation and a
+    different check schedule over the same 10 qubits. *)
+
+val by_name : string -> Circuit.t option
+(** Lookup by the evaluation-table names: "qec3", "qec5", "cat10",
+    "phaseest", "qft6", "aqft9", "aqft12", "steane-x/z1", "steane-x/z2". *)
+
+val names : string list
+(** All names recognized by {!by_name}, in Table order. *)

@@ -1,0 +1,77 @@
+type t = {
+  source : Circuit.t;
+  gates : Gate.t array;
+  preds : int list array;
+  succs : int list array;
+}
+
+let default_commute _ _ = false
+
+let build ?(commute = default_commute) source =
+  let gates = Array.of_list (Circuit.gates source) in
+  let count = Array.length gates in
+  let preds = Array.make count [] in
+  let succs = Array.make count [] in
+  (* last.(q) = indices of gates seen on qubit q since its last blocking
+     gate; a new gate depends on every listed gate it does not commute
+     with, then resets the list if it blocks. *)
+  let recent = Array.make (Circuit.qubits source) [] in
+  Array.iteri
+    (fun j gate ->
+      let depends = ref [] in
+      List.iter
+        (fun q ->
+          List.iter
+            (fun i ->
+              if (not (List.mem i !depends)) && not (commute gates.(i) gate) then
+                depends := i :: !depends)
+            recent.(q))
+        (Gate.qubits gate);
+      List.iter
+        (fun i ->
+          preds.(j) <- i :: preds.(j);
+          succs.(i) <- j :: succs.(i))
+        !depends;
+      (* The new gate joins the recent window of its qubits; gates it
+         depends on stay (they may still commute with later gates). *)
+      List.iter (fun q -> recent.(q) <- j :: recent.(q)) (Gate.qubits gate))
+    gates;
+  { source; gates; preds; succs }
+
+let size t = Array.length t.gates
+
+let circuit t = t.source
+
+let preds t i = t.preds.(i)
+
+let succs t i = t.succs.(i)
+
+let topological_order t = Qcp_util.Listx.range (size t)
+
+let is_valid_order t order =
+  let count = size t in
+  List.length order = count
+  && List.sort_uniq compare order = Qcp_util.Listx.range count
+  &&
+  let position = Array.make count 0 in
+  List.iteri (fun pos i -> position.(i) <- pos) order;
+  let ok = ref true in
+  for j = 0 to count - 1 do
+    List.iter (fun i -> if position.(i) > position.(j) then ok := false) t.preds.(j)
+  done;
+  !ok
+
+let reorder t order =
+  if not (is_valid_order t order) then
+    invalid_arg "Dag.reorder: not a valid linearization";
+  Circuit.make ~qubits:(Circuit.qubits t.source)
+    (List.map (fun i -> t.gates.(i)) order)
+
+let critical_path t =
+  let count = size t in
+  let finish = Array.make count 0.0 in
+  for j = 0 to count - 1 do
+    let ready = List.fold_left (fun acc i -> Float.max acc finish.(i)) 0.0 t.preds.(j) in
+    finish.(j) <- ready +. Gate.duration t.gates.(j)
+  done;
+  Array.fold_left Float.max 0.0 finish

@@ -1,0 +1,35 @@
+(** Gate dependency DAGs.
+
+    Two gates are ordered when they touch a common qubit and do not commute
+    under the supplied predicate (default: only gates on disjoint qubits
+    commute).  The DAG underlies the commutation-aware transformations of
+    {!Transform} — the paper's "further research" direction of using gate
+    commutation to turn a placement instance into a more favorable one. *)
+
+type t
+
+val build : ?commute:(Gate.t -> Gate.t -> bool) -> Circuit.t -> t
+(** Gates are indexed by their position in the circuit's gate list. *)
+
+val size : t -> int
+
+val circuit : t -> Circuit.t
+
+val preds : t -> int -> int list
+(** Direct (transitively reduced within shared qubits) predecessors. *)
+
+val succs : t -> int -> int list
+
+val topological_order : t -> int list
+(** One valid order (the original order is always valid). *)
+
+val is_valid_order : t -> int list -> bool
+(** Whether a gate-index permutation respects every dependency. *)
+
+val reorder : t -> int list -> Circuit.t
+(** The circuit with gates emitted in the given order.
+    Raises [Invalid_argument] if the order is not a valid linearization. *)
+
+val critical_path : t -> float
+(** Longest path weighted by {!Gate.duration} — a placement-independent
+    depth measure of the computation. *)

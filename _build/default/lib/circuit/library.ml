@@ -1,0 +1,76 @@
+let ghz n =
+  if n < 2 then invalid_arg "Library.ghz: need at least 2 qubits";
+  Circuit.make ~qubits:n
+    (Gate.h 0 :: List.init (n - 1) (fun i -> Gate.cnot i (i + 1)))
+
+(* T = Rz(45), Tdg = Rz(-45), both up to a global phase that cancels in the
+   full decomposition. *)
+let t_gate q = Gate.rz q 45.0
+let tdg_gate q = Gate.rz q (-45.0)
+
+let toffoli a b c =
+  [
+    Gate.h c;
+    Gate.cnot b c;
+    tdg_gate c;
+    Gate.cnot a c;
+    t_gate c;
+    Gate.cnot b c;
+    tdg_gate c;
+    Gate.cnot a c;
+    t_gate b;
+    t_gate c;
+    Gate.h c;
+    Gate.cnot a b;
+    t_gate a;
+    tdg_gate b;
+    Gate.cnot a b;
+  ]
+
+let ccz a b c = (Gate.h c :: toffoli a b c) @ [ Gate.h c ]
+
+let grover3 =
+  let all_h = List.map Gate.h [ 0; 1; 2 ] in
+  let all_x = List.map (fun q -> Gate.rx q 180.0) [ 0; 1; 2 ] in
+  Circuit.make ~qubits:3
+    (all_h
+    (* Oracle: flip the phase of |111>. *)
+    @ ccz 0 1 2
+    (* Diffusion: H X (CCZ) X H. *)
+    @ all_h @ all_x @ ccz 0 1 2 @ all_x @ all_h)
+
+(* Cuccaro adder: qubit 0 = cin, a_i = 1+2i, b_i = 2+2i, cout = 2n+1.
+   MAJ(c,b,a) then a ripple of MAJs, carry copy, then UMAs restore a. *)
+let cuccaro_adder n =
+  if n < 1 then invalid_arg "Library.cuccaro_adder: need at least 1 bit";
+  let cin = 0 in
+  let a i = 1 + (2 * i) in
+  let b i = 2 + (2 * i) in
+  let cout = (2 * n) + 1 in
+  let maj c x y = [ Gate.cnot y x; Gate.cnot y c; ] @ toffoli c x y in
+  let uma c x y = toffoli c x y @ [ Gate.cnot y c; Gate.cnot c x ] in
+  let carry i = if i = 0 then cin else a (i - 1) in
+  let forward =
+    List.concat_map (fun i -> maj (carry i) (b i) (a i)) (Qcp_util.Listx.range n)
+  in
+  let backward =
+    List.concat_map
+      (fun i -> uma (carry i) (b i) (a i))
+      (List.rev (Qcp_util.Listx.range n))
+  in
+  Circuit.make ~qubits:((2 * n) + 2)
+    (forward @ [ Gate.cnot (a (n - 1)) cout ] @ backward)
+
+let adder_sum n ~a ~b =
+  let mask = (1 lsl n) - 1 in
+  let sum = (a land mask) + (b land mask) in
+  (sum land mask, sum lsr n)
+
+let by_name = function
+  | "ghz8" -> Some (ghz 8)
+  | "grover3" -> Some grover3
+  | "adder2" -> Some (cuccaro_adder 2)
+  | "adder4" -> Some (cuccaro_adder 4)
+  | _ -> None
+
+let names = [ "ghz8"; "grover3"; "adder2"; "adder4" ]

@@ -1,0 +1,34 @@
+(** Additional circuit constructions beyond the paper's evaluation set:
+    entanglement preparation, Toffoli-based arithmetic (the modular-
+    exponentiation building blocks the paper's Section 6 motivates via
+    Shor's algorithm) and a Grover iteration. *)
+
+val ghz : int -> Circuit.t
+(** GHZ state preparation: a Hadamard and a CNOT chain. *)
+
+val toffoli : int -> int -> int -> Gate.t list
+(** The standard 6-CNOT, 7-T decomposition of the Toffoli gate (controls
+    [a], [b]; target [c]); T gates are Rz(45) up to global phase. *)
+
+val ccz : int -> int -> int -> Gate.t list
+(** Controlled-controlled-Z via {!toffoli} conjugated by Hadamards. *)
+
+val grover3 : Circuit.t
+(** One Grover iteration on 3 qubits with the |111> oracle: oracle CCZ,
+    diffusion operator. *)
+
+val cuccaro_adder : int -> Circuit.t
+(** Cuccaro ripple-carry adder on [2n + 2] qubits computing
+    [b := a + b] with carry out.  Qubit layout: 0 = carry-in,
+    [1 + 2i] = a_i, [2 + 2i] = b_i, [2n + 1] = carry-out.
+    Interactions are local (each MAJ/UMA block touches three adjacent
+    qubits), making it a natural staged-placement workload. *)
+
+val adder_sum : int -> a:int -> b:int -> int * int
+(** Classical reference for tests: [(b_out, carry)] of the [n]-bit
+    addition. *)
+
+val by_name : string -> Circuit.t option
+(** "ghz8", "grover3", "adder2", "adder4". *)
+
+val names : string list

@@ -1,0 +1,91 @@
+let gate_symbol gate =
+  match gate with
+  | Gate.G1 (Gate.Rotation (axis, angle), _) ->
+    let a = match axis with Gate.X -> "Rx" | Gate.Y -> "Ry" | Gate.Z -> "Rz" in
+    Printf.sprintf "[%s %g]" a angle
+  | Gate.G1 (Gate.Hadamard, _) -> "[H]"
+  | Gate.G1 (Gate.Custom1 (name, _), _) -> Printf.sprintf "[%s]" name
+  | Gate.G2 (kind, _, _) -> (
+    match kind with
+    | Gate.ZZ angle -> Printf.sprintf "[ZZ %g]" angle
+    | Gate.Cphase angle -> Printf.sprintf "[CP %g]" angle
+    | Gate.Cnot -> "[X]"
+    | Gate.Swap -> "[x]"
+    | Gate.Custom2 (name, _) -> Printf.sprintf "[%s]" name)
+
+let control_symbol = function
+  | Gate.G2 (Gate.Cnot, _, _) -> "o"
+  | Gate.G2 ((Gate.ZZ _ | Gate.Cphase _), _, _) -> "*"
+  | Gate.G2 (Gate.Swap, _, _) -> "x"
+  | Gate.G2 (Gate.Custom2 _, _, _) -> "*"
+  | Gate.G1 (_, _) -> ""
+
+let render ?wire_labels circuit =
+  let n = Circuit.qubits circuit in
+  let label =
+    match wire_labels with
+    | Some f -> f
+    | None -> fun q -> Printf.sprintf "q%d" q
+  in
+  let levels = Levelize.levels circuit in
+  (* Each level becomes one column; compute per-qubit cell text. *)
+  let columns =
+    List.map
+      (fun level ->
+        let cells = Array.make n "" in
+        let spans = ref [] in
+        List.iter
+          (fun gate ->
+            match gate with
+            | Gate.G1 (_, q) -> cells.(q) <- gate_symbol gate
+            | Gate.G2 (_, a, b) ->
+              cells.(a) <- control_symbol gate;
+              cells.(b) <- gate_symbol gate;
+              spans := (min a b, max a b) :: !spans)
+          level;
+        let width = Array.fold_left (fun w c -> max w (String.length c)) 1 cells in
+        (cells, !spans, width))
+      levels
+  in
+  let buf = Buffer.create 1024 in
+  let label_width =
+    List.fold_left
+      (fun w q -> max w (String.length (label q)))
+      0 (Qcp_util.Listx.range n)
+  in
+  for q = 0 to n - 1 do
+    (* Wire row. *)
+    Buffer.add_string buf (Printf.sprintf "%-*s: " label_width (label q));
+    List.iter
+      (fun (cells, _, width) ->
+        let cell = cells.(q) in
+        let pad = width - String.length cell in
+        Buffer.add_char buf '-';
+        if cell = "" then Buffer.add_string buf (String.make width '-')
+        else begin
+          Buffer.add_string buf cell;
+          Buffer.add_string buf (String.make pad '-')
+        end;
+        Buffer.add_char buf '-')
+      columns;
+    Buffer.add_char buf '\n';
+    (* Connector row between this wire and the next. *)
+    if q < n - 1 then begin
+      Buffer.add_string buf (String.make (label_width + 2) ' ');
+      List.iter
+        (fun (cells, spans, width) ->
+          let connects = List.exists (fun (lo, hi) -> q >= lo && q < hi) spans in
+          Buffer.add_char buf ' ';
+          if connects then begin
+            (* Place the bar under the first character of the cell zone. *)
+            Buffer.add_char buf '|';
+            Buffer.add_string buf (String.make (width - 1) ' ')
+          end
+          else Buffer.add_string buf (String.make width ' ');
+          Buffer.add_char buf ' ';
+          ignore cells)
+        columns;
+      Buffer.add_char buf '\n'
+    end
+  done;
+  Buffer.contents buf

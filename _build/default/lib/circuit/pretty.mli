@@ -1,0 +1,13 @@
+(** ASCII circuit diagrams, one wire per qubit (the rendering used for
+    Figure 2 and the CLI's [show] output).
+
+    {v
+    q0: -[Ry 90]--o--------------
+                  |
+    q1: ---------[Z]--o---[Ry 90]
+                      |
+    q2: -[Ry 90]------[Z]--------
+    v} *)
+
+val render : ?wire_labels:(int -> string) -> Circuit.t -> string
+(** Column-per-level diagram; two-qubit gates draw a vertical connector. *)

@@ -1,0 +1,19 @@
+(** OpenQASM 2.0 interoperability (a practical subset).
+
+    Parses and prints the gate subset this library can place: [h], [x], [y],
+    [z], [rx], [ry], [rz], [cx], [cz], [cp]/[cu1], [swap], [rzz] and
+    [barrier] (ignored).  One quantum register is supported; classical
+    registers and measurements are accepted and ignored, since placement
+    concerns the unitary part.  Angles are radians in QASM and degrees
+    internally; simple angle expressions ([pi], [pi/2], [3*pi/4], numeric
+    literals) are evaluated. *)
+
+exception Parse_error of int * string
+
+val parse : string -> Circuit.t
+
+val parse_file : string -> Circuit.t
+
+val print : ?register:string -> Circuit.t -> string
+(** Emit OpenQASM 2.0.  Gates without a QASM counterpart (customs) are
+    emitted as comments. *)

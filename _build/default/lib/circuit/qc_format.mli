@@ -1,0 +1,31 @@
+(** A small line-oriented text format for circuits.
+
+    {v
+    # comment
+    qubits 3
+    ry 0 90
+    rz 0 -90
+    zz 0 1 90
+    cnot 1 2
+    cphase 0 2 45
+    swap 0 1
+    h 2
+    u1 pulse 1.5 0
+    u2 coupl 3 0 1
+    v}
+
+    Gate lines are [mnemonic qubit(s) [angle-or-weight]].  [u1]/[u2] take a
+    name, a duration weight, then the qubit(s). *)
+
+exception Parse_error of int * string
+(** Line number (1-based) and message. *)
+
+val parse : string -> Circuit.t
+(** Parse from a string.  Raises {!Parse_error}. *)
+
+val parse_file : string -> Circuit.t
+(** Parse from a file path. *)
+
+val print : Circuit.t -> string
+(** Render in the same format; [parse (print c)] equals [c] for circuits made
+    of the standard constructors. *)

@@ -1,0 +1,25 @@
+let log2_int n = int_of_float (Float.round (Float.log (Float.of_int n) /. Float.log 2.0))
+
+let stage_gates rng ~n ~count =
+  let perm = Qcp_util.Rng.permutation rng n in
+  List.init count (fun _ ->
+      let j = Qcp_util.Rng.int rng n in
+      let neighbor =
+        if j = 0 then 1
+        else if j = n - 1 then n - 2
+        else if Qcp_util.Rng.bool rng then j - 1
+        else j + 1
+      in
+      Gate.custom2 "U" 3.0 perm.(j) perm.(neighbor))
+
+let hidden_stages_custom rng ~n ~stages ~gates_per_stage =
+  if n < 2 then invalid_arg "Random_circuit: need at least 2 qubits";
+  Circuit.make ~qubits:n
+    (List.concat_map
+       (fun _ -> stage_gates rng ~n ~count:gates_per_stage)
+       (Qcp_util.Listx.range stages))
+
+let hidden_stages rng ~n =
+  let stages = max 1 (log2_int n) in
+  let gates_per_stage = n * stages in
+  (hidden_stages_custom rng ~n ~stages ~gates_per_stage, stages)

@@ -1,0 +1,17 @@
+(** Random "hidden stage" circuits for the scalability experiment (paper
+    Section 6, Table 4).
+
+    A circuit on [n] qubits is built from roughly [log2 n] stages.  Each
+    stage draws a fresh random permutation [p] — the hidden chain — and emits
+    about [n * log2 n] two-qubit gates between [p_j] and one of its chain
+    neighbors.  Gates carry the maximal duration weight [T(G) = 3] (the paper
+    cites [26]).  The placer is expected to discover one subcircuit per
+    hidden stage. *)
+
+val hidden_stages :
+  Qcp_util.Rng.t -> n:int -> Circuit.t * int
+(** [(circuit, stage_count)].  [n] must be at least 2. *)
+
+val hidden_stages_custom :
+  Qcp_util.Rng.t -> n:int -> stages:int -> gates_per_stage:int -> Circuit.t
+(** Fully parameterized variant. *)

@@ -1,0 +1,91 @@
+type weights = {
+  single : int -> float;
+  coupled : int -> int -> float;
+}
+
+type model = Asap | Sequential
+
+let capped reuse_cap t =
+  match reuse_cap with None -> t | Some cap -> Float.min cap t
+
+let asap_times ?reuse_cap ~start ~weights ~place circuit =
+  let n = Circuit.qubits circuit in
+  let time = Array.copy start in
+  let current_pair = Array.make n None in
+  let run_acc = Array.make n 0.0 in
+  let step gate =
+    match gate with
+    | Gate.G1 (_, q) ->
+      (* Local gates do not break an interaction run (see interface note). *)
+      time.(q) <- time.(q) +. (weights.single (place q) *. Gate.duration gate)
+    | Gate.G2 (_, a, b) ->
+      let pair = Some (min a b, max a b) in
+      let t = Gate.duration gate in
+      let effective =
+        if current_pair.(a) = pair && current_pair.(b) = pair then begin
+          match reuse_cap with
+          | None ->
+            run_acc.(a) <- run_acc.(a) +. t;
+            run_acc.(b) <- run_acc.(a);
+            t
+          | Some cap ->
+            let acc = run_acc.(a) in
+            let eff = Float.min cap (acc +. t) -. Float.min cap acc in
+            run_acc.(a) <- acc +. t;
+            run_acc.(b) <- run_acc.(a);
+            eff
+        end
+        else begin
+          (* A new run on this pair; runs on other pairs through a or b end. *)
+          current_pair.(a) <- pair;
+          current_pair.(b) <- pair;
+          run_acc.(a) <- t;
+          run_acc.(b) <- t;
+          capped reuse_cap t
+        end
+      in
+      let finish =
+        Float.max time.(a) time.(b) +. (weights.coupled (place a) (place b) *. effective)
+      in
+      time.(a) <- finish;
+      time.(b) <- finish
+  in
+  List.iter step (Circuit.gates circuit);
+  time
+
+let sequential_times ?reuse_cap ~start ~weights ~place circuit =
+  let n = Circuit.qubits circuit in
+  let ready = Array.fold_left Float.max 0.0 start in
+  let gate_cost gate =
+    match gate with
+    | Gate.G1 (_, q) -> weights.single (place q) *. Gate.duration gate
+    | Gate.G2 (_, a, b) ->
+      weights.coupled (place a) (place b) *. capped reuse_cap (Gate.duration gate)
+  in
+  let total =
+    List.fold_left
+      (fun acc level ->
+        acc +. List.fold_left (fun m gate -> Float.max m (gate_cost gate)) 0.0 level)
+      ready
+      (Levelize.levels circuit)
+  in
+  Array.make n total
+
+let finish_times ?(model = Asap) ?reuse_cap ?start ~weights ~place circuit =
+  let start =
+    match start with
+    | Some arr ->
+      if Array.length arr <> Circuit.qubits circuit then
+        invalid_arg "Timing.finish_times: start array length mismatch";
+      arr
+    | None -> Array.make (Circuit.qubits circuit) 0.0
+  in
+  match model with
+  | Asap -> asap_times ?reuse_cap ~start ~weights ~place circuit
+  | Sequential -> sequential_times ?reuse_cap ~start ~weights ~place circuit
+
+let runtime ?model ?reuse_cap ?start ~weights ~place circuit =
+  Array.fold_left Float.max 0.0
+    (finish_times ?model ?reuse_cap ?start ~weights ~place circuit)
+
+let identity_place q = q

@@ -1,0 +1,50 @@
+(** Circuit runtime under a placement (paper Section 3).
+
+    The default model is the ASAP recurrence of the paper: a gate starts as
+    soon as all its qubits are free, i.e. gates from the next level may start
+    before the current level completes.  The [Sequential] model instead runs
+    logic levels one after the other with a barrier in between; both are
+    mentioned as supported by the paper's implementation.
+
+    A placed gate [G(q_i, q_j)] costs [W(P q_i, P q_j) * T(G)] where [W] comes
+    from the physical environment and [T] is {!Gate.duration}.
+
+    [reuse_cap] implements the Section 6 refinement based on [26] (Zhang et
+    al.): no two-qubit unitary needs more than three uses of the same
+    interaction, so the accumulated duration weight of an uninterrupted run of
+    two-qubit gates on one pair is capped (the paper uses 3).  Single-qubit
+    gates do not interrupt a run (local gates come for free in the [26]
+    decomposition); a two-qubit gate on an overlapping pair does. *)
+
+type weights = {
+  single : int -> float;       (** delay of a weight-1 single-qubit gate on a vertex *)
+  coupled : int -> int -> float;  (** delay of a weight-1 two-qubit gate on a vertex pair *)
+}
+
+type model = Asap | Sequential
+
+val finish_times :
+  ?model:model ->
+  ?reuse_cap:float ->
+  ?start:float array ->
+  weights:weights ->
+  place:(int -> int) ->
+  Circuit.t ->
+  float array
+(** Per-qubit finish times.  [start] (default all zeros, length = circuit
+    qubits) gives each qubit's ready time, enabling incremental evaluation of
+    concatenated stages. *)
+
+val runtime :
+  ?model:model ->
+  ?reuse_cap:float ->
+  ?start:float array ->
+  weights:weights ->
+  place:(int -> int) ->
+  Circuit.t ->
+  float
+(** [max] of {!finish_times} (0.0 for an empty circuit with zero starts). *)
+
+val identity_place : int -> int
+(** Convenience placement for circuits already expressed over physical
+    vertices. *)

@@ -1,0 +1,161 @@
+let is_diagonal = function
+  | Gate.G1 (Gate.Rotation (Gate.Z, _), _) -> true
+  | Gate.G1 ((Gate.Rotation ((Gate.X | Gate.Y), _) | Gate.Hadamard | Gate.Custom1 _), _) ->
+    false
+  | Gate.G2 ((Gate.ZZ _ | Gate.Cphase _), _, _) -> true
+  | Gate.G2 ((Gate.Cnot | Gate.Swap | Gate.Custom2 _), _, _) -> false
+
+let disjoint a b =
+  List.for_all (fun q -> not (List.mem q (Gate.qubits b))) (Gate.qubits a)
+
+let same_axis_same_qubit a b =
+  match (a, b) with
+  | Gate.G1 (Gate.Rotation (ax1, _), q1), Gate.G1 (Gate.Rotation (ax2, _), q2) ->
+    ax1 = ax2 && q1 = q2
+  | _ -> false
+
+let commutes a b =
+  Gate.equal a b || disjoint a b
+  || (is_diagonal a && is_diagonal b)
+  || same_axis_same_qubit a b
+
+(* ------------------------------------------------------------------ *)
+(* Rotation merging                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let normalize_angle angle = Float.rem angle 360.0
+
+let trivial gate =
+  match gate with
+  | Gate.G1 (Gate.Rotation (_, angle), _) | Gate.G2 (Gate.ZZ angle, _, _) ->
+    normalize_angle angle = 0.0
+  | Gate.G2 (Gate.Cphase angle, _, _) -> normalize_angle angle = 0.0
+  | Gate.G1 ((Gate.Hadamard | Gate.Custom1 _), _)
+  | Gate.G2 ((Gate.Cnot | Gate.Swap | Gate.Custom2 _), _, _) -> false
+
+(* Two gates fuse into one when they are the same kind of rotation on the
+   same support. *)
+let fuse a b =
+  match (a, b) with
+  | Gate.G1 (Gate.Rotation (ax1, t1), q1), Gate.G1 (Gate.Rotation (ax2, t2), q2)
+    when ax1 = ax2 && q1 = q2 ->
+    Some (Gate.G1 (Gate.Rotation (ax1, t1 +. t2), q1))
+  | Gate.G2 (Gate.ZZ t1, a1, b1), Gate.G2 (Gate.ZZ t2, a2, b2)
+    when (min a1 b1, max a1 b1) = (min a2 b2, max a2 b2) ->
+    Some (Gate.G2 (Gate.ZZ (t1 +. t2), a1, b1))
+  | Gate.G2 (Gate.Cphase t1, a1, b1), Gate.G2 (Gate.Cphase t2, a2, b2)
+    when (min a1 b1, max a1 b1) = (min a2 b2, max a2 b2) ->
+    Some (Gate.G2 (Gate.Cphase (t1 +. t2), a1, b1))
+  | _ -> None
+
+(* Inverse pairs that cancel exactly: CNOT.CNOT and SWAP.SWAP. *)
+let cancel a b =
+  match (a, b) with
+  | Gate.G2 (Gate.Cnot, a1, b1), Gate.G2 (Gate.Cnot, a2, b2) -> a1 = a2 && b1 = b2
+  | Gate.G2 (Gate.Swap, a1, b1), Gate.G2 (Gate.Swap, a2, b2) ->
+    (min a1 b1, max a1 b1) = (min a2 b2, max a2 b2)
+  | _ -> false
+
+(* One left-to-right pass: each gate tries to fuse with (or cancel against)
+   the latest pending gate it can commute past to reach.  Iterate to a fixed
+   point (bounded by the gate count). *)
+let merge_pass gates =
+  let changed = ref false in
+  let emit pending gate =
+    (* Walk back over emitted gates the new gate commutes with. *)
+    let rec attempt = function
+      | [] -> None
+      | last :: earlier ->
+        if cancel last gate then begin
+          changed := true;
+          Some earlier
+        end
+        else (
+          match fuse last gate with
+          | Some merged ->
+            changed := true;
+            Some (merged :: earlier)
+          | None ->
+            if commutes last gate then (
+              match attempt earlier with
+              | Some rebuilt -> Some (last :: rebuilt)
+              | None -> None)
+            else None)
+    in
+    match attempt pending with
+    | Some rebuilt -> rebuilt
+    | None -> gate :: pending
+  in
+  let merged = List.fold_left emit [] gates in
+  let cleaned = List.filter (fun g -> not (trivial g)) (List.rev merged) in
+  (cleaned, !changed)
+
+let merge_rotations circuit =
+  let rec fixpoint gates budget =
+    if budget <= 0 then gates
+    else
+      let merged, changed = merge_pass gates in
+      if changed then fixpoint merged (budget - 1) else merged
+  in
+  let gates = Circuit.gates circuit in
+  Circuit.make ~qubits:(Circuit.qubits circuit)
+    (fixpoint gates (List.length gates + 1))
+
+(* ------------------------------------------------------------------ *)
+(* Interaction packing                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let gate_pair gate =
+  match Gate.qubits gate with
+  | [ a; b ] -> Some (min a b, max a b)
+  | [ _ ] -> None
+  | _ -> None
+
+(* Greedy commutation-respecting list scheduling: from the available front,
+   prefer single-qubit gates, then two-qubit gates on an already-open pair,
+   then the front gate with the smallest original index (which opens its
+   pair).  This postpones new interaction pairs, so the placer's greedy
+   workspace formation sees longer alignable prefixes. *)
+let pack_interactions circuit =
+  let dag = Dag.build ~commute:commutes circuit in
+  let count = Dag.size dag in
+  let gates = Array.of_list (Circuit.gates circuit) in
+  let indegree = Array.make count 0 in
+  for j = 0 to count - 1 do
+    indegree.(j) <- List.length (Dag.preds dag j)
+  done;
+  let open_pairs = Hashtbl.create 16 in
+  let emitted = ref [] in
+  let available = ref [] in
+  for j = count - 1 downto 0 do
+    if indegree.(j) = 0 then available := j :: !available
+  done;
+  let score j =
+    match gate_pair gates.(j) with
+    | None -> (0, j) (* single-qubit gates first, stable order *)
+    | Some pair -> if Hashtbl.mem open_pairs pair then (1, j) else (2, j)
+  in
+  let rec loop remaining =
+    if remaining > 0 then begin
+      let best =
+        match Qcp_util.Listx.min_by (fun j -> let a, b = score j in float_of_int ((a * count) + b)) !available with
+        | Some j -> j
+        | None -> invalid_arg "Transform.pack_interactions: cyclic dependencies"
+      in
+      available := List.filter (fun j -> j <> best) !available;
+      (match gate_pair gates.(best) with
+      | Some pair -> Hashtbl.replace open_pairs pair ()
+      | None -> ());
+      emitted := best :: !emitted;
+      List.iter
+        (fun j ->
+          indegree.(j) <- indegree.(j) - 1;
+          if indegree.(j) = 0 then available := j :: !available)
+        (Dag.succs dag best);
+      loop (remaining - 1)
+    end
+  in
+  loop count;
+  Dag.reorder dag (List.rev !emitted)
+
+let optimize_for_placement circuit = pack_interactions (merge_rotations circuit)

@@ -1,0 +1,1 @@
+lib/core/annealer.ml: Array Baselines Float Qcp_circuit Qcp_env Qcp_util

@@ -1,0 +1,1 @@
+lib/core/annealer.mli: Qcp_circuit Qcp_env

@@ -1,0 +1,1 @@
+lib/core/baselines.ml: Array Float List Qcp_circuit Qcp_env Qcp_util

@@ -1,0 +1,1 @@
+lib/core/baselines.mli: Qcp_circuit Qcp_env Qcp_util

@@ -1,0 +1,1 @@
+lib/core/fidelity.ml: Array Float List Options Placer Qcp_circuit Qcp_env Qcp_route

@@ -1,0 +1,1 @@
+lib/core/fidelity.mli: Placer Qcp_circuit Qcp_env

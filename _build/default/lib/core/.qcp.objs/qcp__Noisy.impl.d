@@ -1,0 +1,1 @@
+lib/core/noisy.ml: Array Complex List Placer Qcp_circuit Qcp_env Qcp_sim Schedule

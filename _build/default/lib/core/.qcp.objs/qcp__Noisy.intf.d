@@ -1,0 +1,1 @@
+lib/core/noisy.mli: Placer Qcp_sim

@@ -1,0 +1,1 @@
+lib/core/np_reduction.ml: Array Float List Printf Qcp_circuit Qcp_env Qcp_graph

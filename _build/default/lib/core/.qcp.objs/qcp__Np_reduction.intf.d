@@ -1,0 +1,1 @@
+lib/core/np_reduction.mli: Qcp_circuit Qcp_env Qcp_graph

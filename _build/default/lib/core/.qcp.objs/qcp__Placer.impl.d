@@ -1,0 +1,1 @@
+lib/core/placer.ml: Array Float Format List Options Printf Qcp_circuit Qcp_env Qcp_graph Qcp_route Qcp_util Workspace

@@ -1,0 +1,1 @@
+lib/core/placer.mli: Format Options Qcp_circuit Qcp_env Qcp_graph Qcp_route

@@ -1,0 +1,1 @@
+lib/core/refocus.ml: Array Float Hashtbl List Qcp_circuit Qcp_env

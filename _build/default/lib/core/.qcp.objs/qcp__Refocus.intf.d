@@ -1,0 +1,1 @@
+lib/core/refocus.mli: Qcp_circuit Qcp_env

@@ -1,0 +1,1 @@
+lib/core/schedule.ml: Array Buffer Bytes Float List Options Placer Printf Qcp_circuit Qcp_env Qcp_route

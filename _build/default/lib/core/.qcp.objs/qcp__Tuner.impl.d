@@ -1,0 +1,1 @@
+lib/core/tuner.ml: Float List Options Placer Qcp_env

@@ -1,0 +1,1 @@
+lib/core/tuner.mli: Options Placer Qcp_circuit Qcp_env

@@ -1,0 +1,1 @@
+lib/core/verify.ml: Array Complex List Placer Qcp_circuit Qcp_env Qcp_sim Qcp_util

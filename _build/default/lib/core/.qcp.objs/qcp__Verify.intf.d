@@ -1,0 +1,1 @@
+lib/core/verify.mli: Placer Qcp_util

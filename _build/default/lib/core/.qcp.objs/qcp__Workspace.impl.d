@@ -1,0 +1,1 @@
+lib/core/workspace.ml: Hashtbl List Printf Qcp_circuit Qcp_graph

@@ -1,0 +1,1 @@
+lib/core/workspace.mli: Qcp_circuit Qcp_graph

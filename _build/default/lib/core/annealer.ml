@@ -1,0 +1,57 @@
+module Circuit = Qcp_circuit.Circuit
+module Environment = Qcp_env.Environment
+
+let solve ?(iterations = 20_000) ?(seed = 1) ?(start_temperature = 0.2)
+    ?(end_temperature = 0.001) ?model ?reuse_cap env circuit =
+  let n = Circuit.qubits circuit in
+  let m = Environment.size env in
+  if n > m then invalid_arg "Annealer.solve: circuit larger than environment";
+  let rng = Qcp_util.Rng.create seed in
+  let cost placement = Baselines.evaluate ?model ?reuse_cap env circuit ~placement in
+  let current = Baselines.random_placement rng env circuit in
+  let occupant = Array.make m (-1) in
+  Array.iteri (fun q v -> occupant.(v) <- q) current;
+  let current_cost = ref (cost current) in
+  let scale = Float.max 1.0 !current_cost in
+  let best = ref (Array.copy current) in
+  let best_cost = ref !current_cost in
+  let cooling =
+    if iterations <= 1 then 1.0
+    else Float.exp (Float.log (end_temperature /. start_temperature) /. float_of_int iterations)
+  in
+  let temperature = ref (start_temperature *. scale) in
+  for _ = 1 to iterations do
+    (* Move one qubit to a random vertex, swapping occupants when needed. *)
+    let q = Qcp_util.Rng.int rng n in
+    let v = Qcp_util.Rng.int rng m in
+    let old_v = current.(q) in
+    if v <> old_v then begin
+      let other = occupant.(v) in
+      current.(q) <- v;
+      occupant.(v) <- q;
+      occupant.(old_v) <- other;
+      if other >= 0 then current.(other) <- old_v;
+      let candidate_cost = cost current in
+      let delta = candidate_cost -. !current_cost in
+      let accept =
+        delta <= 0.0
+        || Qcp_util.Rng.float rng 1.0 < Float.exp (-.delta /. !temperature)
+      in
+      if accept then begin
+        current_cost := candidate_cost;
+        if candidate_cost < !best_cost then begin
+          best_cost := candidate_cost;
+          best := Array.copy current
+        end
+      end
+      else begin
+        (* Revert. *)
+        current.(q) <- old_v;
+        occupant.(old_v) <- q;
+        occupant.(v) <- other;
+        if other >= 0 then current.(other) <- v
+      end
+    end;
+    temperature := Float.max (end_temperature *. scale) (!temperature *. cooling)
+  done;
+  (!best, !best_cost)

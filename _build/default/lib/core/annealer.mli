@@ -1,0 +1,18 @@
+(** Simulated-annealing whole-circuit placement — a stronger global baseline
+    than hill climbing for instances whose search space defeats exhaustive
+    enumeration, used in the ablation study. *)
+
+val solve :
+  ?iterations:int ->
+  ?seed:int ->
+  ?start_temperature:float ->
+  ?end_temperature:float ->
+  ?model:Qcp_circuit.Timing.model ->
+  ?reuse_cap:float ->
+  Qcp_env.Environment.t ->
+  Qcp_circuit.Circuit.t ->
+  int array * float
+(** Anneal over injective placements with a move/swap neighborhood and
+    geometric cooling.  Defaults: 20_000 iterations, temperatures scaled by
+    the initial cost.  Returns the best placement seen and its runtime in
+    delay units.  Deterministic for a fixed [seed]. *)

@@ -1,0 +1,82 @@
+module Circuit = Qcp_circuit.Circuit
+module Timing = Qcp_circuit.Timing
+module Environment = Qcp_env.Environment
+
+(* Stage-by-stage replay: each stage advances the physical clock; during a
+   stage, logical qubit q sits at its current placement (during a SWAP stage
+   we charge the source vertex — tokens spend most of the stage near their
+   origin, and the model is a first-order estimate anyway). *)
+let qubit_exposure program =
+  let env = program.Placer.env in
+  let m = Environment.size env in
+  let source_qubits = Circuit.qubits program.Placer.source in
+  let weights = Environment.weights env in
+  let exposure = Array.make source_qubits 0.0 in
+  let clock = ref (Array.make m 0.0) in
+  let current_placement = ref None in
+  let makespan times = Array.fold_left Float.max 0.0 times in
+  let charge placement before after =
+    let dt = makespan after -. makespan before in
+    if dt > 0.0 then
+      Array.iteri
+        (fun q v ->
+          let t2 = Environment.t2 env v in
+          if Float.is_finite t2 then exposure.(q) <- exposure.(q) +. (dt /. t2))
+        placement
+  in
+  List.iter
+    (fun stage ->
+      let stage_circuit =
+        match stage with
+        | Placer.Compute { placement; circuit } ->
+          current_placement := Some placement;
+          Circuit.map_qubits (fun q -> placement.(q)) ~qubits:m circuit
+        | Placer.Permute net -> Qcp_route.Swap_network.to_circuit ~qubits:m net
+      in
+      let next =
+        Timing.finish_times ~model:program.Placer.options.Options.model
+          ?reuse_cap:program.Placer.options.Options.reuse_cap ~start:!clock
+          ~weights ~place:Timing.identity_place stage_circuit
+      in
+      (match (stage, !current_placement) with
+      | Placer.Compute { placement; _ }, _ -> charge placement !clock next
+      | Placer.Permute _, Some placement -> charge placement !clock next
+      | Placer.Permute _, None -> ());
+      (* After a SWAP stage, logical qubits moved: update the placement. *)
+      (match (stage, !current_placement) with
+      | Placer.Permute net, Some placement ->
+        let final =
+          Qcp_route.Swap_network.apply net (Array.init m (fun v -> v))
+        in
+        (* final.(vertex) = original vertex of the token now there *)
+        let relocated = Array.copy placement in
+        Array.iteri
+          (fun vertex origin ->
+            Array.iteri
+              (fun q v -> if v = origin then relocated.(q) <- vertex)
+              placement)
+          final;
+        current_placement := Some relocated
+      | Placer.Permute _, None | Placer.Compute _, _ -> ());
+      clock := next)
+    program.Placer.stages;
+  exposure
+
+let estimate program =
+  let exposure = qubit_exposure program in
+  exp (-.Array.fold_left ( +. ) 0.0 exposure)
+
+let placement_fidelity env circuit ~placement =
+  let runtime =
+    Timing.runtime ~weights:(Environment.weights env)
+      ~place:(fun q -> placement.(q))
+      circuit
+  in
+  let total =
+    Array.fold_left
+      (fun acc v ->
+        let t2 = Environment.t2 env v in
+        if Float.is_finite t2 then acc +. (runtime /. t2) else acc)
+      0.0 placement
+  in
+  exp (-.total)

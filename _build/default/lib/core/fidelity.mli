@@ -1,0 +1,22 @@
+(** Decoherence-aware fidelity estimation for placed programs.
+
+    The paper's opening argument is that placement matters because couplings
+    slower than decoherence (interactions under 0.2 Hz against a ~1 s
+    decoherence time) act as pure noise.  This module quantifies that: under
+    an exponential dephasing model, a qubit parked on nucleus [v] for time
+    [dt] retains coherence [exp(-dt / T2(v))]; the program fidelity estimate
+    is the product over all logical qubits of their accumulated coherence,
+    tracking which nucleus holds each qubit stage by stage. *)
+
+val qubit_exposure : Placer.program -> float array
+(** Per logical qubit: the accumulated [dt / T2] integral across all stages
+    (0 everywhere when the environment has no T2 data). *)
+
+val estimate : Placer.program -> float
+(** [exp (-. sum (qubit_exposure p))] — 1.0 means decoherence-free, values
+    near 0 mean the placement is useless regardless of its runtime. *)
+
+val placement_fidelity :
+  Qcp_env.Environment.t -> Qcp_circuit.Circuit.t -> placement:int array -> float
+(** Fidelity of a whole-circuit placement without SWAP stages (baseline
+    comparison). *)

@@ -1,0 +1,71 @@
+module Statevec = Qcp_sim.Statevec
+module Density = Qcp_sim.Density
+module Environment = Qcp_env.Environment
+module Circuit = Qcp_circuit.Circuit
+
+let embed_input ~m ~placement ~input =
+  let physical = ref 0 in
+  Array.iteri
+    (fun q v -> if input land (1 lsl q) <> 0 then physical := !physical lor (1 lsl v))
+    placement;
+  Statevec.basis ~n:m !physical
+
+let simulate ?(input = 0) program =
+  let env = program.Placer.env in
+  let m = Environment.size env in
+  if m > 8 then invalid_arg "Noisy.simulate: environment too large to simulate";
+  let initial =
+    match Placer.initial_placement program with
+    | Some placement -> embed_input ~m ~placement ~input
+    | None -> Statevec.basis ~n:m 0
+  in
+  let rho = ref (Density.of_statevec initial) in
+  let dephased_until = Array.make m 0.0 in
+  let catch_up v upto =
+    if upto > dephased_until.(v) then begin
+      rho :=
+        Density.dephase_for ~qubit:v
+          ~time:(upto -. dephased_until.(v))
+          ~t2:(Environment.t2 env v) !rho;
+      dephased_until.(v) <- upto
+    end
+  in
+  let makespan =
+    Schedule.iter_timed_gates program
+      ~f:(fun ~stage:_ ~is_swap:_ ~gate ~vertices ~start:_ ~finish ->
+        List.iter (fun v -> catch_up v finish) vertices;
+        rho := Density.apply_gate gate !rho)
+  in
+  for v = 0 to m - 1 do
+    catch_up v makespan
+  done;
+  !rho
+
+let ideal_output ~program ~input =
+  let source = program.Placer.source in
+  let m = Environment.size program.Placer.env in
+  match (Placer.initial_placement program, Placer.final_placement program) with
+  | None, _ | _, None ->
+    (* Empty program: the untouched embedded input. *)
+    Statevec.basis ~n:m input
+  | Some _, Some final ->
+    let logical_out =
+      Statevec.run source (Statevec.basis ~n:(Circuit.qubits source) input)
+    in
+    let amps = Statevec.amplitudes logical_out in
+    let dim_m = 1 lsl m in
+    let expected = Array.make dim_m Complex.zero in
+    Array.iteri
+      (fun logical_index amp ->
+        let physical_index = ref 0 in
+        for q = 0 to Circuit.qubits source - 1 do
+          if logical_index land (1 lsl q) <> 0 then
+            physical_index := !physical_index lor (1 lsl final.(q))
+        done;
+        expected.(!physical_index) <- amp)
+      amps;
+    Statevec.of_amplitudes expected
+
+let empirical_fidelity ?(input = 0) program =
+  let rho = simulate ~input program in
+  Density.fidelity_to (ideal_output ~program ~input) rho

@@ -1,0 +1,72 @@
+module Graph = Qcp_graph.Graph
+module Circuit = Qcp_circuit.Circuit
+module Gate = Qcp_circuit.Gate
+module Environment = Qcp_env.Environment
+
+let environment_of_graph g =
+  let m = Graph.n g in
+  let delay = Array.make_matrix m m 1.0 in
+  for v = 0 to m - 1 do
+    delay.(v).(v) <- 0.0
+  done;
+  List.iter
+    (fun (u, v) ->
+      delay.(u).(v) <- 0.0;
+      delay.(v).(u) <- 0.0)
+    (Graph.edges g);
+  Environment.make ~name:"np-reduction"
+    ~nuclei:(Array.init m (fun i -> Printf.sprintf "v%d" i))
+    ~delay ()
+
+let cycle_circuit m =
+  if m < 3 then invalid_arg "Np_reduction.cycle_circuit: need at least 3 qubits";
+  Circuit.make ~qubits:m
+    (List.init m (fun i -> Gate.custom2 "G" 1.0 i ((i + 1) mod m)))
+
+(* Branch and bound: assigning qubits in cycle order 0,1,...,m-1 makes each
+   new assignment close exactly one gate (q_{i-1}, q_i) — plus the wrap-around
+   gate when the last qubit is placed — so the partial cost is monotone. *)
+let branch_and_bound g ~stop_at_zero =
+  let m = Graph.n g in
+  let edge_cost u v = if Graph.mem_edge g u v then 0.0 else 1.0 in
+  let placement = Array.make m (-1) in
+  let taken = Array.make m false in
+  let best_cost = ref Float.infinity in
+  let best_placement = ref None in
+  let exception Done in
+  let rec assign q cost =
+    if cost < !best_cost then begin
+      if q = m then begin
+        let total = cost +. edge_cost placement.(m - 1) placement.(0) in
+        if total < !best_cost then begin
+          best_cost := total;
+          best_placement := Some (Array.copy placement);
+          if stop_at_zero && total = 0.0 then raise Done
+        end
+      end
+      else
+        for v = 0 to m - 1 do
+          if not taken.(v) then begin
+            let step = if q = 0 then 0.0 else edge_cost placement.(q - 1) v in
+            if cost +. step < !best_cost then begin
+              taken.(v) <- true;
+              placement.(q) <- v;
+              assign (q + 1) (cost +. step);
+              placement.(q) <- -1;
+              taken.(v) <- false
+            end
+          end
+        done
+    end
+  in
+  (try assign 0 0.0 with Done -> ());
+  (!best_placement, !best_cost)
+
+let optimal_cost g = snd (branch_and_bound g ~stop_at_zero:true)
+
+let zero_placement g =
+  match branch_and_bound g ~stop_at_zero:true with
+  | Some placement, 0.0 -> Some placement
+  | _, _ -> None
+
+let has_zero_placement g = zero_placement g <> None

@@ -1,0 +1,26 @@
+(** The NP-completeness construction of paper Section 4.
+
+    For a Hamiltonian-cycle instance [H] on [m] vertices, build a physical
+    environment on the same vertices where couplings cost 0 along edges of
+    [H] and 1 elsewhere, and a circuit of [m] levels, level [i] holding the
+    single gate [G(q_i, q_{(i mod m)+1})] with [T = 1].  The circuit admits a
+    zero-runtime placement iff [H] has a Hamiltonian cycle. *)
+
+val environment_of_graph : Qcp_graph.Graph.t -> Qcp_env.Environment.t
+(** Weight-0 edges where [H] has edges, weight-1 elsewhere; single-qubit
+    delays 0. *)
+
+val cycle_circuit : int -> Qcp_circuit.Circuit.t
+(** The [m]-gate cycle circuit of the reduction. *)
+
+val optimal_cost : Qcp_graph.Graph.t -> float
+(** Cost of the optimal placement of the reduction instance, by
+    branch-and-bound over injective assignments (pruning on the partial
+    cost, which is monotone for this circuit). *)
+
+val zero_placement : Qcp_graph.Graph.t -> int array option
+(** A zero-cost placement if one exists — equivalently, a Hamiltonian cycle
+    of [H] read off as [q_1 ... q_m]'s images. *)
+
+val has_zero_placement : Qcp_graph.Graph.t -> bool
+(** Must agree with {!Qcp_graph.Hamilton.cycle} on every graph. *)

@@ -1,0 +1,42 @@
+type router = Bisect | Bisect_weighted | Token | Odd_even
+
+type t = {
+  threshold : float;
+  monomorphism_limit : int;
+  lookahead : bool;
+  fine_tune_passes : int;
+  leaf_override : bool;
+  router : router;
+  reuse_cap : float option;
+  model : Qcp_circuit.Timing.model;
+  commute_prepass : bool;
+  balance_boundaries : bool;
+}
+
+let default ~threshold =
+  {
+    threshold;
+    monomorphism_limit = 100;
+    lookahead = true;
+    fine_tune_passes = 3;
+    leaf_override = true;
+    router = Bisect;
+    reuse_cap = Some 3.0;
+    model = Qcp_circuit.Timing.Asap;
+    commute_prepass = false;
+    balance_boundaries = false;
+  }
+
+let fast ~threshold =
+  {
+    threshold;
+    monomorphism_limit = 8;
+    lookahead = false;
+    fine_tune_passes = 0;
+    leaf_override = true;
+    router = Bisect;
+    reuse_cap = Some 3.0;
+    model = Qcp_circuit.Timing.Asap;
+    commute_prepass = false;
+    balance_boundaries = false;
+  }

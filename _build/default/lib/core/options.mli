@@ -1,0 +1,51 @@
+(** Configuration of the placement heuristic (paper Sections 5.1 and 5.3). *)
+
+type router = Bisect | Bisect_weighted | Token | Odd_even
+(** SWAP-stage construction: the paper's bisection bubble router, its
+    weighted refinement (channel edges chosen by actual coupling delay),
+    the naive baseline (ablation), or odd-even transposition sort (optimal
+    reference on chain architectures; falls back to [Bisect] on non-path
+    adjacency graphs). *)
+
+type t = {
+  threshold : float;
+      (** Interactions with delay strictly below this are "fast" and usable
+          (paper "Preprocessing"). *)
+  monomorphism_limit : int;
+      (** Max monomorphisms enumerated per subcircuit — the paper's
+          [k = 100]. *)
+  lookahead : bool;
+      (** Depth-2 lookahead combining mapping and swap costs with the next
+          stage's candidates (paper Section 5.3); when off, candidates are
+          scored greedily by current-stage cost alone. *)
+  fine_tune_passes : int;
+      (** Hill-climbing passes over each subcircuit placement; 0 disables
+          fine tuning. *)
+  leaf_override : bool;
+      (** The router's leaf-target value override heuristic. *)
+  router : router;
+  reuse_cap : float option;
+      (** Cap on consecutive same-pair interaction weight (paper uses
+          [Some 3.0], from [26]); [None] disables. *)
+  model : Qcp_circuit.Timing.model;
+  commute_prepass : bool;
+      (** Apply {!Qcp_circuit.Transform.optimize_for_placement} (rotation
+          merging + commutation-aware interaction packing) before placement
+          — the paper's "further research" direction.  Off by default. *)
+  balance_boundaries : bool;
+      (** Refine the greedy maximal-prefix subcircuit boundaries by donating
+          trailing gates to the next stage when that reduces the end-to-end
+          runtime — the paper's other "further research" direction
+          ("finding a good balance between the depth of a useful computation
+          and the depth of the following swapping stage; right now, our
+          method is greedy").  Off by default. *)
+}
+
+val default : threshold:float -> t
+(** Paper defaults: [monomorphism_limit = 100], lookahead and fine tuning
+    and leaf override on, bisection router, [reuse_cap = Some 3.0], ASAP
+    timing. *)
+
+val fast : threshold:float -> t
+(** Cheap settings for large instances (Table 4 scale): greedy scoring,
+    [monomorphism_limit = 8], one fine-tuning pass disabled. *)

@@ -1,0 +1,559 @@
+module Graph = Qcp_graph.Graph
+module Paths = Qcp_graph.Paths
+module Monomorph = Qcp_graph.Monomorph
+module Circuit = Qcp_circuit.Circuit
+module Gate = Qcp_circuit.Gate
+module Timing = Qcp_circuit.Timing
+module Environment = Qcp_env.Environment
+module Perm = Qcp_route.Perm
+module Swap_network = Qcp_route.Swap_network
+
+type stage =
+  | Compute of { placement : int array; circuit : Circuit.t }
+  | Permute of Swap_network.t
+
+type stats = {
+  oracle_calls : int;
+  enumerations : int;
+  candidates_scored : int;
+  networks_routed : int;
+}
+
+type program = {
+  env : Environment.t;
+  source : Circuit.t;
+  options : Options.t;
+  adjacency : Graph.t;
+  stages : stage list;
+  stats : stats;
+}
+
+type outcome = Placed of program | Unplaceable of string
+
+let units_per_second = 10000.0
+
+(* Internal context shared by the pipeline. *)
+type ctx = {
+  c_env : Environment.t;
+  c_adjacency : Graph.t;
+  c_options : Options.t;
+  c_weights : Timing.weights;
+  c_m : int; (* environment size *)
+  c_n : int; (* circuit qubits *)
+  c_oracle : int ref;
+  c_enumerations : int ref;
+  c_scored : int ref;
+  c_routed : int ref;
+}
+
+let route_network ctx perm =
+  incr ctx.c_routed;
+  let bisect ?edge_cost () =
+    Qcp_route.Bisect_router.route
+      ~leaf_override:ctx.c_options.Options.leaf_override ?edge_cost
+      ctx.c_adjacency ~perm
+  in
+  match ctx.c_options.Options.router with
+  | Options.Bisect -> bisect ()
+  | Options.Bisect_weighted ->
+    bisect ~edge_cost:(fun u v -> Environment.coupling_delay ctx.c_env u v) ()
+  | Options.Token -> Qcp_route.Token_router.route ctx.c_adjacency ~perm
+  | Options.Odd_even -> (
+    match Qcp_route.Oes_router.path_order ctx.c_adjacency with
+    | Some _ -> Qcp_route.Oes_router.route ctx.c_adjacency ~perm
+    | None -> bisect ())
+
+let time_physical ctx start circuit =
+  Timing.finish_times ~model:ctx.c_options.Options.model
+    ?reuse_cap:ctx.c_options.Options.reuse_cap ~start ~weights:ctx.c_weights
+    ~place:Timing.identity_place circuit
+
+let to_physical ctx placement circuit =
+  Circuit.map_qubits (fun q -> placement.(q)) ~qubits:ctx.c_m circuit
+
+(* Extend a partial monomorphism (active qubits only) to a full injective
+   placement of every logical qubit.  Inactive qubits keep their previous
+   vertex when possible, then fall to the nearest free vertex; in the first
+   stage qubits with the heaviest single-qubit workload get the fastest
+   nuclei. *)
+let complete_placement ctx ~prev ~subcircuit mapping =
+  let placement = Array.make ctx.c_n (-1) in
+  let taken = Array.make ctx.c_m false in
+  Array.iteri
+    (fun q v ->
+      if v >= 0 then begin
+        placement.(q) <- v;
+        taken.(v) <- true
+      end)
+    mapping;
+  let inactive =
+    List.filter (fun q -> placement.(q) < 0) (Qcp_util.Listx.range ctx.c_n)
+  in
+  (match prev with
+  | Some previous ->
+    let pending =
+      List.filter
+        (fun q ->
+          let v = previous.(q) in
+          if taken.(v) then true
+          else begin
+            placement.(q) <- v;
+            taken.(v) <- true;
+            false
+          end)
+        inactive
+    in
+    (* Displaced inactive qubits move to the nearest free vertex. *)
+    List.iter
+      (fun q ->
+        let dist = Paths.bfs_dist ctx.c_adjacency previous.(q) in
+        let best = ref (-1) in
+        for v = 0 to ctx.c_m - 1 do
+          if not taken.(v) then
+            match !best with
+            | -1 -> best := v
+            | b ->
+              let dv = if dist.(v) < 0 then max_int else dist.(v) in
+              let db = if dist.(b) < 0 then max_int else dist.(b) in
+              if dv < db then best := v
+        done;
+        assert (!best >= 0);
+        placement.(q) <- !best;
+        taken.(!best) <- true)
+      pending
+  | None ->
+    let workload = Array.make ctx.c_n 0.0 in
+    List.iter
+      (fun gate ->
+        match Gate.qubits gate with
+        | [ q ] -> workload.(q) <- workload.(q) +. Gate.duration gate
+        | _ -> ())
+      (Circuit.gates subcircuit);
+    let by_workload =
+      List.sort (fun a b -> compare workload.(b) workload.(a)) inactive
+    in
+    let free =
+      List.filter (fun v -> not taken.(v)) (Qcp_util.Listx.range ctx.c_m)
+      |> List.sort (fun a b ->
+             compare
+               (Environment.single_delay ctx.c_env a)
+               (Environment.single_delay ctx.c_env b))
+    in
+    List.iter2
+      (fun q v ->
+        placement.(q) <- v;
+        taken.(v) <- true)
+      by_workload
+      (Qcp_util.Listx.take (List.length by_workload) free));
+  placement
+
+(* Score one candidate placement from the current physical clock: optional
+   connecting SWAP stage, then the subcircuit.  Returns the network, the
+   updated clock and the makespan. *)
+let score_candidate ctx ~phys_start ~prev ~subcircuit placement =
+  incr ctx.c_scored;
+  let network =
+    match prev with
+    | None -> None
+    | Some previous ->
+      let perm =
+        Perm.of_placements ~size:ctx.c_m ~before:previous ~after:placement
+      in
+      if Perm.is_identity perm then None else Some (route_network ctx perm)
+  in
+  let after_swaps =
+    match network with
+    | None -> phys_start
+    | Some net ->
+      time_physical ctx phys_start (Swap_network.to_circuit ~qubits:ctx.c_m net)
+  in
+  let finish = time_physical ctx after_swaps (to_physical ctx placement subcircuit) in
+  let makespan = Array.fold_left Float.max 0.0 finish in
+  (network, finish, makespan)
+
+(* Hill-climbing fine tuning (paper Section 5.1, "fine tuning"): move each
+   interacting qubit to every vertex (swapping occupants when needed), keep
+   changes that preserve fast-interaction alignment and reduce the stage
+   makespan. *)
+let fine_tune ctx ~phys_start ~prev ~subcircuit placement =
+  let pattern = Circuit.interaction_graph subcircuit in
+  let pattern_edges = Graph.edges pattern in
+  let active =
+    List.filter (fun q -> Graph.degree pattern q > 0) (Qcp_util.Listx.range ctx.c_n)
+  in
+  let feasible candidate =
+    List.for_all
+      (fun (a, b) -> Graph.mem_edge ctx.c_adjacency candidate.(a) candidate.(b))
+      pattern_edges
+  in
+  let score candidate =
+    let _, _, makespan = score_candidate ctx ~phys_start ~prev ~subcircuit candidate in
+    makespan
+  in
+  let current = ref (Array.copy placement) in
+  let current_score = ref (score !current) in
+  let occupant_of = Array.make ctx.c_m (-1) in
+  let refresh_occupants () =
+    Array.fill occupant_of 0 ctx.c_m (-1);
+    Array.iteri (fun q v -> occupant_of.(v) <- q) !current
+  in
+  let passes = ctx.c_options.Options.fine_tune_passes in
+  let rec pass remaining =
+    if remaining <= 0 then ()
+    else begin
+      let improved = ref false in
+      List.iter
+        (fun q ->
+          refresh_occupants ();
+          for v = 0 to ctx.c_m - 1 do
+            if v <> !current.(q) then begin
+              let candidate = Array.copy !current in
+              (match occupant_of.(v) with
+              | -1 -> ()
+              | q' -> candidate.(q') <- !current.(q));
+              candidate.(q) <- v;
+              if feasible candidate then begin
+                let s = score candidate in
+                if s < !current_score -. 1e-12 then begin
+                  current := candidate;
+                  current_score := s;
+                  improved := true;
+                  refresh_occupants ()
+                end
+              end
+            end
+          done)
+        active;
+      if !improved then pass (remaining - 1)
+    end
+  in
+  pass passes;
+  !current
+
+let enumerate_mappings ctx ~subcircuit =
+  incr ctx.c_enumerations;
+  let pattern = Circuit.interaction_graph subcircuit in
+  Monomorph.enumerate ~limit:ctx.c_options.Options.monomorphism_limit ~pattern
+    ~target:ctx.c_adjacency ()
+
+let enumerate_candidates ctx ~prev ~subcircuit =
+  List.map
+    (complete_placement ctx ~prev ~subcircuit)
+    (enumerate_mappings ctx ~subcircuit)
+
+(* Best single-stage candidate by makespan. *)
+let pick_greedy ctx ~phys_start ~prev ~subcircuit candidates =
+  Qcp_util.Listx.min_by
+    (fun placement ->
+      let _, _, makespan =
+        score_candidate ctx ~phys_start ~prev ~subcircuit placement
+      in
+      makespan)
+    candidates
+
+(* Depth-2 lookahead score (paper Section 5.3): the best achievable makespan
+   after also placing the *next* subcircuit with its own connecting swaps.
+   The next stage's raw monomorphisms are independent of the current
+   candidate (the paper's "the sets M_{i,j} for different values i are
+   equal" remark), so they are enumerated once and passed in; only their
+   completion over inactive qubits depends on the current placement. *)
+let deep_score ctx ~phys_start ~prev ~subcircuit ~next_subcircuit ~next_mappings
+    placement =
+  let _, finish, makespan =
+    score_candidate ctx ~phys_start ~prev ~subcircuit placement
+  in
+  let next_candidates =
+    List.map
+      (complete_placement ctx ~prev:(Some placement) ~subcircuit:next_subcircuit)
+      next_mappings
+  in
+  let next_makespan next_placement =
+    let _, _, value =
+      score_candidate ctx ~phys_start:finish ~prev:(Some placement)
+        ~subcircuit:next_subcircuit next_placement
+    in
+    value
+  in
+  match Qcp_util.Listx.min_by next_makespan next_candidates with
+  | None -> makespan
+  | Some best_next -> next_makespan best_next
+
+let pick_lookahead ctx ~phys_start ~prev ~subcircuit ~next_subcircuit
+    ~next_mappings candidates =
+  Qcp_util.Listx.min_by
+    (deep_score ctx ~phys_start ~prev ~subcircuit ~next_subcircuit
+       ~next_mappings)
+    candidates
+
+(* The main stage loop: place each subcircuit in order, connecting
+   consecutive placements with SWAP networks.  Returns the stage list and
+   the final makespan. *)
+let run_pipeline ctx subcircuits =
+  let options = ctx.c_options in
+  let subs = Array.of_list subcircuits in
+  let count = Array.length subs in
+  let stages = ref [] in
+  let phys_start = ref (Array.make ctx.c_m 0.0) in
+  let prev = ref None in
+  let failure = ref None in
+  (try
+     for i = 0 to count - 1 do
+       let subcircuit = subs.(i) in
+       let candidates = enumerate_candidates ctx ~prev:!prev ~subcircuit in
+       let next_mappings =
+         if options.Options.lookahead && i + 1 < count then
+           Some (enumerate_mappings ctx ~subcircuit:subs.(i + 1))
+         else None
+       in
+       let chosen =
+         match next_mappings with
+         | Some next_mappings ->
+           pick_lookahead ctx ~phys_start:!phys_start ~prev:!prev ~subcircuit
+             ~next_subcircuit:subs.(i + 1) ~next_mappings candidates
+         | None ->
+           pick_greedy ctx ~phys_start:!phys_start ~prev:!prev ~subcircuit
+             candidates
+       in
+       match chosen with
+       | None ->
+         failure := Some "no monomorphism found for an alignable subcircuit";
+         raise Exit
+       | Some placement ->
+         let tuned =
+           if options.Options.fine_tune_passes > 0 then begin
+             let candidate =
+               fine_tune ctx ~phys_start:!phys_start ~prev:!prev ~subcircuit
+                 placement
+             in
+             (* Fine tuning optimizes the current stage only; under
+                lookahead, keep it only if it does not undo the two-stage
+                choice. *)
+             match next_mappings with
+             | Some next_mappings when candidate <> placement ->
+               let judge =
+                 deep_score ctx ~phys_start:!phys_start ~prev:!prev ~subcircuit
+                   ~next_subcircuit:subs.(i + 1) ~next_mappings
+               in
+               if judge candidate <= judge placement then candidate else placement
+             | Some _ | None -> candidate
+           end
+           else placement
+         in
+         let network, finish, _ =
+           score_candidate ctx ~phys_start:!phys_start ~prev:!prev ~subcircuit
+             tuned
+         in
+         (match network with
+         | Some net when net <> [] -> stages := Permute net :: !stages
+         | Some _ | None -> ());
+         stages := Compute { placement = tuned; circuit = subcircuit } :: !stages;
+         phys_start := finish;
+         prev := Some tuned
+     done
+   with Exit -> ());
+  match !failure with
+  | Some msg -> Error msg
+  | None -> Ok (List.rev !stages, Array.fold_left Float.max 0.0 !phys_start)
+
+(* Boundary refinement (paper "further research"): the greedy split makes
+   each computation stage maximal; donating a few trailing gates to the next
+   stage can shrink the following swap stage.  Trial donations are evaluated
+   with a cheap greedy pipeline and kept when they strictly improve the
+   makespan. *)
+let balance_boundaries ctx subcircuits =
+  let cheap_ctx =
+    {
+      ctx with
+      c_options =
+        {
+          ctx.c_options with
+          Options.lookahead = false;
+          fine_tune_passes = 0;
+        };
+    }
+  in
+  let evaluate subs =
+    match run_pipeline cheap_ctx subs with
+    | Ok (_, makespan) -> makespan
+    | Error _ -> Float.infinity
+  in
+  let donate subs boundary =
+    (* Move the last gate of stage [boundary] to the head of the next. *)
+    match (List.nth_opt subs boundary, List.nth_opt subs (boundary + 1)) with
+    | Some giver, Some taker -> (
+      match List.rev (Circuit.gates giver) with
+      | [] -> None
+      | gate :: rest_rev ->
+        let taker' =
+          Circuit.make ~qubits:ctx.c_n (gate :: Circuit.gates taker)
+        in
+        if
+          Monomorph.exists
+            ~pattern:(Circuit.interaction_graph taker')
+            ~target:ctx.c_adjacency
+        then begin
+          let giver' = Circuit.make ~qubits:ctx.c_n (List.rev rest_rev) in
+          let updated =
+            List.concat
+              (List.mapi
+                 (fun i sub ->
+                   if i = boundary then
+                     if Circuit.gate_count giver' = 0 then [] else [ giver' ]
+                   else if i = boundary + 1 then [ taker' ]
+                   else [ sub ])
+                 subs)
+          in
+          Some updated
+        end
+        else None)
+    | _, _ -> None
+  in
+  let max_donations_per_boundary = 3 in
+  let rec refine subs score boundary budget =
+    if boundary + 1 >= List.length subs then subs
+    else if budget = 0 then refine subs score (boundary + 1) max_donations_per_boundary
+    else
+      match donate subs boundary with
+      | None -> refine subs score (boundary + 1) max_donations_per_boundary
+      | Some candidate ->
+        let candidate_score = evaluate candidate in
+        if candidate_score < score -. 1e-9 then
+          refine candidate candidate_score boundary (budget - 1)
+        else refine subs score (boundary + 1) max_donations_per_boundary
+  in
+  refine subcircuits (evaluate subcircuits) 0 max_donations_per_boundary
+
+let place options env circuit =
+  let circuit =
+    if options.Options.commute_prepass then
+      Qcp_circuit.Transform.optimize_for_placement circuit
+    else circuit
+  in
+  let n = Circuit.qubits circuit in
+  let m = Environment.size env in
+  if n > m then
+    Unplaceable
+      (Printf.sprintf "circuit needs %d qubits but the environment has %d" n m)
+  else
+    match Environment.connected_adjacency env ~threshold:options.Options.threshold with
+    | None ->
+      Unplaceable "the Threshold disallows every interaction in the environment"
+    | Some adjacency -> (
+      let ctx =
+        {
+          c_env = env;
+          c_adjacency = adjacency;
+          c_options = options;
+          c_weights = Environment.weights env;
+          c_m = m;
+          c_n = n;
+          c_oracle = ref 0;
+          c_enumerations = ref 0;
+          c_scored = ref 0;
+          c_routed = ref 0;
+        }
+      in
+      match Workspace.split ~oracle_calls:ctx.c_oracle ~adjacency circuit with
+      | Error msg -> Unplaceable msg
+      | Ok subcircuits -> (
+        let subcircuits =
+          if options.Options.balance_boundaries && List.length subcircuits > 1
+          then balance_boundaries ctx subcircuits
+          else subcircuits
+        in
+        match run_pipeline ctx subcircuits with
+        | Error msg -> Unplaceable msg
+        | Ok (stage_list, _) ->
+          Placed
+            {
+              env;
+              source = circuit;
+              options;
+              adjacency;
+              stages = stage_list;
+              stats =
+                {
+                  oracle_calls = !(ctx.c_oracle);
+                  enumerations = !(ctx.c_enumerations);
+                  candidates_scored = !(ctx.c_scored);
+                  networks_routed = !(ctx.c_routed);
+                };
+            }))
+
+let stage_circuits program =
+  let m = Environment.size program.env in
+  List.map
+    (function
+      | Compute { placement; circuit } ->
+        Circuit.map_qubits (fun q -> placement.(q)) ~qubits:m circuit
+      | Permute net -> Swap_network.to_circuit ~qubits:m net)
+    program.stages
+
+let runtime program =
+  let m = Environment.size program.env in
+  let weights = Environment.weights program.env in
+  let finish =
+    List.fold_left
+      (fun start circuit ->
+        Timing.finish_times ~model:program.options.Options.model
+          ?reuse_cap:program.options.Options.reuse_cap ~start ~weights
+          ~place:Timing.identity_place circuit)
+      (Array.make m 0.0) (stage_circuits program)
+  in
+  Array.fold_left Float.max 0.0 finish
+
+let runtime_seconds program = runtime program /. units_per_second
+
+let subcircuit_count program =
+  List.length
+    (List.filter (function Compute _ -> true | Permute _ -> false) program.stages)
+
+let swap_stage_count program =
+  List.length
+    (List.filter (function Permute _ -> true | Compute _ -> false) program.stages)
+
+let swap_depth_total program =
+  List.fold_left
+    (fun acc stage ->
+      match stage with
+      | Permute net -> acc + Swap_network.depth net
+      | Compute _ -> acc)
+    0 program.stages
+
+let placements program =
+  List.filter_map
+    (function Compute { placement; _ } -> Some placement | Permute _ -> None)
+    program.stages
+
+let initial_placement program =
+  match placements program with [] -> None | first :: _ -> Some first
+
+let final_placement program =
+  match List.rev (placements program) with [] -> None | last :: _ -> Some last
+
+let to_physical_circuit program =
+  let m = Environment.size program.env in
+  List.fold_left Circuit.append
+    (Circuit.make ~qubits:m [])
+    (stage_circuits program)
+
+let pp ppf program =
+  let env = program.env in
+  let nucleus v = Environment.nucleus env v in
+  Format.fprintf ppf "placed program on %s (%d stages)@." (Environment.name env)
+    (List.length program.stages);
+  List.iteri
+    (fun i stage ->
+      match stage with
+      | Compute { placement; circuit } ->
+        Format.fprintf ppf "stage %d: compute %d gates, placement" (i + 1)
+          (Circuit.gate_count circuit);
+        Array.iteri
+          (fun q v -> Format.fprintf ppf " q%d->%s" q (nucleus v))
+          placement;
+        Format.fprintf ppf "@."
+      | Permute net ->
+        Format.fprintf ppf "stage %d: permute, %d swap levels (%d swaps)@."
+          (i + 1) (Swap_network.depth net)
+          (Swap_network.swap_count net))
+    program.stages

@@ -1,0 +1,78 @@
+(** The quantum circuit placement pipeline (paper Section 5).
+
+    [place] turns a logical circuit and a physical environment into a
+    *placed program*: an alternation of computation stages (each subcircuit
+    with its own placement, aligned along fast interactions) and SWAP-network
+    permutation stages [C1 E12 C2 E23 ... Ct] connecting consecutive
+    placements.  Stage formation, per-stage candidate enumeration (subgraph
+    monomorphism, limit [k]), fine tuning, depth-2 lookahead and routing all
+    follow the paper; see {!Options}. *)
+
+type stage =
+  | Compute of { placement : int array; circuit : Qcp_circuit.Circuit.t }
+      (** [placement.(q)] is the physical vertex of logical qubit [q]; the
+          circuit is expressed over logical qubits. *)
+  | Permute of Qcp_route.Swap_network.t
+      (** SWAP levels over physical vertices. *)
+
+type stats = {
+  oracle_calls : int;
+      (** Monomorphism existence queries during workspace formation — the
+          paper's "at most 2s calls" complexity driver (Section 5.3). *)
+  enumerations : int;
+      (** Monomorphism enumeration batches (one per candidate set). *)
+  candidates_scored : int;
+      (** Placement candidates evaluated through the timing model. *)
+  networks_routed : int;
+      (** SWAP networks constructed (including lookahead trials). *)
+}
+
+type program = {
+  env : Qcp_env.Environment.t;
+  source : Qcp_circuit.Circuit.t;
+  options : Options.t;
+  adjacency : Qcp_graph.Graph.t;
+      (** The (connected) fast-interaction graph actually used. *)
+  stages : stage list;
+  stats : stats;
+      (** Search-effort counters accumulated while placing. *)
+}
+
+type outcome =
+  | Placed of program
+  | Unplaceable of string
+      (** E.g. the threshold admits no interaction (Table 3's "N/A"), or the
+          circuit has more qubits than the environment. *)
+
+val place :
+  Options.t -> Qcp_env.Environment.t -> Qcp_circuit.Circuit.t -> outcome
+
+val runtime : program -> float
+(** End-to-end runtime in delay units (1/10000 s), computed by replaying all
+    stages through the timing model in the physical frame. *)
+
+val runtime_seconds : program -> float
+
+val subcircuit_count : program -> int
+(** Number of computation stages — the bracketed counts of Table 3. *)
+
+val swap_stage_count : program -> int
+
+val swap_depth_total : program -> int
+(** Total SWAP levels across all permutation stages. *)
+
+val initial_placement : program -> int array option
+(** Placement of the first computation stage ([None] for an empty program). *)
+
+val final_placement : program -> int array option
+
+val placements : program -> int array list
+(** Placements of all computation stages in order. *)
+
+val to_physical_circuit : program -> Qcp_circuit.Circuit.t
+(** The whole program flattened to one circuit over the environment's
+    vertices (computation gates relabeled by their stage placements, SWAP
+    stages inlined as SWAP gates). *)
+
+val pp : Format.formatter -> program -> unit
+(** Human-readable stage listing with nucleus names. *)

@@ -1,0 +1,108 @@
+type scheme = { slices : int; rows : int array }
+
+let popcount =
+  let rec loop acc v = if v = 0 then acc else loop (acc + (v land 1)) (v lsr 1) in
+  loop 0
+
+let walsh r s = if popcount (r land s) land 1 = 0 then 1 else -1
+
+let next_power_of_two n =
+  let rec loop p = if p >= n then p else loop (p * 2) in
+  loop 1
+
+let design ~nuclei ~keep =
+  let parent = Array.init nuclei (fun i -> i) in
+  let rec find x =
+    if parent.(x) = x then x
+    else begin
+      parent.(x) <- find parent.(x);
+      parent.(x)
+    end
+  in
+  List.iter
+    (fun (a, b) ->
+      if a < 0 || a >= nuclei || b < 0 || b >= nuclei then
+        invalid_arg "Refocus.design: pair out of range";
+      let ra = find a and rb = find b in
+      if ra <> rb then parent.(ra) <- rb)
+    keep;
+  (* Component representative -> dense row index. *)
+  let row_of_rep = Hashtbl.create 8 in
+  let next = ref 0 in
+  let rows =
+    Array.init nuclei (fun v ->
+        let rep = find v in
+        match Hashtbl.find_opt row_of_rep rep with
+        | Some row -> row
+        | None ->
+          let row = !next in
+          incr next;
+          Hashtbl.add row_of_rep rep row;
+          row)
+  in
+  { slices = next_power_of_two (max 1 !next); rows }
+
+let effective_coupling scheme a b =
+  let total = ref 0 in
+  for s = 0 to scheme.slices - 1 do
+    total := !total + (walsh scheme.rows.(a) s * walsh scheme.rows.(b) s)
+  done;
+  float_of_int !total /. float_of_int scheme.slices
+
+let is_valid scheme ~keep =
+  let nuclei = Array.length scheme.rows in
+  let kept = Array.make_matrix nuclei nuclei false in
+  List.iter
+    (fun (a, b) ->
+      kept.(a).(b) <- true;
+      kept.(b).(a) <- true)
+    keep;
+  (* Close over components: same-row nuclei are all mutually kept. *)
+  let ok = ref true in
+  for a = 0 to nuclei - 1 do
+    for b = a + 1 to nuclei - 1 do
+      let surviving = effective_coupling scheme a b in
+      if kept.(a).(b) then begin
+        if Float.abs (surviving -. 1.0) > 1e-12 then ok := false
+      end
+      else if scheme.rows.(a) <> scheme.rows.(b) && Float.abs surviving > 1e-12
+      then ok := false
+    done
+  done;
+  !ok
+
+let pulses_per_nucleus scheme =
+  Array.map
+    (fun row ->
+      let flips = ref 0 in
+      for s = 0 to scheme.slices - 1 do
+        let here = walsh row s in
+        let next = walsh row ((s + 1) mod scheme.slices) in
+        if here <> next then incr flips
+      done;
+      !flips)
+    scheme.rows
+
+let total_pulses scheme = Array.fold_left ( + ) 0 (pulses_per_nucleus scheme)
+
+let pulse_overhead env scheme =
+  let pulses = pulses_per_nucleus scheme in
+  let total = ref 0.0 in
+  Array.iteri
+    (fun v count ->
+      total :=
+        !total +. (float_of_int count *. 2.0 *. Qcp_env.Environment.single_delay env v))
+    pulses;
+  !total
+
+let for_level ~nuclei gates =
+  let keep =
+    List.filter_map
+      (fun gate ->
+        match Qcp_circuit.Gate.qubits gate with
+        | [ a; b ] -> Some (a, b)
+        | [ _ ] -> None
+        | _ -> None)
+      gates
+  in
+  design ~nuclei ~keep

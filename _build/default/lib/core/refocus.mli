@@ -1,0 +1,54 @@
+(** Walsh-Hadamard refocusing schemes (paper Section 2).
+
+    In liquid-state NMR the drift Hamiltonian couples every pair of nuclei
+    all the time; "those ZZ interactions/gates that are not needed in a
+    computation get eliminated via a technique called refocussing", and the
+    pulse compiler (paper Section 3, ref [2]) consumes a circuit *plus* a
+    refocusing scheme.  This module designs such schemes.
+
+    The classical construction assigns each nucleus a row of a
+    Walsh-Hadamard matrix over [2^k] uniform time slices, flipping the
+    nucleus with a pi pulse at every sign change.  Over a full period, the
+    effective ZZ coupling of two nuclei is proportional to the inner product
+    of their Walsh rows: distinct rows integrate to zero (decoupled), equal
+    rows keep the full coupling.  To keep an intended set of interactions
+    alive during one free-evolution interval, nuclei joined by kept pairs
+    must share a row — so kept pairs must form disjoint cliques (in a placed
+    program's logic levels they are disjoint *edges*, which is exactly the
+    matching case). *)
+
+type scheme = {
+  slices : int;     (** [2^k] uniform time slices per period *)
+  rows : int array; (** Walsh row index per nucleus *)
+}
+
+val walsh : int -> int -> int
+(** [walsh r s] is the sign (+1 / -1) of Walsh row [r] in slice [s]:
+    [(-1)^popcount(r land s)]. *)
+
+val design : nuclei:int -> keep:(int * int) list -> scheme
+(** A scheme keeping exactly the couplings inside the connected components
+    of the [keep] graph and averaging every cross-component coupling to
+    zero.  Raises [Invalid_argument] on out-of-range pairs. *)
+
+val effective_coupling : scheme -> int -> int -> float
+(** Fraction (in [-1, 1]) of the bare coupling surviving between two
+    nuclei: [1.0] for kept pairs, [0.0] for refocused ones. *)
+
+val is_valid : scheme -> keep:(int * int) list -> bool
+(** Kept pairs survive at full strength; all other pairs (across
+    components) integrate to zero. *)
+
+val pulses_per_nucleus : scheme -> int array
+(** Number of pi pulses each nucleus needs per period (sign changes across
+    the cyclic slice sequence). *)
+
+val total_pulses : scheme -> int
+
+val pulse_overhead : Qcp_env.Environment.t -> scheme -> float
+(** Added pulse time per period: each pi pulse is an Rx(180), i.e. twice
+    the nucleus' weight-1 single delay. *)
+
+val for_level : nuclei:int -> Qcp_circuit.Gate.t list -> scheme
+(** Scheme for one logic level of a placed stage: keeps exactly the level's
+    two-qubit pairs (a matching, since levels are vertex-disjoint). *)

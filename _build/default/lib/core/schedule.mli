@@ -1,0 +1,63 @@
+(** Timed pulse schedules for placed programs.
+
+    The paper (Section 3) describes the NMR toolchain: "the timing
+    optimization is built into a compiler [2] that takes in a circuit and a
+    refocusing scheme and outputs a sequence of (timed) pulses ready to be
+    executed.  This is the last step before the circuit gets executed" —
+    and placement must happen first.  This module is that last step: it
+    compiles a placed program into an explicit event list with start/finish
+    times per nucleus, validates that no nucleus is driven by two events at
+    once, and renders an ASCII Gantt timeline. *)
+
+type event = {
+  label : string;          (** gate mnemonic *)
+  gate : Qcp_circuit.Gate.t;  (** the physical-frame gate itself *)
+  vertices : int list;     (** physical nuclei driven (1 or 2) *)
+  start : float;           (** in delay units *)
+  finish : float;
+  stage : int;             (** 1-based stage index in the program *)
+  is_swap : bool;          (** belongs to a permutation stage *)
+}
+
+type t
+
+val iter_timed_gates :
+  Placer.program ->
+  f:
+    (stage:int ->
+    is_swap:bool ->
+    gate:Qcp_circuit.Gate.t ->
+    vertices:int list ->
+    start:float ->
+    finish:float ->
+    unit) ->
+  float
+(** Visit every physical-frame gate of the program in execution order with
+    its scheduled times — including free zero-duration gates, which
+    {!of_program} elides.  Returns the makespan.  The building block for
+    the noisy simulator. *)
+
+val of_program : Placer.program -> t
+(** Replay the program through the timing model, recording one event per
+    gate with nonzero duration (free z-rotations are elided, as in the
+    lab). *)
+
+val events : t -> event list
+(** In chronological (start-time, then vertex) order. *)
+
+val makespan : t -> float
+(** Equals {!Placer.runtime} of the source program. *)
+
+val event_count : t -> int
+
+val busy_time : t -> int -> float
+(** Total driven time of one nucleus. *)
+
+val is_consistent : t -> bool
+(** No two events overlap on a common nucleus, and every event fits within
+    the makespan. *)
+
+val render : ?width:int -> Placer.program -> string
+(** ASCII Gantt chart, one row per nucleus: ['#'] computation pulses,
+    ['s'] SWAP pulses, ['-'] idle.  [width] is the number of time columns
+    (default 72). *)

@@ -1,0 +1,37 @@
+module Environment = Qcp_env.Environment
+
+let candidate_thresholds env =
+  let m = Environment.size env in
+  let values = ref [] in
+  for i = 0 to m - 1 do
+    for j = i + 1 to m - 1 do
+      let d = Environment.coupling_delay env i j in
+      if Float.is_finite d then values := d :: !values
+    done
+  done;
+  List.sort_uniq compare !values |> List.map (fun d -> d +. 1e-9)
+
+let sweep ?(options = fun ~threshold -> Options.default ~threshold) env circuit =
+  List.map
+    (fun threshold ->
+      (threshold, Placer.place (options ~threshold) env circuit))
+    (candidate_thresholds env)
+
+let auto_place ?options env circuit =
+  let results = sweep ?options env circuit in
+  let best =
+    List.fold_left
+      (fun acc (_, outcome) ->
+        match outcome with
+        | Placer.Unplaceable _ -> acc
+        | Placer.Placed p -> (
+          let runtime = Placer.runtime p in
+          match acc with
+          | Some (_, best_runtime) when best_runtime <= runtime -> acc
+          | Some _ | None -> Some (p, runtime)))
+      None results
+  in
+  match best with
+  | Some (p, _) -> Placer.Placed p
+  | None ->
+    Placer.Unplaceable "no candidate threshold admits a placement"

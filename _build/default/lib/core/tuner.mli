@@ -1,0 +1,29 @@
+(** Automatic Threshold selection.
+
+    The paper treats the Threshold "as a known parameter" (chosen as the
+    minimal connecting value, or taken from the experimentalists) — yet its
+    Table 3 shows the best value is instance-specific and non-monotone.
+    This tuner sweeps the candidate thresholds that actually change the
+    fast-interaction graph (the distinct coupling delays) and returns the
+    placement with the smallest runtime. *)
+
+val candidate_thresholds : Qcp_env.Environment.t -> float list
+(** One value just above each distinct finite coupling delay (deduplicated,
+    ascending) — every other threshold yields one of the same adjacency
+    graphs. *)
+
+val sweep :
+  ?options:(threshold:float -> Options.t) ->
+  Qcp_env.Environment.t ->
+  Qcp_circuit.Circuit.t ->
+  (float * Placer.outcome) list
+(** Place at every candidate threshold.  [options] builds the option record
+    per threshold (default {!Options.default}). *)
+
+val auto_place :
+  ?options:(threshold:float -> Options.t) ->
+  Qcp_env.Environment.t ->
+  Qcp_circuit.Circuit.t ->
+  Placer.outcome
+(** The best-runtime placement over the sweep ([Unplaceable] only if every
+    candidate is). *)

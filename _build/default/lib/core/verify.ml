@@ -1,0 +1,72 @@
+module Circuit = Qcp_circuit.Circuit
+module Statevec = Qcp_sim.Statevec
+module Environment = Qcp_env.Environment
+
+let embed_input ~m ~placement ~input =
+  let physical = ref 0 in
+  Array.iteri
+    (fun q v -> if input land (1 lsl q) <> 0 then physical := !physical lor (1 lsl v))
+    placement;
+  Statevec.basis ~n:m !physical
+
+(* Expected physical state: source output amplitudes re-indexed through the
+   final placement, blanks at |0>. *)
+let expected_physical ~m ~final ~logical_state =
+  let n = Statevec.qubits logical_state in
+  let amps = Statevec.amplitudes logical_state in
+  let dim_m = 1 lsl m in
+  let expected = Array.make dim_m Complex.zero in
+  Array.iteri
+    (fun logical_index amp ->
+      let physical_index = ref 0 in
+      for q = 0 to n - 1 do
+        if logical_index land (1 lsl q) <> 0 then
+          physical_index := !physical_index lor (1 lsl final.(q))
+      done;
+      expected.(!physical_index) <- amp)
+    amps;
+  expected
+
+let equivalent_on_input ~program ~input =
+  let source = program.Placer.source in
+  let n = Circuit.qubits source in
+  let m = Environment.size program.Placer.env in
+  if m > 14 then invalid_arg "Verify: environment too large to simulate";
+  match (Placer.initial_placement program, Placer.final_placement program) with
+  | None, _ | _, None ->
+    (* No computation stage: the program is empty, so the source must act as
+       the identity on the tested input. *)
+    let out = Statevec.run source (Statevec.basis ~n input) in
+    Statevec.equal_up_to_phase out (Statevec.basis ~n input)
+  | Some first, Some final ->
+    let physical_in = embed_input ~m ~placement:first ~input in
+    let physical_out =
+      Statevec.run (Placer.to_physical_circuit program) physical_in
+    in
+    let logical_out = Statevec.run source (Statevec.basis ~n input) in
+    let expected = expected_physical ~m ~final ~logical_state:logical_out in
+    let actual = Statevec.amplitudes physical_out in
+    (* Exact comparison (not just up to phase): stages apply the very same
+       gates, and SWAPs are phase-free. *)
+    let ok = ref true in
+    Array.iteri
+      (fun i amp ->
+        if Complex.norm (Complex.sub amp expected.(i)) > 1e-9 then ok := false)
+      actual;
+    !ok
+
+let default_inputs n =
+  if n <= 6 then Qcp_util.Listx.range (1 lsl n)
+  else [ 0; 1; (1 lsl n) - 1 ]
+
+let equivalent ?inputs program =
+  let n = Circuit.qubits program.Placer.source in
+  let inputs = match inputs with Some list -> list | None -> default_inputs n in
+  List.for_all (fun input -> equivalent_on_input ~program ~input) inputs
+
+let equivalent_sampled rng ~samples program =
+  let n = Circuit.qubits program.Placer.source in
+  let dim = 1 lsl n in
+  List.for_all
+    (fun _ -> equivalent_on_input ~program ~input:(Qcp_util.Rng.int rng dim))
+    (Qcp_util.Listx.range samples)

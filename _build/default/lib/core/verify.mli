@@ -1,0 +1,22 @@
+(** Semantic verification of placed programs via state-vector simulation.
+
+    A placed program must implement the source circuit exactly: feeding the
+    logical input through the initial placement, executing every stage
+    (computation gates relabeled, SWAP stages inlined) and reading the
+    result at the final placement must reproduce the source circuit's
+    output state.  Blank vertices must stay in |0>. *)
+
+val equivalent_on_input :
+  program:Placer.program -> input:int -> bool
+(** Check one computational basis input of the source circuit (an [n]-bit
+    index).  Raises {!Qcp_sim.Statevec.Unsupported} if the circuit contains
+    custom gates without simulation semantics. *)
+
+val equivalent : ?inputs:int list -> Placer.program -> bool
+(** Check the given basis inputs (default: all [2^n] when [n <= 6], else
+    inputs [0], [1] and [2^n - 1]).  Environments beyond ~14 vertices are
+    rejected with [Invalid_argument] (state too large). *)
+
+val equivalent_sampled :
+  Qcp_util.Rng.t -> samples:int -> Placer.program -> bool
+(** Check [samples] random basis inputs. *)

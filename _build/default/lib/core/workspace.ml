@@ -1,0 +1,61 @@
+module Graph = Qcp_graph.Graph
+module Monomorph = Qcp_graph.Monomorph
+module Circuit = Qcp_circuit.Circuit
+module Gate = Qcp_circuit.Gate
+
+let pattern = Circuit.interaction_graph
+
+(* One pass over the gate list; the monomorphism oracle is consulted only
+   when a gate introduces a *new* interaction pair, so the number of oracle
+   calls is bounded by the number of distinct pairs, not by the gate count. *)
+let split ?oracle_calls ~adjacency circuit =
+  let qubits = Circuit.qubits circuit in
+  let embeds pairs =
+    (match oracle_calls with Some r -> incr r | None -> ());
+    Monomorph.exists ~pattern:(Graph.of_edges qubits pairs) ~target:adjacency
+  in
+  let subcircuits = ref [] in
+  let gates = ref [] in
+  let pairs = ref [] in
+  let pair_set = Hashtbl.create 64 in
+  let close () =
+    if !gates <> [] then begin
+      subcircuits := Circuit.make ~qubits (List.rev !gates) :: !subcircuits;
+      gates := [];
+      pairs := [];
+      Hashtbl.reset pair_set
+    end
+  in
+  let error = ref None in
+  let consume gate =
+    if !error = None then
+      match Gate.qubits gate with
+      | [ _ ] -> gates := gate :: !gates
+      | [ a; b ] ->
+        let pair = (min a b, max a b) in
+        if Hashtbl.mem pair_set pair then gates := gate :: !gates
+        else if embeds (pair :: !pairs) then begin
+          pairs := pair :: !pairs;
+          Hashtbl.replace pair_set pair ();
+          gates := gate :: !gates
+        end
+        else if not (embeds [ pair ]) then
+          error :=
+            Some
+              (Printf.sprintf
+                 "interaction %s cannot be aligned with any fast interaction"
+                 (Gate.name gate))
+        else begin
+          close ();
+          pairs := [ pair ];
+          Hashtbl.replace pair_set pair ();
+          gates := [ gate ]
+        end
+      | _ -> assert false
+  in
+  List.iter consume (Circuit.gates circuit);
+  match !error with
+  | Some msg -> Error msg
+  | None ->
+    close ();
+    Ok (List.rev !subcircuits)

@@ -1,0 +1,24 @@
+(** Greedy maximal-prefix subcircuit formation (paper Section 5.1).
+
+    Gates are read in order into a workspace for as long as the workspace's
+    two-qubit interaction pattern stays alignable with the fast interactions
+    of the physical environment (a subgraph-monomorphism existence test per
+    *new* interaction pair).  The first gate that breaks alignability closes
+    the current subcircuit and opens the next one. *)
+
+val split :
+  ?oracle_calls:int ref ->
+  adjacency:Qcp_graph.Graph.t ->
+  Qcp_circuit.Circuit.t ->
+  (Qcp_circuit.Circuit.t list, string) result
+(** Partition the circuit's gate sequence into consecutive subcircuits, each
+    individually alignable.  [Error _] if some single interaction cannot be
+    aligned at all (then the instance is unplaceable at this threshold).
+    Every returned circuit keeps the full qubit register.  [oracle_calls],
+    when given, is incremented once per monomorphism existence query — the
+    paper bounds this by twice the number of two-qubit gates, and this
+    implementation consults the oracle only for *new* interaction pairs. *)
+
+val pattern : Qcp_circuit.Circuit.t -> Qcp_graph.Graph.t
+(** The interaction graph used for alignment (alias of
+    {!Qcp_circuit.Circuit.interaction_graph}). *)

@@ -1,0 +1,1 @@
+lib/env/env_format.ml: Array Buffer Environment Float List Printf String

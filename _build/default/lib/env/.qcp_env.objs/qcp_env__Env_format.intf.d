@@ -1,0 +1,1 @@
+lib/env/env_format.mli: Environment

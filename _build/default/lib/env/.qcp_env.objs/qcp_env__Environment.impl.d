@@ -1,0 +1,1 @@
+lib/env/environment.ml: Array Float Format List Printf Qcp_circuit Qcp_graph Qcp_util

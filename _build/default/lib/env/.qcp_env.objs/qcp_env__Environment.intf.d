@@ -1,0 +1,1 @@
+lib/env/environment.mli: Format Qcp_circuit Qcp_graph Qcp_util

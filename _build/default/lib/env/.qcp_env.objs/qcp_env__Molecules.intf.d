@@ -1,0 +1,1 @@
+lib/env/molecules.mli: Environment

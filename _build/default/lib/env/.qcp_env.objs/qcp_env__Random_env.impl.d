@@ -1,0 +1,1 @@
+lib/env/random_env.ml: Array Environment Float Printf Qcp_graph Qcp_util

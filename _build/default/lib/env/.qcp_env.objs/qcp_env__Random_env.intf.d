@@ -1,0 +1,1 @@
+lib/env/random_env.mli: Environment Qcp_util

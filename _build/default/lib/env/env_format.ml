@@ -1,0 +1,104 @@
+exception Parse_error of int * string
+
+let fail line msg = raise (Parse_error (line, msg))
+
+let split_words line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "")
+
+type builder = {
+  mutable env_name : string option;
+  mutable nuclei : string array option;
+  mutable singles : (string * float) list;
+  mutable t2s : (string * float) list;
+  mutable couplings : (string * string * float) list;
+}
+
+let parse_float lineno word =
+  match float_of_string_opt word with
+  | Some v -> v
+  | None -> fail lineno (Printf.sprintf "expected a number, got %S" word)
+
+let parse text =
+  let b = { env_name = None; nuclei = None; singles = []; t2s = []; couplings = [] } in
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun idx raw ->
+      let lineno = idx + 1 in
+      let line =
+        match String.index_opt raw '#' with
+        | Some cut -> String.sub raw 0 cut
+        | None -> raw
+      in
+      match split_words line with
+      | [] -> ()
+      | "name" :: rest -> b.env_name <- Some (String.concat " " rest)
+      | "nuclei" :: labels ->
+        if labels = [] then fail lineno "empty nuclei list";
+        b.nuclei <- Some (Array.of_list labels)
+      | [ "single"; label; delay ] ->
+        b.singles <- (label, parse_float lineno delay) :: b.singles
+      | [ "t2"; label; value ] ->
+        b.t2s <- (label, parse_float lineno value) :: b.t2s
+      | [ "coupling"; la; lb; delay ] ->
+        b.couplings <- (la, lb, parse_float lineno delay) :: b.couplings
+      | word :: _ -> fail lineno (Printf.sprintf "unknown directive %S" word))
+    lines;
+  let nuclei =
+    match b.nuclei with None -> fail 1 "missing nuclei declaration" | Some a -> a
+  in
+  let index label =
+    let rec find i =
+      if i >= Array.length nuclei then fail 1 (Printf.sprintf "unknown nucleus %S" label)
+      else if nuclei.(i) = label then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  let single = Array.make (Array.length nuclei) 1.0 in
+  List.iter (fun (label, d) -> single.(index label) <- d) b.singles;
+  let t2 = Array.make (Array.length nuclei) Float.infinity in
+  List.iter (fun (label, d) -> t2.(index label) <- d) b.t2s;
+  let couplings = List.map (fun (la, lb, d) -> (index la, index lb, d)) b.couplings in
+  let env_name = match b.env_name with Some n -> n | None -> "environment" in
+  try Environment.of_couplings ~t2 ~name:env_name ~nuclei ~single ~couplings ()
+  with Invalid_argument msg -> fail 1 msg
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse text
+
+let print env =
+  let buf = Buffer.create 256 in
+  let m = Environment.size env in
+  Buffer.add_string buf (Printf.sprintf "name %s\n" (Environment.name env));
+  Buffer.add_string buf "nuclei";
+  for i = 0 to m - 1 do
+    Buffer.add_string buf (" " ^ Environment.nucleus env i)
+  done;
+  Buffer.add_char buf '\n';
+  for i = 0 to m - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "single %s %g\n" (Environment.nucleus env i)
+         (Environment.single_delay env i))
+  done;
+  for i = 0 to m - 1 do
+    let t2 = Environment.t2 env i in
+    if Float.is_finite t2 then
+      Buffer.add_string buf
+        (Printf.sprintf "t2 %s %g\n" (Environment.nucleus env i) t2)
+  done;
+  for i = 0 to m - 1 do
+    for j = i + 1 to m - 1 do
+      let d = Environment.coupling_delay env i j in
+      if Float.is_finite d then
+        Buffer.add_string buf
+          (Printf.sprintf "coupling %s %s %g\n" (Environment.nucleus env i)
+             (Environment.nucleus env j) d)
+    done
+  done;
+  Buffer.contents buf

@@ -1,0 +1,25 @@
+(** Line-oriented text format for physical environments.
+
+    {v
+    # comment
+    name acetyl-chloride
+    nuclei M C1 C2
+    single M 8
+    single C1 8
+    single C2 1
+    coupling M C1 38
+    coupling C1 C2 89
+    coupling M C2 672
+    v}
+
+    Unspecified couplings are unusable (infinite delay); unspecified single
+    delays default to 1. *)
+
+exception Parse_error of int * string
+
+val parse : string -> Environment.t
+
+val parse_file : string -> Environment.t
+
+val print : Environment.t -> string
+(** Inverse of {!parse} for finite entries. *)

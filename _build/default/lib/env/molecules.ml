@@ -1,0 +1,111 @@
+(* Indices are positional in the nuclei arrays below. *)
+
+let acetyl_chloride =
+  (* Delays recovered from paper Table 1 + Example 3: the bad placement
+     a->M, b->C2, c->C1 costs 770 and the optimal a->C2, b->C1, c->M costs
+     136 with exactly these numbers. *)
+  Environment.of_couplings ~name:"acetyl-chloride"
+    ~t2:[| 12000.0; 9000.0; 16000.0 |]
+    ~nuclei:[| "M"; "C1"; "C2" |]
+    ~single:[| 8.0; 8.0; 1.0 |]
+    ~couplings:[ (0, 1, 38.0); (1, 2, 89.0); (0, 2, 672.0) ]
+    ()
+
+let trans_crotonic_acid =
+  (* M C1 H1 C2 C3 H2 C4 — bond tree M-C1-C2-C3-C4 with H1 on C2, H2 on C3
+     (cutting C2-C3 yields the 4+3 split of paper Figure 3). *)
+  let m = 0 and c1 = 1 and h1 = 2 and c2 = 3 and c3 = 4 and h2 = 5 and c4 = 6 in
+  Environment.of_couplings ~name:"trans-crotonic"
+    ~t2:[| 8000.0; 11000.0; 7000.0; 12000.0; 10000.0; 6500.0; 9500.0 |]
+    ~nuclei:[| "M"; "C1"; "H1"; "C2"; "C3"; "H2"; "C4" |]
+    ~single:[| 4.0; 8.0; 2.0; 8.0; 8.0; 2.0; 8.0 |]
+    ~couplings:
+      [
+        (* chemical bonds (fast) *)
+        (m, c1, 78.0); (c1, c2, 72.0); (h1, c2, 32.0); (c2, c3, 69.0);
+        (h2, c3, 30.0); (c3, c4, 75.0);
+        (* two-bond couplings *)
+        (c2, c4, 150.0); (c1, h1, 180.0); (m, c2, 350.0); (c1, c3, 310.0);
+        (c3, h1, 370.0); (c2, h2, 360.0); (c4, h2, 340.0);
+        (* long-range couplings (sub-Hz J values: the paper quotes couplings
+           below 0.2 Hz, i.e. delays of seconds) *)
+        (m, c3, 780.0); (h1, h2, 850.0); (m, h1, 7200.0); (m, h2, 8800.0);
+        (m, c4, 9600.0); (c1, h2, 7000.0); (c1, c4, 8200.0); (h1, c4, 9000.0);
+      ]
+    ()
+
+let histidine =
+  (* H1 C1 C2 H2 C3 H3 C4 N1 C5 N2 C6 H4 — carboxyl/backbone chain into the
+     imidazole ring (C4-N1-C5-N2-C6 closed by C6-C4).  Nitrogen couplings are
+     weak (~5 Hz), C-H bonds strong, as in real heteronuclear systems. *)
+  let h1 = 0 and c1 = 1 and c2 = 2 and h2 = 3 and c3 = 4 and h3 = 5
+  and c4 = 6 and n1 = 7 and c5 = 8 and n2 = 9 and c6 = 10 and h4 = 11 in
+  Environment.of_couplings ~name:"histidine"
+    ~t2:
+      [| 6000.0; 9000.0; 9500.0; 5500.0; 8800.0; 5200.0; 9200.0; 4000.0;
+         8600.0; 3800.0; 9100.0; 5800.0 |]
+    ~nuclei:[| "H1"; "C1"; "C2"; "H2"; "C3"; "H3"; "C4"; "N1"; "C5"; "N2"; "C6"; "H4" |]
+    ~single:[| 2.0; 8.0; 8.0; 2.0; 8.0; 2.0; 8.0; 12.0; 8.0; 12.0; 8.0; 2.0 |]
+    ~couplings:
+      [
+        (* bonds *)
+        (h1, c1, 30.0); (c1, c2, 140.0); (c2, h2, 32.0); (c2, c3, 125.0);
+        (c3, h3, 28.0); (c3, c4, 130.0); (c4, n1, 880.0); (n1, c5, 920.0);
+        (c5, n2, 900.0); (n2, c6, 950.0); (c6, c4, 135.0); (c6, h4, 33.0);
+        (* selected two-bond couplings; those that hop across the nitrogens
+           are much weaker (two-bond C-N J values are ~1-2 Hz) *)
+        (h1, c2, 190.0); (h2, c1, 210.0); (h2, c3, 195.0); (h3, c2, 205.0);
+        (h3, c4, 220.0); (c1, c3, 260.0); (c2, c4, 270.0); (c4, c5, 1600.0);
+        (c4, n2, 1700.0); (c6, n1, 1650.0); (c5, c6, 1800.0); (h4, n2, 1200.0);
+        (h4, c4, 310.0); (c3, n1, 1900.0);
+        (* representative long-range couplings *)
+        (h1, c3, 1200.0); (h1, h2, 1500.0); (c1, c4, 1400.0); (c2, n1, 1600.0);
+        (c3, c5, 1700.0); (h3, n1, 1800.0); (c3, c6, 1900.0); (h2, h3, 1450.0);
+        (c5, h4, 1300.0); (n1, n2, 2100.0); (c1, n1, 2300.0); (h3, h4, 2600.0);
+      ]
+    ~default:4800.0 ()
+
+let boc_glycine_fluoride =
+  (* H C1 C2 N F — bond chain F-C1-C2-N-H. *)
+  let h = 0 and c1 = 1 and c2 = 2 and n = 3 and f = 4 in
+  Environment.of_couplings ~name:"boc-glycine"
+    ~t2:[| 7000.0; 10000.0; 10500.0; 4500.0; 14000.0 |]
+    ~nuclei:[| "H"; "C1"; "C2"; "N"; "F" |]
+    ~single:[| 2.0; 8.0; 8.0; 10.0; 3.0 |]
+    ~couplings:
+      [
+        (f, c1, 35.0); (c1, c2, 25.0); (c2, n, 40.0); (n, h, 45.0);
+        (f, c2, 150.0); (c1, n, 120.0); (c2, h, 180.0);
+        (f, n, 600.0); (c1, h, 750.0);
+        (f, h, 2800.0);
+      ]
+    ()
+
+let iron_complex =
+  (* F1..F5 of pentafluorobutadienyl cyclopentadienyldicarbonyliron: all
+     couplings slower than 100 units, so thresholds 50/100 admit nothing. *)
+  Environment.of_couplings ~name:"iron-complex"
+    ~t2:[| 13000.0; 12500.0; 13500.0; 12800.0; 13200.0 |]
+    ~nuclei:[| "F1"; "F2"; "F3"; "F4"; "F5" |]
+    ~single:[| 3.0; 3.0; 3.0; 3.0; 3.0 |]
+    ~couplings:
+      [
+        (0, 1, 130.0); (1, 2, 150.0); (2, 3, 180.0); (3, 4, 190.0);
+        (0, 2, 300.0); (1, 3, 350.0); (2, 4, 400.0);
+        (0, 3, 2200.0); (1, 4, 2500.0); (0, 4, 3100.0);
+      ]
+    ()
+
+let by_name = function
+  | "acetyl-chloride" -> Some acetyl_chloride
+  | "trans-crotonic" -> Some trans_crotonic_acid
+  | "histidine" -> Some histidine
+  | "boc-glycine" -> Some boc_glycine_fluoride
+  | "iron-complex" -> Some iron_complex
+  | _ -> None
+
+let names =
+  [ "acetyl-chloride"; "trans-crotonic"; "histidine"; "boc-glycine"; "iron-complex" ]
+
+let all =
+  [ acetyl_chloride; trans_crotonic_acid; histidine; boc_glycine_fluoride; iron_complex ]

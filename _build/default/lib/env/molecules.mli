@@ -1,0 +1,36 @@
+(** The five liquid-state NMR molecules of the paper's evaluation.
+
+    Acetyl chloride's delays are reconstructed exactly from the paper's
+    Table 1 and Example 3 (optimal placement cost 136 units = .0136 s).  The
+    other four delay matrices are synthetic but structurally faithful — fast
+    interactions along chemical bonds, realistic J-coupling magnitudes, and
+    the pentafluorobutadienyl iron complex globally slow so that thresholds
+    50 and 100 disable every interaction (the paper's N/A entries).  See
+    DESIGN.md, "Substitutions".  Delays are in units of 1/10000 s. *)
+
+val acetyl_chloride : Environment.t
+(** 3 qubits: M (methyl protons), C1, C2 (paper Figure 1 / [14]). *)
+
+val trans_crotonic_acid : Environment.t
+(** 7 qubits: M, C1, H1, C2, C3, H2, C4 (paper Figure 3 / [12]); the bond
+    graph's longest spin chain has five qubits, as the paper notes. *)
+
+val histidine : Environment.t
+(** 12 qubits ([20]); contains a 10-vertex bond path hosting the pseudo-cat
+    state preparation. *)
+
+val boc_glycine_fluoride : Environment.t
+(** 5 qubits: H, C1, C2, N, F ([16]); bond chain F-C1-C2-N-H, fully connected
+    at threshold 50. *)
+
+val iron_complex : Environment.t
+(** 5 qubits: F1..F5, pentafluorobutadienyl cyclopentadienyl-dicarbonyl-iron
+    ([24]); the slowest molecule — no interaction beats threshold 100. *)
+
+val by_name : string -> Environment.t option
+(** Lookup: "acetyl-chloride", "trans-crotonic", "histidine", "boc-glycine",
+    "iron-complex". *)
+
+val names : string list
+
+val all : Environment.t list

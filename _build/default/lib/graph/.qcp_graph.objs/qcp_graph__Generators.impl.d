@@ -1,0 +1,1 @@
+lib/graph/generators.ml: Graph List Qcp_util

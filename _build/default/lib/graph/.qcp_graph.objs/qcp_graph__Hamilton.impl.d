@@ -1,0 +1,1 @@
+lib/graph/hamilton.ml: Array Graph List Qcp_util

@@ -1,0 +1,1 @@
+lib/graph/monomorph.ml: Array Graph List Queue

@@ -1,0 +1,1 @@
+lib/graph/monomorph.mli: Graph

@@ -1,0 +1,1 @@
+lib/graph/separator.ml: Array Graph List Paths Qcp_util

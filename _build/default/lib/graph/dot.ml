@@ -1,0 +1,18 @@
+let to_dot ?(name = "g") ?(vertex_label = string_of_int) ?(edge_label = fun _ _ -> None) g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "graph %s {\n" name);
+  List.iter
+    (fun v ->
+      Buffer.add_string buf
+        (Printf.sprintf "  v%d [label=\"%s\"];\n" v (vertex_label v)))
+    (Graph.vertices g);
+  List.iter
+    (fun (u, v) ->
+      match edge_label u v with
+      | None -> Buffer.add_string buf (Printf.sprintf "  v%d -- v%d;\n" u v)
+      | Some lbl ->
+        Buffer.add_string buf
+          (Printf.sprintf "  v%d -- v%d [label=\"%s\"];\n" u v lbl))
+    (Graph.edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

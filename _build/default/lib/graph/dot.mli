@@ -1,0 +1,11 @@
+(** Graphviz DOT export, used to render interaction graphs (paper Figures 1
+    and 3). *)
+
+val to_dot :
+  ?name:string ->
+  ?vertex_label:(int -> string) ->
+  ?edge_label:(int -> int -> string option) ->
+  Graph.t ->
+  string
+(** Undirected DOT source.  [vertex_label] defaults to the vertex index;
+    [edge_label] may attach e.g. coupling delays to edges. *)

@@ -1,0 +1,55 @@
+let path_graph n = Graph.of_edges n (List.init (max 0 (n - 1)) (fun i -> (i, i + 1)))
+
+let cycle_graph n =
+  if n < 3 then invalid_arg "Generators.cycle_graph: need at least 3 vertices";
+  Graph.of_edges n (List.init n (fun i -> (i, (i + 1) mod n)))
+
+let complete n =
+  Graph.of_edges n (Qcp_util.Listx.pairs (Qcp_util.Listx.range n))
+
+let star n = Graph.of_edges n (List.init (max 0 (n - 1)) (fun i -> (0, i + 1)))
+
+let grid rows cols =
+  let idx r c = (r * cols) + c in
+  let horizontal =
+    List.concat_map
+      (fun r -> List.init (cols - 1) (fun c -> (idx r c, idx r (c + 1))))
+      (Qcp_util.Listx.range rows)
+  in
+  let vertical =
+    List.concat_map
+      (fun r -> List.init cols (fun c -> (idx r c, idx (r + 1) c)))
+      (Qcp_util.Listx.range (rows - 1))
+  in
+  Graph.of_edges (rows * cols) (horizontal @ vertical)
+
+let petersen () =
+  let outer = List.init 5 (fun i -> (i, (i + 1) mod 5)) in
+  let spokes = List.init 5 (fun i -> (i, i + 5)) in
+  let inner = List.init 5 (fun i -> (5 + i, 5 + ((i + 2) mod 5))) in
+  Graph.of_edges 10 (outer @ spokes @ inner)
+
+let binary_tree n =
+  Graph.of_edges n
+    (List.filter_map
+       (fun i -> if i = 0 then None else Some ((i - 1) / 2, i))
+       (Qcp_util.Listx.range n))
+
+let random_tree rng n =
+  Graph.of_edges n
+    (List.init (max 0 (n - 1)) (fun i ->
+         let child = i + 1 in
+         (Qcp_util.Rng.int rng child, child)))
+
+let random_connected rng ~n ~extra_edges =
+  let tree = random_tree rng n in
+  let extra = ref [] in
+  let attempts = ref 0 in
+  while List.length !extra < extra_edges && !attempts < extra_edges * 20 do
+    incr attempts;
+    let u = Qcp_util.Rng.int rng n in
+    let v = Qcp_util.Rng.int rng n in
+    if u <> v && (not (Graph.mem_edge tree u v)) && not (List.mem (min u v, max u v) !extra)
+    then extra := (min u v, max u v) :: !extra
+  done;
+  Graph.add_edges tree !extra

@@ -1,0 +1,28 @@
+(** Standard graph families used as physical-environment topologies and as
+    test fixtures. *)
+
+val path_graph : int -> Graph.t
+(** The chain nearest-neighbor architecture on [n] vertices. *)
+
+val cycle_graph : int -> Graph.t
+
+val complete : int -> Graph.t
+
+val star : int -> Graph.t
+(** Vertex 0 joined to every other vertex. *)
+
+val grid : int -> int -> Graph.t
+(** [grid rows cols]: 2D lattice, vertex [r*cols + c]. *)
+
+val petersen : unit -> Graph.t
+(** The Petersen graph — 3-regular, connected, famously non-Hamiltonian;
+    a fixture for the NP-completeness experiment. *)
+
+val binary_tree : int -> Graph.t
+(** Complete-ish binary tree on [n] vertices (heap numbering). *)
+
+val random_tree : Qcp_util.Rng.t -> int -> Graph.t
+(** Uniform random recursive tree. *)
+
+val random_connected : Qcp_util.Rng.t -> n:int -> extra_edges:int -> Graph.t
+(** Random tree plus [extra_edges] additional distinct random edges. *)

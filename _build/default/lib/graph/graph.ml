@@ -1,0 +1,99 @@
+type t = {
+  size : int;
+  adj : int array array; (* sorted neighbor lists *)
+  edge_list : (int * int) list; (* u < v, sorted, deduplicated *)
+}
+
+let check_vertex size v =
+  if v < 0 || v >= size then invalid_arg (Printf.sprintf "Graph: vertex %d out of range [0,%d)" v size)
+
+let canonical size pairs =
+  let normalized =
+    List.filter_map
+      (fun (u, v) ->
+        check_vertex size u;
+        check_vertex size v;
+        if u = v then None else Some (min u v, max u v))
+      pairs
+  in
+  List.sort_uniq compare normalized
+
+let of_edges size pairs =
+  if size < 0 then invalid_arg "Graph.of_edges: negative size";
+  let edge_list = canonical size pairs in
+  let counts = Array.make size 0 in
+  List.iter
+    (fun (u, v) ->
+      counts.(u) <- counts.(u) + 1;
+      counts.(v) <- counts.(v) + 1)
+    edge_list;
+  let adj = Array.init size (fun v -> Array.make counts.(v) 0) in
+  let fill = Array.make size 0 in
+  List.iter
+    (fun (u, v) ->
+      adj.(u).(fill.(u)) <- v;
+      fill.(u) <- fill.(u) + 1;
+      adj.(v).(fill.(v)) <- u;
+      fill.(v) <- fill.(v) + 1)
+    edge_list;
+  Array.iter (fun row -> Array.sort compare row) adj;
+  { size; adj; edge_list }
+
+let n t = t.size
+
+let edge_count t = List.length t.edge_list
+
+let edges t = t.edge_list
+
+let neighbors t v =
+  check_vertex t.size v;
+  t.adj.(v)
+
+let degree t v =
+  check_vertex t.size v;
+  Array.length t.adj.(v)
+
+let max_degree t =
+  Array.fold_left (fun acc row -> max acc (Array.length row)) 0 t.adj
+
+let mem_edge t u v =
+  check_vertex t.size u;
+  check_vertex t.size v;
+  let row = t.adj.(u) in
+  let rec search lo hi =
+    if lo >= hi then false
+    else
+      let mid = (lo + hi) / 2 in
+      if row.(mid) = v then true
+      else if row.(mid) < v then search (mid + 1) hi
+      else search lo mid
+  in
+  search 0 (Array.length row)
+
+let is_empty t = t.edge_list = []
+
+let vertices t = List.init t.size (fun i -> i)
+
+let induced t vs =
+  let back = Array.of_list vs in
+  let fwd = Array.make t.size (-1) in
+  Array.iteri (fun i v -> check_vertex t.size v; fwd.(v) <- i) back;
+  let sub_edges =
+    List.filter_map
+      (fun (u, v) ->
+        if fwd.(u) >= 0 && fwd.(v) >= 0 then Some (fwd.(u), fwd.(v)) else None)
+      t.edge_list
+  in
+  (of_edges (Array.length back) sub_edges, back)
+
+let add_edges t extra = of_edges t.size (extra @ t.edge_list)
+
+let leaves t =
+  List.filter (fun v -> Array.length t.adj.(v) = 1) (vertices t)
+
+let equal a b = a.size = b.size && a.edge_list = b.edge_list
+
+let pp ppf t =
+  Format.fprintf ppf "graph(n=%d, m=%d:" t.size (edge_count t);
+  List.iter (fun (u, v) -> Format.fprintf ppf " %d-%d" u v) t.edge_list;
+  Format.fprintf ppf ")"

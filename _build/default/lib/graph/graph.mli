@@ -1,0 +1,49 @@
+(** Simple undirected graphs over vertices [0 .. n-1].
+
+    The library's physical-environment adjacency graphs ("fast interactions"),
+    circuit interaction graphs and NP-completeness constructions are all
+    instances of this type.  Graphs are immutable once built. *)
+
+type t
+
+val of_edges : int -> (int * int) list -> t
+(** [of_edges n edges] builds a graph with [n] vertices.  Self-loops are
+    dropped; duplicate edges are kept once.  Raises [Invalid_argument] if an
+    endpoint is out of range. *)
+
+val n : t -> int
+(** Number of vertices. *)
+
+val edge_count : t -> int
+
+val edges : t -> (int * int) list
+(** Every edge once, with [u < v], sorted. *)
+
+val neighbors : t -> int -> int array
+(** Sorted neighbor array (do not mutate). *)
+
+val degree : t -> int -> int
+
+val max_degree : t -> int
+
+val mem_edge : t -> int -> int -> bool
+(** Edge test in O(log degree). *)
+
+val is_empty : t -> bool
+(** True when the graph has no edges. *)
+
+val vertices : t -> int list
+
+val induced : t -> int list -> t * int array
+(** [induced g vs] is the subgraph on vertex list [vs] (in the given order)
+    together with the array mapping new indices back to old vertex ids. *)
+
+val add_edges : t -> (int * int) list -> t
+(** A new graph with extra edges. *)
+
+val leaves : t -> int list
+(** Vertices of degree exactly 1. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,49 @@
+let search g ~closed =
+  let size = Graph.n g in
+  if size = 0 then None
+  else if size = 1 then Some [ 0 ]
+  else if closed && List.exists (fun v -> Graph.degree g v < 2) (Graph.vertices g) then None
+  else begin
+    let visited = Array.make size false in
+    let route = ref [] in
+    (* Start from a minimum-degree vertex to shrink the branching factor. *)
+    let start =
+      match Qcp_util.Listx.min_by (fun v -> float_of_int (Graph.degree g v)) (Graph.vertices g) with
+      | Some v -> v
+      | None -> 0
+    in
+    let rec extend v depth =
+      visited.(v) <- true;
+      route := v :: !route;
+      let ok =
+        if depth = size then (not closed) || Graph.mem_edge g v start
+        else
+          Array.exists
+            (fun w -> (not visited.(w)) && extend w (depth + 1))
+            (Graph.neighbors g v)
+      in
+      if not ok then begin
+        visited.(v) <- false;
+        route := List.tl !route
+      end;
+      ok
+    in
+    if extend start 1 then Some (List.rev !route) else None
+  end
+
+let cycle g = search g ~closed:true
+
+let path g = search g ~closed:false
+
+let is_cycle g route =
+  let size = Graph.n g in
+  List.length route = size
+  && List.sort_uniq compare route = Graph.vertices g
+  && size >= 3
+  &&
+  let arr = Array.of_list route in
+  let ok = ref true in
+  for i = 0 to size - 1 do
+    if not (Graph.mem_edge g arr.(i) arr.((i + 1) mod size)) then ok := false
+  done;
+  !ok

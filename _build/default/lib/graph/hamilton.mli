@@ -1,0 +1,15 @@
+(** Hamiltonian cycle and path search by backtracking.
+
+    Used by the NP-completeness experiment (paper Section 4): the reduction
+    maps Hamiltonian-cycle instances to placement instances, and this module
+    provides the ground truth on small graphs. *)
+
+val cycle : Graph.t -> int list option
+(** A Hamiltonian cycle as a vertex list (start vertex not repeated at the
+    end), or [None].  Exponential worst case; intended for small graphs. *)
+
+val path : Graph.t -> int list option
+(** A Hamiltonian path, or [None]. *)
+
+val is_cycle : Graph.t -> int list -> bool
+(** Validate a claimed Hamiltonian cycle. *)

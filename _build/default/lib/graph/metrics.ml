@@ -1,0 +1,66 @@
+let eccentricity g v =
+  if Graph.n g = 0 then invalid_arg "Metrics.eccentricity: empty graph";
+  Array.fold_left max 0 (Paths.bfs_dist g v)
+
+let check_connected g fn =
+  if not (Paths.is_connected g) then
+    invalid_arg (Printf.sprintf "Metrics.%s: graph must be connected" fn)
+
+let diameter g =
+  check_connected g "diameter";
+  if Graph.n g = 0 then 0
+  else
+    List.fold_left
+      (fun acc v -> max acc (eccentricity g v))
+      0 (Graph.vertices g)
+
+let radius g =
+  check_connected g "radius";
+  match Graph.vertices g with
+  | [] -> 0
+  | vertices ->
+    List.fold_left (fun acc v -> min acc (eccentricity g v)) max_int vertices
+
+let center g =
+  let r = radius g in
+  List.filter (fun v -> eccentricity g v = r) (Graph.vertices g)
+
+let average_distance g =
+  check_connected g "average_distance";
+  let size = Graph.n g in
+  if size < 2 then 0.0
+  else begin
+    let total = ref 0 in
+    List.iter
+      (fun v -> Array.iter (fun d -> total := !total + d) (Paths.bfs_dist g v))
+      (Graph.vertices g);
+    float_of_int !total /. float_of_int (size * (size - 1))
+  end
+
+let degree_histogram g =
+  let tally = Hashtbl.create 8 in
+  List.iter
+    (fun v ->
+      let d = Graph.degree g v in
+      Hashtbl.replace tally d (1 + try Hashtbl.find tally d with Not_found -> 0))
+    (Graph.vertices g);
+  Hashtbl.fold (fun d c acc -> (d, c) :: acc) tally [] |> List.sort compare
+
+let is_tree g =
+  Graph.n g > 0 && Paths.is_connected g && Graph.edge_count g = Graph.n g - 1
+
+let is_path g =
+  is_tree g && List.for_all (fun v -> Graph.degree g v <= 2) (Graph.vertices g)
+
+let summary g =
+  let degrees = List.map (fun v -> Graph.degree g v) (Graph.vertices g) in
+  let min_deg = List.fold_left min max_int degrees in
+  let max_deg = List.fold_left max 0 degrees in
+  let connected = Paths.is_connected g in
+  Printf.sprintf "n=%d m=%d degree=[%d,%d] %s s=%.3f" (Graph.n g)
+    (Graph.edge_count g)
+    (if degrees = [] then 0 else min_deg)
+    max_deg
+    (if connected then Printf.sprintf "diameter=%d" (diameter g)
+     else "disconnected")
+    (Separator.separability g)

@@ -1,0 +1,31 @@
+(** Structural graph metrics used in architecture comparisons and reports
+    (diameter and friends bound routing depth; the paper's discussion of
+    scalable architectures turns on exactly these quantities). *)
+
+val eccentricity : Graph.t -> int -> int
+(** Longest shortest-path distance from a vertex (its own component only).
+    Raises [Invalid_argument] on an empty graph. *)
+
+val diameter : Graph.t -> int
+(** Maximum eccentricity; requires a connected graph. *)
+
+val radius : Graph.t -> int
+(** Minimum eccentricity; requires a connected graph. *)
+
+val center : Graph.t -> int list
+(** Vertices of minimum eccentricity. *)
+
+val average_distance : Graph.t -> float
+(** Mean shortest-path distance over ordered vertex pairs of a connected
+    graph; 0 for graphs with fewer than two vertices. *)
+
+val degree_histogram : Graph.t -> (int * int) list
+(** [(degree, count)] pairs, ascending by degree. *)
+
+val is_tree : Graph.t -> bool
+
+val is_path : Graph.t -> bool
+
+val summary : Graph.t -> string
+(** One-line summary: vertices, edges, degree range, diameter (when
+    connected), separability. *)

@@ -1,0 +1,119 @@
+(* Vertex ordering: process pattern components one after the other, within a
+   component in BFS order from a maximum-degree seed, so each vertex after a
+   component seed has at least one previously-mapped neighbor.  That keeps the
+   candidate set for non-seed vertices restricted to neighbors of an already
+   mapped image, which is what makes the search fast on sparse patterns. *)
+
+let ordering pattern =
+  let active =
+    List.filter (fun v -> Graph.degree pattern v > 0) (Graph.vertices pattern)
+  in
+  let seen = Array.make (Graph.n pattern) false in
+  let order = ref [] in
+  let by_degree_desc =
+    List.sort
+      (fun a b -> compare (Graph.degree pattern b) (Graph.degree pattern a))
+      active
+  in
+  let bfs_from seed =
+    let queue = Queue.create () in
+    seen.(seed) <- true;
+    Queue.add seed queue;
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      order := u :: !order;
+      let next =
+        Array.to_list (Graph.neighbors pattern u)
+        |> List.filter (fun v -> not seen.(v))
+        |> List.sort (fun a b ->
+               compare (Graph.degree pattern b) (Graph.degree pattern a))
+      in
+      List.iter
+        (fun v ->
+          seen.(v) <- true;
+          Queue.add v queue)
+        next
+    done
+  in
+  List.iter (fun v -> if not seen.(v) then bfs_from v) by_degree_desc;
+  Array.of_list (List.rev !order)
+
+let compatible pattern target mapping v candidate =
+  Graph.degree target candidate >= Graph.degree pattern v
+  && Array.for_all
+       (fun u ->
+         let image = mapping.(u) in
+         image < 0 || Graph.mem_edge target image candidate)
+       (Graph.neighbors pattern v)
+
+let enumerate ?(limit = 100) ~pattern ~target () =
+  if limit <= 0 then []
+  else begin
+    let order = ordering pattern in
+    let np = Graph.n pattern in
+    let nt = Graph.n target in
+    let mapping = Array.make np (-1) in
+    let used = Array.make nt false in
+    let results = ref [] in
+    let count = ref 0 in
+    let rec extend step =
+      if !count >= limit then ()
+      else if step >= Array.length order then begin
+        results := Array.copy mapping :: !results;
+        incr count
+      end
+      else begin
+        let v = order.(step) in
+        let candidates =
+          (* Prefer the frontier of an already-mapped neighbor. *)
+          let mapped_neighbor =
+            Array.fold_left
+              (fun acc u -> if acc >= 0 then acc else mapping.(u))
+              (-1) (Graph.neighbors pattern v)
+          in
+          if mapped_neighbor >= 0 then Graph.neighbors target mapped_neighbor
+          else Array.init nt (fun i -> i)
+        in
+        Array.iter
+          (fun c ->
+            if
+              !count < limit && (not used.(c))
+              && compatible pattern target mapping v c
+            then begin
+              mapping.(v) <- c;
+              used.(c) <- true;
+              extend (step + 1);
+              used.(c) <- false;
+              mapping.(v) <- -1
+            end)
+          candidates
+      end
+    in
+    if Graph.max_degree pattern > Graph.max_degree target then []
+    else begin
+      extend 0;
+      List.rev !results
+    end
+  end
+
+let exists ~pattern ~target = enumerate ~limit:1 ~pattern ~target () <> []
+
+let check ~pattern ~target mapping =
+  Array.length mapping = Graph.n pattern
+  && begin
+       let used = Array.make (Graph.n target) false in
+       let injective = ref true in
+       Array.iter
+         (fun image ->
+           if image >= 0 then begin
+             if image >= Graph.n target || used.(image) then injective := false
+             else used.(image) <- true
+           end)
+         mapping;
+       !injective
+     end
+  && List.for_all
+       (fun (u, v) ->
+         mapping.(u) >= 0 && mapping.(v) >= 0
+         && Graph.mem_edge target mapping.(u) mapping.(v))
+       (Graph.edges pattern)

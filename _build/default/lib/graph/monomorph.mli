@@ -1,0 +1,24 @@
+(** Subgraph monomorphism (injective edge-preserving embedding).
+
+    This replaces the VFLib C++ library [27] used by the paper: given a
+    pattern graph (the interaction graph of a workspace subcircuit) and a
+    target graph (the fast-interaction adjacency graph of the physical
+    environment), enumerate injective maps [f] with
+    [pattern edge (u,v) => target edge (f u, f v)].
+
+    The search is a VF2-style backtracking enumeration with connectivity-
+    guided vertex ordering and degree / mapped-neighborhood pruning.  Pattern
+    vertices of degree zero are assigned no image ([-1] in the result); the
+    placement layer positions such qubits separately. *)
+
+val enumerate : ?limit:int -> pattern:Graph.t -> target:Graph.t -> unit -> int array list
+(** Up to [limit] (default 100) monomorphisms.  Each result maps pattern
+    vertex index to target vertex index, [-1] for isolated pattern vertices.
+    Results are in deterministic search order. *)
+
+val exists : pattern:Graph.t -> target:Graph.t -> bool
+(** Whether at least one monomorphism exists. *)
+
+val check : pattern:Graph.t -> target:Graph.t -> int array -> bool
+(** Validate a candidate mapping: injective on non-negative entries and
+    edge-preserving. *)

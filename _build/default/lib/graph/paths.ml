@@ -1,0 +1,73 @@
+let bfs_core ?(restrict = fun _ -> true) g source =
+  let size = Graph.n g in
+  let dist = Array.make size (-1) in
+  let parent = Array.make size (-1) in
+  let queue = Queue.create () in
+  assert (restrict source);
+  dist.(source) <- 0;
+  parent.(source) <- source;
+  Queue.add source queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Array.iter
+      (fun v ->
+        if dist.(v) < 0 && restrict v then begin
+          dist.(v) <- dist.(u) + 1;
+          parent.(v) <- u;
+          Queue.add v queue
+        end)
+      (Graph.neighbors g u)
+  done;
+  (dist, parent)
+
+let bfs_dist ?restrict g source = fst (bfs_core ?restrict g source)
+
+let bfs_parents ?restrict g source = snd (bfs_core ?restrict g source)
+
+let shortest_path ?restrict g source dest =
+  let _, parent = bfs_core ?restrict g source in
+  if parent.(dest) < 0 then None
+  else begin
+    let rec climb v acc = if v = source then source :: acc else climb parent.(v) (v :: acc) in
+    Some (climb dest [])
+  end
+
+let components g =
+  let size = Graph.n g in
+  let comp = Array.make size (-1) in
+  let count = ref 0 in
+  for v = 0 to size - 1 do
+    if comp.(v) < 0 then begin
+      let dist = bfs_dist g v in
+      Array.iteri (fun u d -> if d >= 0 then comp.(u) <- !count) dist;
+      incr count
+    end
+  done;
+  (comp, !count)
+
+let component_members g =
+  let comp, count = components g in
+  let buckets = Array.make count [] in
+  for v = Graph.n g - 1 downto 0 do
+    buckets.(comp.(v)) <- v :: buckets.(comp.(v))
+  done;
+  Array.to_list buckets
+
+let is_connected g = Graph.n g <= 1 || snd (components g) = 1
+
+let is_connected_subset g vs =
+  match vs with
+  | [] -> true
+  | first :: _ ->
+    let inside = Array.make (Graph.n g) false in
+    List.iter (fun v -> inside.(v) <- true) vs;
+    let dist = bfs_dist ~restrict:(fun v -> inside.(v)) g first in
+    List.for_all (fun v -> dist.(v) >= 0) vs
+
+let spanning_tree g ~root =
+  let parent = bfs_parents g root in
+  let acc = ref [] in
+  Array.iteri
+    (fun v p -> if p >= 0 && p <> v then acc := (min v p, max v p) :: !acc)
+    parent;
+  List.sort compare !acc

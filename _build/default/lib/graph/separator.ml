@@ -1,0 +1,90 @@
+(* Bisection by spanning-tree edge removal: removing one tree edge splits the
+   tree into two connected subtrees, and tree-connectivity implies
+   graph-connectivity of both sides.  We try BFS trees from several roots and
+   keep the most balanced split. *)
+
+let subtree_sizes parent order =
+  let size = Array.make (Array.length parent) 1 in
+  (* [order] lists vertices by decreasing BFS depth, so children come first. *)
+  List.iter
+    (fun v ->
+      let p = parent.(v) in
+      if p >= 0 && p <> v then size.(p) <- size.(p) + size.(v))
+    order;
+  size
+
+let candidate_roots g =
+  let size = Graph.n g in
+  if size <= 64 then Qcp_util.Listx.range size
+  else begin
+    let step = size / 16 in
+    List.init 16 (fun i -> i * step)
+  end
+
+let bisect g =
+  let size = Graph.n g in
+  if size < 2 || not (Paths.is_connected g) then None
+  else begin
+    let best = ref None in
+    let consider root =
+      let parent = Paths.bfs_parents g root in
+      let dist = Paths.bfs_dist g root in
+      let order =
+        Qcp_util.Listx.range size
+        |> List.sort (fun a b -> compare dist.(b) dist.(a))
+      in
+      let sizes = subtree_sizes parent order in
+      for v = 0 to size - 1 do
+        if v <> root && parent.(v) >= 0 then begin
+          let small = min sizes.(v) (size - sizes.(v)) in
+          let better =
+            match !best with
+            | None -> true
+            | Some (best_small, _, _) -> small > best_small
+          in
+          if better then best := Some (small, v, parent)
+        end
+      done
+    in
+    List.iter consider (candidate_roots g);
+    match !best with
+    | None -> None
+    | Some (_, cut_vertex, parent) ->
+      (* Subtree of [cut_vertex] in the chosen BFS tree. *)
+      let children = Array.make size [] in
+      Array.iteri
+        (fun v p -> if p >= 0 && p <> v then children.(p) <- v :: children.(p))
+        parent;
+      let in_subtree = Array.make size false in
+      let rec mark v =
+        in_subtree.(v) <- true;
+        List.iter mark children.(v)
+      in
+      mark cut_vertex;
+      let side_a = List.filter (fun v -> in_subtree.(v)) (Qcp_util.Listx.range size) in
+      let side_b = List.filter (fun v -> not in_subtree.(v)) (Qcp_util.Listx.range size) in
+      if List.length side_a <= List.length side_b then Some (side_a, side_b)
+      else Some (side_b, side_a)
+  end
+
+let ratio small large =
+  let a = float_of_int (List.length small) in
+  let b = float_of_int (List.length large) in
+  if a = 0.0 || b = 0.0 then 0.0 else min a b /. max a b
+
+let separability g =
+  let rec loop g =
+    if Graph.n g < 2 then 1.0
+    else
+      match bisect g with
+      | None -> 0.0
+      | Some (side_a, side_b) ->
+        let sub_a, _ = Graph.induced g side_a in
+        let sub_b, _ = Graph.induced g side_b in
+        min (ratio side_a side_b) (min (loop sub_a) (loop sub_b))
+  in
+  loop g
+
+let theorem1_bound g =
+  let k = Graph.max_degree g in
+  if k = 0 then 1.0 else 1.0 /. float_of_int k

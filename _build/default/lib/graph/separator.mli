@@ -1,0 +1,24 @@
+(** Balanced connected bisection ("well separability", paper Section 5.2 and
+    Appendix Theorem 1).
+
+    A graph is well separable with parameter [s] if it can be recursively cut
+    into two connected components whose size ratio (small/large) never drops
+    below [s].  Theorem 1 shows every graph of maximum degree [k] admits
+    [s = 1/k]; the paper's molecule interaction graphs achieve [s = 1/2].
+    The permutation router uses [bisect] as its divide step. *)
+
+val bisect : Graph.t -> (int list * int list) option
+(** Split a connected graph with at least two vertices into two connected
+    parts, maximizing the size of the smaller part (over a family of spanning
+    trees).  Returns [None] if the graph has fewer than two vertices or is
+    disconnected.  The first part is never larger than the second. *)
+
+val ratio : 'a list -> 'b list -> float
+(** Size ratio small/large of a bisection. *)
+
+val separability : Graph.t -> float
+(** Minimum bisection ratio encountered while recursively bisecting down to
+    single vertices; [1.0] for graphs with fewer than two vertices. *)
+
+val theorem1_bound : Graph.t -> float
+(** The Appendix guarantee [1 / max_degree] (or [1.0] for edgeless graphs). *)

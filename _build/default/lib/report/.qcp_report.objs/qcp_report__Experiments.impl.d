@@ -1,0 +1,1 @@
+lib/report/experiments.ml: Array Buffer Char Float Format List Printf Qcp Qcp_circuit Qcp_env Qcp_graph Qcp_route Qcp_util String Unix

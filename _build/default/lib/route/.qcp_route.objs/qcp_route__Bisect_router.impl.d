@@ -1,0 +1,1 @@
+lib/route/bisect_router.ml: Array List Perm Qcp_graph Qcp_util Swap_network

@@ -1,0 +1,1 @@
+lib/route/bisect_router.mli: Perm Qcp_graph Swap_network

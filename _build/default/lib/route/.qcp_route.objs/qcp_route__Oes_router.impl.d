@@ -1,0 +1,1 @@
+lib/route/oes_router.ml: Array List Perm Qcp_graph

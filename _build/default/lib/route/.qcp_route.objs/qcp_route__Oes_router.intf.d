@@ -1,0 +1,1 @@
+lib/route/oes_router.mli: Perm Qcp_graph Swap_network

@@ -1,0 +1,1 @@
+lib/route/perm.ml: Array Format List Qcp_util

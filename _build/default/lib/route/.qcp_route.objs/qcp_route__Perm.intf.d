@@ -1,0 +1,1 @@
+lib/route/perm.mli: Format Qcp_util

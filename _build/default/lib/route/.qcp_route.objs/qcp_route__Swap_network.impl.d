@@ -1,0 +1,1 @@
+lib/route/swap_network.ml: Array Format Hashtbl List Qcp_circuit Qcp_graph

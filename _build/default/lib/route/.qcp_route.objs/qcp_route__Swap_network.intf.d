@@ -1,0 +1,1 @@
+lib/route/swap_network.mli: Format Perm Qcp_circuit Qcp_graph

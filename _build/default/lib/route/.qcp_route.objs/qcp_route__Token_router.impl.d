@@ -1,0 +1,1 @@
+lib/route/token_router.ml: Array List Perm Qcp_graph

@@ -1,0 +1,189 @@
+module Graph = Qcp_graph.Graph
+module Paths = Qcp_graph.Paths
+module Separator = Qcp_graph.Separator
+
+exception Routing_failure of string
+
+let depth_upper_bound g = (8 * Graph.n g) + 8
+
+(* Interleave sibling level lists: the halves are vertex-disjoint, so their
+   levels execute in parallel. *)
+let rec merge la lb =
+  match (la, lb) with
+  | [], rest | rest, [] -> rest
+  | a :: ra, b :: rb -> (a @ b) :: merge ra rb
+
+let route ?(leaf_override = true) ?edge_cost g ~perm =
+  let n = Graph.n g in
+  if Array.length perm <> n then
+    invalid_arg "Bisect_router.route: permutation size mismatch";
+  if not (Perm.is_valid perm) then
+    invalid_arg "Bisect_router.route: not a permutation";
+  if not (Paths.is_connected g) then
+    invalid_arg "Bisect_router.route: adjacency graph must be connected";
+  let config = Array.init n (fun v -> v) in
+  let dest_of v = perm.(config.(v)) in
+  let settled v = dest_of v = v in
+  let apply_level level =
+    List.iter
+      (fun (u, v) ->
+        let tmp = config.(u) in
+        config.(u) <- config.(v);
+        config.(v) <- tmp)
+      level
+  in
+
+  (* Leaf-target value override pre-pass: freeze leaves that hold (or can
+     directly receive) their final value, shrinking the routing instance. *)
+  let active = Array.make n true in
+  let active_count = ref n in
+  let prepass_levels = ref [] in
+  if leaf_override then begin
+    let progress = ref true in
+    while !progress && !active_count > 2 do
+      progress := false;
+      let active_degree v =
+        Array.fold_left
+          (fun acc u -> if active.(u) then acc + 1 else acc)
+          0 (Graph.neighbors g v)
+      in
+      let used = Array.make n false in
+      let level = ref [] in
+      let freezes = ref [] in
+      for v = 0 to n - 1 do
+        if active.(v) && (not used.(v)) && active_degree v = 1 then begin
+          if settled v then freezes := v :: !freezes
+          else begin
+            let neighbor =
+              Array.fold_left
+                (fun acc u -> if active.(u) then Some u else acc)
+                None (Graph.neighbors g v)
+            in
+            match neighbor with
+            | Some u when (not used.(u)) && dest_of u = v ->
+              used.(v) <- true;
+              used.(u) <- true;
+              level := (u, v) :: !level;
+              freezes := v :: !freezes
+            | Some _ | None -> ()
+          end
+        end
+      done;
+      if !level <> [] then begin
+        apply_level !level;
+        prepass_levels := !level :: !prepass_levels
+      end;
+      List.iter
+        (fun v ->
+          active.(v) <- false;
+          decr active_count;
+          progress := true)
+        !freezes
+    done
+  end;
+
+  (* Move misplaced tokens of [sa] and [sb] to their own half through the
+     channel edge (u1, u2); within a half, misplaced tokens bubble toward the
+     channel along BFS-tree parents, swapping only with correctly-sided
+     tokens, closest-to-channel first. *)
+  let phase sa sb =
+    let in_sa = Array.make n false in
+    let in_sb = Array.make n false in
+    List.iter (fun v -> in_sa.(v) <- true) sa;
+    List.iter (fun v -> in_sb.(v) <- true) sb;
+    let channel =
+      (* All crossing edges; with an edge-cost oracle (the paper notes the
+         algorithm extends to weighted SWAPs) pick the cheapest channel. *)
+      let crossing =
+        List.concat_map
+          (fun v ->
+            Array.to_list (Graph.neighbors g v)
+            |> List.filter_map (fun u -> if in_sb.(u) then Some (v, u) else None))
+          sa
+      in
+      let chosen =
+        match (edge_cost, crossing) with
+        | _, [] -> None
+        | None, first :: _ -> Some first
+        | Some cost, candidates ->
+          Qcp_util.Listx.min_by (fun (u, v) -> cost u v) candidates
+      in
+      match chosen with
+      | Some edge -> edge
+      | None -> raise (Routing_failure "no channel edge between bisection halves")
+    in
+    let u1, u2 = channel in
+    let dist_a = Paths.bfs_dist ~restrict:(fun v -> in_sa.(v)) g u1 in
+    let parent_a = Paths.bfs_parents ~restrict:(fun v -> in_sa.(v)) g u1 in
+    let dist_b = Paths.bfs_dist ~restrict:(fun v -> in_sb.(v)) g u2 in
+    let parent_b = Paths.bfs_parents ~restrict:(fun v -> in_sb.(v)) g u2 in
+    let by_dist dist side =
+      List.sort (fun a b -> compare dist.(a) dist.(b)) side
+    in
+    let order_a = by_dist dist_a sa in
+    let order_b = by_dist dist_b sb in
+    let misplaced () =
+      List.exists (fun v -> in_sb.(dest_of v)) sa
+    in
+    let out = ref [] in
+    let guard = ref (0, (8 * (List.length sa + List.length sb)) + 16) in
+    while misplaced () do
+      let iter, cap = !guard in
+      if iter > cap then raise (Routing_failure "phase did not converge");
+      guard := (iter + 1, cap);
+      let used = Array.make n false in
+      let level = ref [] in
+      let take u v =
+        used.(u) <- true;
+        used.(v) <- true;
+        level := (u, v) :: !level
+      in
+      (* Channel swap first. *)
+      if in_sb.(dest_of u1) && in_sa.(dest_of u2) then take u1 u2;
+      let sweep order parent inside_other u_root =
+        List.iter
+          (fun v ->
+            if v <> u_root && (not used.(v)) && inside_other (dest_of v) then begin
+              let p = parent.(v) in
+              if p >= 0 && (not used.(p)) && not (inside_other (dest_of p)) then
+                take v p
+            end)
+          order
+      in
+      sweep order_a parent_a (fun d -> in_sb.(d)) u1;
+      sweep order_b parent_b (fun d -> in_sa.(d)) u2;
+      if !level = [] then raise (Routing_failure "phase produced an empty level");
+      apply_level !level;
+      out := !level :: !out
+    done;
+    List.rev !out
+  in
+
+  let rec solve vertices =
+    match vertices with
+    | [] | [ _ ] -> []
+    | [ a; b ] ->
+      if settled a then []
+      else begin
+        let level = [ (a, b) ] in
+        apply_level level;
+        [ level ]
+      end
+    | _ ->
+      let sub, back = Graph.induced g vertices in
+      (match Separator.bisect sub with
+      | None -> raise (Routing_failure "could not bisect a connected subgraph")
+      | Some (small, large) ->
+        let sa = List.map (fun i -> back.(i)) small in
+        let sb = List.map (fun i -> back.(i)) large in
+        let phase_levels = phase sa sb in
+        let la = solve sa in
+        let lb = solve sb in
+        phase_levels @ merge la lb)
+  in
+  let remaining = List.filter (fun v -> active.(v)) (Graph.vertices g) in
+  let main_levels = solve remaining in
+  let network = List.rev_append !prepass_levels main_levels in
+  assert (Array.for_all (fun v -> settled v) (Array.init n (fun v -> v)));
+  (* ASAP re-levelization: sparse pre-pass and phase levels pack together. *)
+  Swap_network.compress network

@@ -1,0 +1,34 @@
+(** The paper's fast permutation-circuit construction (Section 5.2).
+
+    Divide and conquer: cut the adjacency graph into two balanced connected
+    halves, flow every token to its correct half through a single
+    communication-channel edge (the "water and air bubbles" process), then
+    recurse on the halves in parallel.  On well-separable graphs
+    (s >= 1/max-degree, Appendix Theorem 1) the produced network has O(n)
+    levels; on chains the bound is tight up to constants.
+
+    The optional *leaf-target value override* heuristic (Section 5.3) runs as
+    a pre-pass: whenever a leaf's desired value sits next door, it is swapped
+    in and the leaf is excluded from the rest of the routing (the paper
+    reports a 0-5% depth reduction). *)
+
+exception Routing_failure of string
+(** Internal-invariant violation; never expected on valid inputs. *)
+
+val route :
+  ?leaf_override:bool ->
+  ?edge_cost:(int -> int -> float) ->
+  Qcp_graph.Graph.t ->
+  perm:Perm.t ->
+  Swap_network.t
+(** Build a SWAP network realizing [perm] on a *connected* graph.
+    [leaf_override] defaults to [true].  [edge_cost] enables the weighted
+    refinement the paper mentions ("modification ... that accounts for the
+    actual costs of SWAPs is possible"): communication-channel edges are
+    chosen to minimize it.
+    Raises [Invalid_argument] if the graph is disconnected or [perm] is not a
+    permutation of the graph's vertices. *)
+
+val depth_upper_bound : Qcp_graph.Graph.t -> int
+(** The analytic [8n + O(1)] level bound from the paper for graphs with
+    separability 1/2 (coarse; actual networks are much shallower). *)

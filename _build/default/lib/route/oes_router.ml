@@ -1,0 +1,69 @@
+module Graph = Qcp_graph.Graph
+module Paths = Qcp_graph.Paths
+
+let path_order g =
+  let n = Graph.n g in
+  if n = 0 then Some [||]
+  else if n = 1 then Some [| 0 |]
+  else if Graph.edge_count g <> n - 1 || not (Paths.is_connected g) then None
+  else if List.exists (fun v -> Graph.degree g v > 2) (Graph.vertices g) then None
+  else begin
+    match Graph.leaves g with
+    | endpoint :: _ ->
+      let order = Array.make n (-1) in
+      let rec walk v prev i =
+        order.(i) <- v;
+        let next =
+          Array.fold_left
+            (fun acc u -> if u <> prev then Some u else acc)
+            None (Graph.neighbors g v)
+        in
+        match next with
+        | Some u when i + 1 < n -> walk u v (i + 1)
+        | Some _ | None -> ()
+      in
+      walk endpoint (-1) 0;
+      Some order
+    | [] -> None
+  end
+
+let route g ~perm =
+  if not (Perm.is_valid perm) || Array.length perm <> Graph.n g then
+    invalid_arg "Oes_router.route: invalid permutation";
+  match path_order g with
+  | None -> invalid_arg "Oes_router.route: graph is not a path"
+  | Some order ->
+    let n = Array.length order in
+    if n <= 1 then []
+    else begin
+      (* chain position of each vertex and vice versa *)
+      let position = Array.make n 0 in
+      Array.iteri (fun pos v -> position.(v) <- pos) order;
+      (* key.(pos) = target chain position of the token currently at pos *)
+      let key = Array.init n (fun pos -> position.(perm.(order.(pos)))) in
+      let levels = ref [] in
+      let sorted () =
+        let ok = ref true in
+        Array.iteri (fun pos k -> if k <> pos then ok := false) key;
+        !ok
+      in
+      let round = ref 0 in
+      while (not (sorted ())) && !round <= n + 1 do
+        let start = !round mod 2 in
+        let level = ref [] in
+        let pos = ref start in
+        while !pos + 1 < n do
+          if key.(!pos) > key.(!pos + 1) then begin
+            let tmp = key.(!pos) in
+            key.(!pos) <- key.(!pos + 1);
+            key.(!pos + 1) <- tmp;
+            level := (order.(!pos), order.(!pos + 1)) :: !level
+          end;
+          pos := !pos + 2
+        done;
+        if !level <> [] then levels := List.rev !level :: !levels;
+        incr round
+      done;
+      assert (sorted ());
+      List.rev !levels
+    end

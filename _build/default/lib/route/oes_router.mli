@@ -1,0 +1,15 @@
+(** Odd-even transposition routing on chain (linear nearest-neighbor)
+    architectures.
+
+    The paper proves its bisection router asymptotically optimal on chains
+    using the rotation permutation; odd-even transposition sort is the
+    classical depth-n comparator network for exactly this case, so it serves
+    as the tight reference: on a path graph it realizes any permutation in
+    at most [n] levels.  Only valid on path graphs. *)
+
+val path_order : Qcp_graph.Graph.t -> int array option
+(** Vertices of a path graph in chain order (an arbitrary one of the two
+    orientations); [None] if the graph is not a path. *)
+
+val route : Qcp_graph.Graph.t -> perm:Perm.t -> Swap_network.t
+(** Raises [Invalid_argument] if the graph is not a path. *)

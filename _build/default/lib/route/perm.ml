@@ -1,0 +1,100 @@
+type t = int array
+
+let identity n = Array.init n (fun i -> i)
+
+let is_valid p =
+  let n = Array.length p in
+  let seen = Array.make n false in
+  Array.for_all
+    (fun dst ->
+      dst >= 0 && dst < n
+      &&
+      if seen.(dst) then false
+      else begin
+        seen.(dst) <- true;
+        true
+      end)
+    p
+
+let is_identity p =
+  let ok = ref true in
+  Array.iteri (fun i dst -> if i <> dst then ok := false) p;
+  !ok
+
+let inverse p =
+  let inv = Array.make (Array.length p) 0 in
+  Array.iteri (fun src dst -> inv.(dst) <- src) p;
+  inv
+
+let compose p q = Array.init (Array.length p) (fun i -> p.(q.(i)))
+
+let random rng n = Qcp_util.Rng.permutation rng n
+
+let cycles p =
+  let n = Array.length p in
+  let seen = Array.make n false in
+  let out = ref [] in
+  for start = 0 to n - 1 do
+    if (not seen.(start)) && p.(start) <> start then begin
+      let rec walk v acc =
+        if seen.(v) then List.rev acc
+        else begin
+          seen.(v) <- true;
+          walk p.(v) (v :: acc)
+        end
+      in
+      out := walk start [] :: !out
+    end
+  done;
+  List.rev !out
+
+let displaced p =
+  let out = ref [] in
+  Array.iteri (fun i dst -> if i <> dst then out := i :: !out) p;
+  List.rev !out
+
+let of_placements ~size ~before ~after =
+  if Array.length before <> Array.length after then
+    invalid_arg "Perm.of_placements: placement lengths differ";
+  let perm = Array.make size (-1) in
+  let target_taken = Array.make size false in
+  Array.iteri
+    (fun q src ->
+      let dst = after.(q) in
+      if src < 0 || src >= size || dst < 0 || dst >= size then
+        invalid_arg "Perm.of_placements: vertex out of range";
+      if perm.(src) >= 0 || target_taken.(dst) then
+        invalid_arg "Perm.of_placements: placements not injective";
+      perm.(src) <- dst;
+      target_taken.(dst) <- true)
+    before;
+  (* Complete over blank vertices: fix points first, then match leftovers. *)
+  for v = 0 to size - 1 do
+    if perm.(v) < 0 && not target_taken.(v) then begin
+      perm.(v) <- v;
+      target_taken.(v) <- true
+    end
+  done;
+  let free_targets = ref [] in
+  for v = size - 1 downto 0 do
+    if not target_taken.(v) then free_targets := v :: !free_targets
+  done;
+  Array.iteri
+    (fun src dst ->
+      if dst < 0 then begin
+        match !free_targets with
+        | [] -> assert false
+        | t :: rest ->
+          perm.(src) <- t;
+          free_targets := rest
+      end)
+    perm;
+  assert (is_valid perm);
+  perm
+
+let pp ppf p =
+  Format.fprintf ppf "(";
+  Array.iteri
+    (fun src dst -> if src <> dst then Format.fprintf ppf " %d->%d" src dst)
+    p;
+  Format.fprintf ppf " )"

@@ -1,0 +1,66 @@
+type level = (int * int) list
+
+type t = level list
+
+let depth t = List.length t
+
+let swap_count t = List.fold_left (fun acc level -> acc + List.length level) 0 t
+
+let is_valid g t =
+  List.for_all
+    (fun level ->
+      let touched = List.concat_map (fun (u, v) -> [ u; v ]) level in
+      List.length touched = List.length (List.sort_uniq compare touched)
+      && List.for_all (fun (u, v) -> u <> v && Qcp_graph.Graph.mem_edge g u v) level)
+    t
+
+let apply t config =
+  let out = Array.copy config in
+  List.iter
+    (List.iter (fun (u, v) ->
+         let tmp = out.(u) in
+         out.(u) <- out.(v);
+         out.(v) <- tmp))
+    t;
+  out
+
+let realizes t ~perm =
+  let n = Array.length perm in
+  let final = apply t (Array.init n (fun v -> v)) in
+  let ok = ref true in
+  Array.iteri (fun vertex token -> if perm.(token) <> vertex then ok := false) final;
+  !ok
+
+let to_circuit ~qubits t =
+  Qcp_circuit.Circuit.make ~qubits
+    (List.concat_map (List.map (fun (u, v) -> Qcp_circuit.Gate.swap u v)) t)
+
+let pp ppf t =
+  List.iteri
+    (fun i level ->
+      Format.fprintf ppf "level %d:" (i + 1);
+      List.iter (fun (u, v) -> Format.fprintf ppf " (%d,%d)" u v) level;
+      Format.fprintf ppf "@.")
+    t
+
+let compress t =
+  let swaps = List.concat t in
+  let level_of_vertex = Hashtbl.create 16 in
+  let buckets = Hashtbl.create 16 in
+  let max_level = ref (-1) in
+  List.iter
+    (fun (u, v) ->
+      let ready w = match Hashtbl.find_opt level_of_vertex w with Some l -> l | None -> 0 in
+      let level = max (ready u) (ready v) in
+      Hashtbl.replace level_of_vertex u (level + 1);
+      Hashtbl.replace level_of_vertex v (level + 1);
+      max_level := max !max_level level;
+      let existing = try Hashtbl.find buckets level with Not_found -> [] in
+      Hashtbl.replace buckets level ((u, v) :: existing))
+    swaps;
+  List.filter_map
+    (fun level ->
+      match Hashtbl.find_opt buckets level with
+      | None -> None
+      | Some bucket -> Some (List.rev bucket))
+    (List.init (!max_level + 1) (fun i -> i))

@@ -1,0 +1,11 @@
+(** Naive baseline permutation router, for the ablation study.
+
+    Processes vertices in reverse BFS order: each target vertex receives its
+    token by walking it along a shortest path inside the still-active
+    subgraph, one swap per level (no parallelism), then retires from the
+    instance.  Always correct on connected graphs, but produces networks of
+    depth O(n * diameter) versus the bisection router's O(n). *)
+
+val route : Qcp_graph.Graph.t -> perm:Perm.t -> Swap_network.t
+(** Raises [Invalid_argument] on a disconnected graph or invalid
+    permutation. *)

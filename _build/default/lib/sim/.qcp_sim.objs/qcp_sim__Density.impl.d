@@ -1,0 +1,1 @@
+lib/sim/density.ml: Array Complex Float List Qcp_circuit Statevec

@@ -1,0 +1,1 @@
+lib/sim/density.mli: Qcp_circuit Statevec

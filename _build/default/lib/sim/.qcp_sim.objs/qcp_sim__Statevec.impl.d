@@ -1,0 +1,1 @@
+lib/sim/statevec.ml: Array Complex Float List Printf Qcp_circuit Stdlib

@@ -1,0 +1,1 @@
+lib/sim/statevec.mli: Complex Qcp_circuit

@@ -1,0 +1,1 @@
+lib/sim/unitary.ml: Array Complex Float Qcp_circuit Statevec

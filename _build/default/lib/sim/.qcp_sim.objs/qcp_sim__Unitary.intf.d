@@ -1,0 +1,1 @@
+lib/sim/unitary.mli: Complex Qcp_circuit

@@ -1,0 +1,146 @@
+module Gate = Qcp_circuit.Gate
+module Circuit = Qcp_circuit.Circuit
+
+exception Unsupported of string
+
+type t = { n : int; amp : Complex.t array }
+
+let qubits t = t.n
+
+let basis ~n k =
+  let dim = 1 lsl n in
+  if k < 0 || k >= dim then invalid_arg "Statevec.basis: index out of range";
+  let amp = Array.make dim Complex.zero in
+  amp.(k) <- Complex.one;
+  { n; amp }
+
+let zero n = basis ~n 0
+
+let amplitudes t = Array.copy t.amp
+
+let of_amplitudes amp =
+  let dim = Array.length amp in
+  let n = int_of_float (Float.round (Float.log (float_of_int dim) /. Float.log 2.0)) in
+  if 1 lsl n <> dim then invalid_arg "Statevec.of_amplitudes: length not a power of two";
+  { n; amp = Array.copy amp }
+
+let radians degrees = degrees *. Float.pi /. 180.0
+
+let cis theta = { Complex.re = cos theta; im = sin theta }
+
+let cmul = Complex.mul
+let cadd = Complex.add
+
+(* 2x2 matrix as (m00, m01, m10, m11). *)
+let matrix1 kind =
+  let open Complex in
+  match kind with
+  | Gate.Hadamard ->
+    let s = 1.0 /. Stdlib.sqrt 2.0 in
+    ( { re = s; im = 0.0 }, { re = s; im = 0.0 },
+      { re = s; im = 0.0 }, { re = -.s; im = 0.0 } )
+  | Gate.Rotation (Gate.X, angle) ->
+    let half = radians angle /. 2.0 in
+    let c = { re = cos half; im = 0.0 } in
+    let mis = { re = 0.0; im = -.sin half } in
+    (c, mis, mis, c)
+  | Gate.Rotation (Gate.Y, angle) ->
+    let half = radians angle /. 2.0 in
+    let c = { re = cos half; im = 0.0 } in
+    let s = { re = sin half; im = 0.0 } in
+    (c, { re = -.s.re; im = 0.0 }, s, c)
+  | Gate.Rotation (Gate.Z, angle) ->
+    let half = radians angle /. 2.0 in
+    (cis (-.half), zero, zero, cis half)
+  | Gate.Custom1 (name, _) ->
+    raise (Unsupported (Printf.sprintf "cannot simulate custom gate %s" name))
+
+(* 4x4 matrix over basis |b a> where a is the first qubit: index = 2*b + a. *)
+let matrix2 kind =
+  let open Complex in
+  let diag d0 d1 d2 d3 =
+    let m = Array.make_matrix 4 4 zero in
+    m.(0).(0) <- d0; m.(1).(1) <- d1; m.(2).(2) <- d2; m.(3).(3) <- d3;
+    m
+  in
+  match kind with
+  | Gate.ZZ angle ->
+    let half = radians angle /. 2.0 in
+    diag (cis (-.half)) (cis half) (cis half) (cis (-.half))
+  | Gate.Cphase angle ->
+    diag one one one (cis (radians angle))
+  | Gate.Cnot ->
+    (* Control is the first qubit (low bit), target the second. *)
+    let m = Array.make_matrix 4 4 zero in
+    m.(0).(0) <- one;  (* |00> -> |00> *)
+    m.(3).(1) <- one;  (* |01> (a=1,b=0) -> |11> *)
+    m.(2).(2) <- one;  (* |10> -> |10> *)
+    m.(1).(3) <- one;  (* |11> -> |01> *)
+    m
+  | Gate.Swap ->
+    let m = Array.make_matrix 4 4 zero in
+    m.(0).(0) <- one; m.(2).(1) <- one; m.(1).(2) <- one; m.(3).(3) <- one;
+    m
+  | Gate.Custom2 (name, _) ->
+    raise (Unsupported (Printf.sprintf "cannot simulate custom gate %s" name))
+
+let apply_raw gate ~n amp =
+  ignore n;
+  let dim = Array.length amp in
+  let out = Array.make dim Complex.zero in
+  (match gate with
+  | Gate.G1 (kind, q) ->
+    let m00, m01, m10, m11 = matrix1 kind in
+    let mask = 1 lsl q in
+    for i = 0 to dim - 1 do
+      if i land mask = 0 then begin
+        let a0 = amp.(i) in
+        let a1 = amp.(i lor mask) in
+        out.(i) <- cadd (cmul m00 a0) (cmul m01 a1);
+        out.(i lor mask) <- cadd (cmul m10 a0) (cmul m11 a1)
+      end
+    done
+  | Gate.G2 (kind, qa, qb) ->
+    let m = matrix2 kind in
+    let ma = 1 lsl qa in
+    let mb = 1 lsl qb in
+    for i = 0 to dim - 1 do
+      if i land ma = 0 && i land mb = 0 then begin
+        let idx = [| i; i lor ma; i lor mb; i lor ma lor mb |] in
+        for row = 0 to 3 do
+          let acc = ref Complex.zero in
+          for col = 0 to 3 do
+            acc := cadd !acc (cmul m.(row).(col) amp.(idx.(col)))
+          done;
+          out.(idx.(row)) <- !acc
+        done
+      end
+    done);
+  out
+
+let apply gate t = { t with amp = apply_raw gate ~n:t.n t.amp }
+
+let run circuit t =
+  if Circuit.qubits circuit <> t.n then
+    invalid_arg "Statevec.run: qubit count mismatch";
+  List.fold_left (fun state gate -> apply gate state) t (Circuit.gates circuit)
+
+let probabilities t = Array.map Complex.norm2 t.amp
+
+let norm t = sqrt (Array.fold_left (fun acc z -> acc +. Complex.norm2 z) 0.0 t.amp)
+
+let inner a b =
+  let acc = ref Complex.zero in
+  Array.iteri (fun i za -> acc := cadd !acc (cmul (Complex.conj za) b.amp.(i))) a.amp;
+  !acc
+
+let fidelity a b =
+  if a.n <> b.n then invalid_arg "Statevec.fidelity: qubit count mismatch";
+  Complex.norm2 (inner a b)
+
+let equal_up_to_phase ?(tol = 1e-9) a b =
+  a.n = b.n
+  &&
+  let na = norm a and nb = norm b in
+  if na < tol || nb < tol then false
+  else Float.abs (fidelity a b -. (na *. na *. nb *. nb)) < tol

@@ -1,0 +1,56 @@
+(** Dense state-vector simulation of quantum circuits.
+
+    This substrate verifies the placement machinery semantically: routed SWAP
+    networks must realize their permutations, NMR gate decompositions must
+    equal their abstract counterparts, and a placed program must compute the
+    same unitary as the original circuit (up to the tracked qubit relabeling).
+
+    Convention: qubit [q] is bit [q] of the basis-state index (little
+    endian), so basis state [|x_{n-1} ... x_1 x_0>] has index
+    [sum x_q * 2^q].  Amplitudes are {!Complex.t}.  Intended for small
+    registers (n <= ~14). *)
+
+exception Unsupported of string
+(** Raised when simulating a custom gate with unknown semantics. *)
+
+type t
+(** An [n]-qubit state. *)
+
+val qubits : t -> int
+
+val basis : n:int -> int -> t
+(** [basis ~n k] is the computational basis state [|k>]. *)
+
+val zero : int -> t
+(** [zero n] = [basis ~n 0]. *)
+
+val amplitudes : t -> Complex.t array
+(** Copy of the amplitude vector (length [2^n]). *)
+
+val of_amplitudes : Complex.t array -> t
+(** Build a state from a raw amplitude vector (length must be a power of
+    two; no normalization is applied). *)
+
+val apply : Qcp_circuit.Gate.t -> t -> t
+(** Apply one gate (pure; the input state is unchanged). *)
+
+val apply_raw :
+  Qcp_circuit.Gate.t -> n:int -> Complex.t array -> Complex.t array
+(** Apply a gate's matrix to a raw (not necessarily normalized) amplitude
+    vector of length [2^n] — the building block used by density-matrix
+    conjugation. *)
+
+val run : Qcp_circuit.Circuit.t -> t -> t
+(** Apply every gate of the circuit in order. *)
+
+val probabilities : t -> float array
+(** Measurement distribution over basis states. *)
+
+val norm : t -> float
+(** Should be 1 up to floating error for states built here. *)
+
+val fidelity : t -> t -> float
+(** [|<a|b>|^2]. *)
+
+val equal_up_to_phase : ?tol:float -> t -> t -> bool
+(** State equality modulo a global phase ([tol] defaults to 1e-9). *)

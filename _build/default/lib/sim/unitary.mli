@@ -1,0 +1,32 @@
+(** Dense unitaries of small circuits, for equivalence checking.
+
+    The unitary of an [n]-qubit circuit is assembled column by column by
+    simulating every computational basis state — O(4^n) memory, intended for
+    [n <= ~10] test circuits. *)
+
+type t
+(** A [2^n x 2^n] complex matrix tagged with its qubit count. *)
+
+val of_circuit : Qcp_circuit.Circuit.t -> t
+
+val qubits : t -> int
+
+val entry : t -> int -> int -> Complex.t
+(** [entry u row col]. *)
+
+val mul : t -> t -> t
+(** Matrix product [a * b] (apply [b] first). *)
+
+val of_qubit_permutation : n:int -> int array -> t
+(** The unitary relabeling qubit [q] to qubit [perm.(q)]: basis state bits are
+    shuffled accordingly. *)
+
+val equal_up_to_phase : ?tol:float -> t -> t -> bool
+(** Whether [a = e^{i phi} b] for some global phase. *)
+
+val is_unitary : ?tol:float -> t -> bool
+(** Sanity check: [U U^dagger = I]. *)
+
+val distance : t -> t -> float
+(** Max-entry distance after optimal global-phase alignment; 0 for
+    phase-equivalent matrices. *)

@@ -1,0 +1,1 @@
+lib/util/bigdec.ml: Array Buffer List Printf String

@@ -1,0 +1,51 @@
+let range n = List.init n (fun i -> i)
+
+let range_from lo hi = if hi <= lo then [] else List.init (hi - lo) (fun i -> lo + i)
+
+let rec take n = function
+  | [] -> []
+  | x :: rest -> if n <= 0 then [] else x :: take (n - 1) rest
+
+let rec drop n = function
+  | [] -> []
+  | _ :: rest as all -> if n <= 0 then all else drop (n - 1) rest
+
+let min_by key = function
+  | [] -> None
+  | first :: rest ->
+    let best, _ =
+      List.fold_left
+        (fun (b, kb) x ->
+          let kx = key x in
+          if kx < kb then (x, kx) else (b, kb))
+        (first, key first) rest
+    in
+    Some best
+
+let max_by key list = min_by (fun x -> -.key x) list
+
+let sum_floats = List.fold_left ( +. ) 0.0
+
+let pairs list =
+  let rec loop acc = function
+    | [] -> List.rev acc
+    | x :: rest ->
+      let acc = List.fold_left (fun acc y -> (x, y) :: acc) acc rest in
+      loop acc rest
+  in
+  loop [] list
+
+let index_of pred list =
+  let rec loop i = function
+    | [] -> None
+    | x :: rest -> if pred x then Some i else loop (i + 1) rest
+  in
+  loop 0 list
+
+let chunks n list =
+  assert (n > 0);
+  let rec loop acc = function
+    | [] -> List.rev acc
+    | rest -> loop (take n rest :: acc) (drop n rest)
+  in
+  loop [] list

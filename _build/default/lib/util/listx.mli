@@ -1,0 +1,30 @@
+(** Small list/array helpers shared across the library. *)
+
+val range : int -> int list
+(** [range n] is [\[0; 1; ...; n-1\]]. *)
+
+val range_from : int -> int -> int list
+(** [range_from lo hi] is [\[lo; ...; hi-1\]]. *)
+
+val take : int -> 'a list -> 'a list
+(** First [n] elements (or fewer if the list is short). *)
+
+val drop : int -> 'a list -> 'a list
+(** The list without its first [n] elements. *)
+
+val min_by : ('a -> float) -> 'a list -> 'a option
+(** Element minimizing the key; [None] on an empty list. *)
+
+val max_by : ('a -> float) -> 'a list -> 'a option
+(** Element maximizing the key; [None] on an empty list. *)
+
+val sum_floats : float list -> float
+
+val pairs : 'a list -> ('a * 'a) list
+(** All unordered pairs of distinct positions. *)
+
+val index_of : ('a -> bool) -> 'a list -> int option
+(** Position of the first element satisfying the predicate. *)
+
+val chunks : int -> 'a list -> 'a list list
+(** Split into consecutive chunks of size [n] (last chunk may be short). *)

@@ -1,0 +1,1 @@
+test/suite_baselines.ml: Alcotest Array Helpers List Printf QCheck QCheck_alcotest Qcp Qcp_circuit Qcp_env Qcp_util

@@ -1,0 +1,1 @@
+test/suite_circuit.ml: Alcotest Array Float Helpers List QCheck QCheck_alcotest Qcp_circuit Qcp_graph Qcp_util

@@ -1,0 +1,1 @@
+test/suite_crosscheck.ml: Alcotest Array Filename Format Helpers List Printf QCheck QCheck_alcotest Qcp Qcp_circuit Qcp_env Qcp_graph Qcp_util String Sys

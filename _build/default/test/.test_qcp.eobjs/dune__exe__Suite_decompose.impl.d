@@ -1,0 +1,1 @@
+test/suite_decompose.ml: Alcotest List QCheck QCheck_alcotest Qcp Qcp_circuit Qcp_env Qcp_sim Qcp_util

@@ -1,0 +1,1 @@
+test/suite_env.ml: Alcotest Array Float Helpers List Printf QCheck QCheck_alcotest Qcp_env Qcp_graph Qcp_util

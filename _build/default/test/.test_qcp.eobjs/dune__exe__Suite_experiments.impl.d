@@ -1,0 +1,1 @@
+test/suite_experiments.ml: Alcotest Helpers List Printf Qcp_report String

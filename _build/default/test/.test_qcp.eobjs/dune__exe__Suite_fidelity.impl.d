@@ -1,0 +1,1 @@
+test/suite_fidelity.ml: Alcotest Array Helpers Printf Qcp Qcp_circuit Qcp_env Qcp_util

@@ -1,0 +1,1 @@
+test/suite_graph.ml: Alcotest Array Helpers List Printf QCheck QCheck_alcotest Qcp_graph Qcp_util

@@ -1,0 +1,1 @@
+test/suite_library.ml: Alcotest Array Complex Float Helpers List Printf QCheck QCheck_alcotest Qcp Qcp_circuit Qcp_env Qcp_graph Qcp_sim

@@ -1,0 +1,1 @@
+test/suite_noisy.ml: Alcotest Float Helpers List Printf Qcp Qcp_circuit Qcp_env Qcp_sim

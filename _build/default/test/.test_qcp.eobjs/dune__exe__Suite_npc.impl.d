@@ -1,0 +1,1 @@
+test/suite_npc.ml: Alcotest Array Helpers List QCheck QCheck_alcotest Qcp Qcp_circuit Qcp_env Qcp_graph Qcp_util

@@ -1,0 +1,1 @@
+test/suite_placer.ml: Alcotest Array Helpers List Printf QCheck QCheck_alcotest Qcp Qcp_circuit Qcp_env Qcp_graph Qcp_route Qcp_util

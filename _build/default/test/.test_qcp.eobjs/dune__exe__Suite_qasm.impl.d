@@ -1,0 +1,1 @@
+test/suite_qasm.ml: Alcotest Float Helpers List Qcp Qcp_circuit Qcp_env Qcp_sim

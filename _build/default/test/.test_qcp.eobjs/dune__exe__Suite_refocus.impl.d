@@ -1,0 +1,1 @@
+test/suite_refocus.ml: Alcotest Array Helpers List Printf QCheck QCheck_alcotest Qcp Qcp_circuit Qcp_env Qcp_route Qcp_util

@@ -1,0 +1,1 @@
+test/suite_route.ml: Alcotest Array Helpers List Printf QCheck QCheck_alcotest Qcp_circuit Qcp_env Qcp_graph Qcp_route Qcp_util

@@ -1,0 +1,1 @@
+test/suite_schedule.ml: Alcotest Float Helpers List QCheck QCheck_alcotest Qcp Qcp_circuit Qcp_env Qcp_graph Qcp_util

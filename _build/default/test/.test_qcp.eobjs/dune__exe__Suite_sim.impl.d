@@ -1,0 +1,1 @@
+test/suite_sim.ml: Alcotest Array Complex Float Helpers List Printf QCheck QCheck_alcotest Qcp_circuit Qcp_sim Qcp_util

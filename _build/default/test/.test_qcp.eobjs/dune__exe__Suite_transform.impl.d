@@ -1,0 +1,1 @@
+test/suite_transform.ml: Alcotest Helpers List Printf QCheck QCheck_alcotest Qcp Qcp_circuit Qcp_env Qcp_sim Qcp_util

@@ -1,0 +1,1 @@
+test/suite_tuner.ml: Alcotest Array List Printf QCheck QCheck_alcotest Qcp Qcp_circuit Qcp_env Qcp_graph Qcp_route Qcp_util

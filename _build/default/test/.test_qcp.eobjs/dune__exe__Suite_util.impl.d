@@ -1,0 +1,1 @@
+test/suite_util.ml: Alcotest Array List QCheck QCheck_alcotest Qcp_util String

@@ -1,0 +1,1 @@
+test/suite_verify.ml: Alcotest Array List QCheck QCheck_alcotest Qcp Qcp_circuit Qcp_env Qcp_util

@@ -1,0 +1,1 @@
+test/suite_workspace.ml: Alcotest List QCheck QCheck_alcotest Qcp Qcp_circuit Qcp_graph Qcp_util

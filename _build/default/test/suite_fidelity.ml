@@ -1,0 +1,145 @@
+(* Tests for the decoherence/fidelity extension and the annealer baseline. *)
+
+module Fidelity = Qcp.Fidelity
+module Placer = Qcp.Placer
+module Options = Qcp.Options
+module Molecules = Qcp_env.Molecules
+module Environment = Qcp_env.Environment
+module Catalog = Qcp_circuit.Catalog
+
+let place_exn options env circuit =
+  match Placer.place options env circuit with
+  | Placer.Placed p -> p
+  | Placer.Unplaceable msg -> Alcotest.failf "unplaceable: %s" msg
+
+let test_no_t2_means_perfect () =
+  let env = Environment.chain 5 in
+  (* chain has no T2 data -> fidelity 1. *)
+  let circuit = Catalog.qec5_encode in
+  let p = place_exn (Options.default ~threshold:50.0) env circuit in
+  Helpers.check_close "perfect" 1.0 (Fidelity.estimate p)
+
+let test_fidelity_in_range () =
+  let env = Molecules.trans_crotonic_acid in
+  let p = place_exn (Options.default ~threshold:100.0) env (Catalog.qft 6) in
+  let f = Fidelity.estimate p in
+  Alcotest.(check bool) (Printf.sprintf "0 < %f < 1" f) true (f > 0.0 && f < 1.0)
+
+let test_better_placement_better_fidelity () =
+  (* The paper's Example 3 placements: 136 vs 770 units on the same nuclei
+     set; the faster one must retain more coherence. *)
+  let env = Molecules.acetyl_chloride in
+  let circuit = Catalog.qec3_encode in
+  let good = Fidelity.placement_fidelity env circuit ~placement:[| 2; 1; 0 |] in
+  let bad = Fidelity.placement_fidelity env circuit ~placement:[| 0; 2; 1 |] in
+  Alcotest.(check bool)
+    (Printf.sprintf "good %.4f > bad %.4f" good bad)
+    true (good > bad);
+  Alcotest.(check bool) "both in (0,1)" true (bad > 0.0 && good < 1.0)
+
+let test_exposure_shape () =
+  let env = Molecules.acetyl_chloride in
+  let p = place_exn (Options.default ~threshold:100.0) env Catalog.qec3_encode in
+  let exposure = Fidelity.qubit_exposure p in
+  Alcotest.(check int) "one entry per qubit" 3 (Array.length exposure);
+  Array.iter
+    (fun e -> Alcotest.(check bool) "non-negative" true (e >= 0.0))
+    exposure;
+  (* Total runtime 136 units over T2 ~ 10^4: exposure around 1 percent. *)
+  let total = Array.fold_left ( +. ) 0.0 exposure in
+  Alcotest.(check bool)
+    (Printf.sprintf "plausible magnitude %f" total)
+    true
+    (total > 0.001 && total < 0.2)
+
+let test_fidelity_consistent_with_direct_formula () =
+  (* A single-stage program: estimate must equal the whole-circuit formula. *)
+  let env = Molecules.acetyl_chloride in
+  let p = place_exn (Options.default ~threshold:100.0) env Catalog.qec3_encode in
+  Alcotest.(check int) "single stage" 1 (Placer.subcircuit_count p);
+  match Placer.initial_placement p with
+  | None -> Alcotest.fail "expected placement"
+  | Some placement ->
+    let direct =
+      Fidelity.placement_fidelity env Catalog.qec3_encode ~placement
+    in
+    Helpers.check_close ~eps:1e-6 "agrees" direct (Fidelity.estimate p)
+
+let test_swap_stages_cost_fidelity () =
+  (* More SWAP stages means more wall-clock, hence lower fidelity than the
+     runtime-optimal variant of the same circuit. *)
+  let env = Molecules.trans_crotonic_acid in
+  let circuit = Catalog.qft 6 in
+  let fast = place_exn (Options.default ~threshold:100.0) env circuit in
+  let forced =
+    place_exn
+      { (Options.default ~threshold:100.0) with Options.router = Options.Token }
+      env circuit
+  in
+  let ff = Fidelity.estimate fast and fs = Fidelity.estimate forced in
+  Alcotest.(check bool)
+    (Printf.sprintf "parallel swaps %.4f >= serial %.4f" ff fs)
+    true
+    (ff >= fs -. 1e-9)
+
+(* --------------------------- annealer ----------------------------- *)
+
+let test_annealer_matches_exhaustive_small () =
+  let env = Molecules.acetyl_chloride in
+  let circuit = Catalog.qec3_encode in
+  let _, cost = Qcp.Annealer.solve ~iterations:2000 ~seed:5 env circuit in
+  Helpers.check_close "finds the optimum 136" 136.0 cost
+
+let test_annealer_beats_random_average () =
+  let env = Molecules.trans_crotonic_acid in
+  let circuit = Catalog.qec5_encode in
+  let _, annealed = Qcp.Annealer.solve ~iterations:4000 ~seed:7 env circuit in
+  let rng = Qcp_util.Rng.create 11 in
+  let avg =
+    let sum = ref 0.0 in
+    for _ = 1 to 30 do
+      let p = Qcp.Baselines.random_placement rng env circuit in
+      sum := !sum +. Qcp.Baselines.evaluate env circuit ~placement:p
+    done;
+    !sum /. 30.0
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "annealed %.0f << random avg %.0f" annealed avg)
+    true
+    (annealed < avg /. 2.0)
+
+let test_annealer_deterministic () =
+  let env = Molecules.boc_glycine_fluoride in
+  let circuit = Catalog.phase_estimation 4 in
+  let p1, c1 = Qcp.Annealer.solve ~iterations:1500 ~seed:3 env circuit in
+  let p2, c2 = Qcp.Annealer.solve ~iterations:1500 ~seed:3 env circuit in
+  Alcotest.(check (array int)) "same placement" p1 p2;
+  Helpers.check_close "same cost" c1 c2
+
+let test_annealer_not_far_from_exhaustive () =
+  let env = Molecules.trans_crotonic_acid in
+  let circuit = Catalog.qec5_encode in
+  match Qcp.Baselines.exhaustive env circuit with
+  | None -> Alcotest.fail "2520 is affordable"
+  | Some (_, optimal) ->
+    let _, annealed = Qcp.Annealer.solve ~iterations:6000 ~seed:13 env circuit in
+    Alcotest.(check bool)
+      (Printf.sprintf "annealed %.0f within 1.5x of optimal %.0f" annealed optimal)
+      true
+      (annealed <= optimal *. 1.5)
+
+let suite =
+  [
+    Alcotest.test_case "no T2 -> perfect" `Quick test_no_t2_means_perfect;
+    Alcotest.test_case "fidelity in range" `Quick test_fidelity_in_range;
+    Alcotest.test_case "better placement, better fidelity" `Quick
+      test_better_placement_better_fidelity;
+    Alcotest.test_case "exposure shape" `Quick test_exposure_shape;
+    Alcotest.test_case "single stage = direct formula" `Quick
+      test_fidelity_consistent_with_direct_formula;
+    Alcotest.test_case "swap stages cost fidelity" `Quick test_swap_stages_cost_fidelity;
+    Alcotest.test_case "annealer optimum (small)" `Quick test_annealer_matches_exhaustive_small;
+    Alcotest.test_case "annealer beats random" `Quick test_annealer_beats_random_average;
+    Alcotest.test_case "annealer deterministic" `Quick test_annealer_deterministic;
+    Alcotest.test_case "annealer near optimal" `Quick test_annealer_not_far_from_exhaustive;
+  ]

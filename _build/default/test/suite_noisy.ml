@@ -1,0 +1,135 @@
+(* Tests for the density-matrix simulator and the noisy program simulation
+   that validates the analytic fidelity model. *)
+
+module Density = Qcp_sim.Density
+module Statevec = Qcp_sim.Statevec
+module Gate = Qcp_circuit.Gate
+module Circuit = Qcp_circuit.Circuit
+module Noisy = Qcp.Noisy
+module Placer = Qcp.Placer
+module Options = Qcp.Options
+
+let plus_state = Statevec.apply (Gate.h 0) (Statevec.zero 1)
+
+let test_pure_state_properties () =
+  let rho = Density.of_statevec plus_state in
+  Helpers.check_close "trace 1" 1.0 (Density.trace rho);
+  Helpers.check_close "purity 1" 1.0 (Density.purity rho);
+  Helpers.check_close "self fidelity" 1.0 (Density.fidelity_to plus_state rho)
+
+let test_gate_conjugation_matches_statevec () =
+  let circuits =
+    [
+      Circuit.make ~qubits:2 [ Gate.h 0; Gate.cnot 0 1 ];
+      Circuit.make ~qubits:3 [ Gate.ry 0 70.0; Gate.zz 0 1 90.0; Gate.swap 1 2 ];
+      Qcp_circuit.Catalog.qft 3;
+    ]
+  in
+  List.iter
+    (fun c ->
+      let n = Circuit.qubits c in
+      let psi = Statevec.run c (Statevec.zero n) in
+      let rho = Density.run_circuit c (Density.of_statevec (Statevec.zero n)) in
+      Helpers.check_close ~eps:1e-9 "pure evolution agrees" 1.0
+        (Density.fidelity_to psi rho);
+      Helpers.check_close ~eps:1e-9 "still pure" 1.0 (Density.purity rho))
+    circuits
+
+let test_dephasing_kills_coherence () =
+  let rho = Density.of_statevec plus_state in
+  (* Full dephasing (p = 1/2): |+><+| becomes maximally mixed. *)
+  let mixed = Density.dephase ~qubit:0 ~p:0.5 rho in
+  Helpers.check_close "trace preserved" 1.0 (Density.trace mixed);
+  Helpers.check_close "purity 1/2" 0.5 (Density.purity mixed);
+  Helpers.check_close "fidelity 1/2" 0.5 (Density.fidelity_to plus_state mixed)
+
+let test_dephasing_analytic_decay () =
+  (* Off-diagonal decay after time t with T2: exp(-t/T2); fidelity of |+>
+     becomes (1 + exp(-t/T2)) / 2. *)
+  let t2 = 1000.0 and time = 700.0 in
+  let rho =
+    Density.dephase_for ~qubit:0 ~time ~t2 (Density.of_statevec plus_state)
+  in
+  Helpers.check_close ~eps:1e-9 "matches closed form"
+    ((1.0 +. exp (-.time /. t2)) /. 2.0)
+    (Density.fidelity_to plus_state rho)
+
+let test_dephasing_ignores_basis_states () =
+  let zero = Statevec.zero 2 in
+  let rho = Density.dephase ~qubit:1 ~p:0.4 (Density.of_statevec zero) in
+  Helpers.check_close "basis states immune" 1.0 (Density.fidelity_to zero rho)
+
+let test_dephase_infinite_t2_noop () =
+  let rho = Density.of_statevec plus_state in
+  let same = Density.dephase_for ~qubit:0 ~time:1e6 ~t2:Float.infinity rho in
+  Helpers.check_close "no-op" 1.0 (Density.fidelity_to plus_state same)
+
+let place_exn options env circuit =
+  match Placer.place options env circuit with
+  | Placer.Placed p -> p
+  | Placer.Unplaceable msg -> Alcotest.failf "unplaceable: %s" msg
+
+let test_noisy_no_t2_is_exact () =
+  (* A chain environment has no T2 data: the noisy simulation must equal the
+     ideal output exactly. *)
+  let env = Qcp_env.Environment.chain 5 in
+  let p = place_exn (Options.default ~threshold:50.0) env Qcp_circuit.Catalog.qec5_encode in
+  Helpers.check_close ~eps:1e-9 "exact without noise" 1.0
+    (Noisy.empirical_fidelity ~input:5 p)
+
+let test_noisy_fidelity_bounded_by_analytic_shape () =
+  (* On a real molecule the empirical fidelity is in (0,1) and close in
+     magnitude to the first-order analytic estimate. *)
+  let env = Qcp_env.Molecules.acetyl_chloride in
+  let p = place_exn (Options.default ~threshold:100.0) env Qcp_circuit.Catalog.qec3_encode in
+  let analytic = Qcp.Fidelity.estimate p in
+  let empirical = Noisy.empirical_fidelity ~input:1 p in
+  Alcotest.(check bool)
+    (Printf.sprintf "empirical %.4f vs analytic %.4f" empirical analytic)
+    true
+    (empirical > 0.0 && empirical <= 1.0 +. 1e-9
+    && Float.abs (empirical -. analytic) < 0.15)
+
+let test_noisy_orders_placements_like_analytic () =
+  (* The empirical model must prefer the same placement the analytic model
+     prefers: good (136-unit) vs bad (770-unit) acetyl mapping. *)
+  let env = Qcp_env.Molecules.acetyl_chloride in
+  let circuit = Qcp_circuit.Catalog.qec3_encode in
+  let program_for placement =
+    (* Build a single-stage program by hand. *)
+    match Placer.place (Options.default ~threshold:100.0) env circuit with
+    | Placer.Placed p ->
+      { p with Placer.stages = [ Placer.Compute { placement; circuit } ] }
+    | Placer.Unplaceable msg -> Alcotest.failf "unplaceable: %s" msg
+  in
+  let good = Noisy.empirical_fidelity ~input:3 (program_for [| 2; 1; 0 |]) in
+  let bad = Noisy.empirical_fidelity ~input:3 (program_for [| 0; 2; 1 |]) in
+  Alcotest.(check bool)
+    (Printf.sprintf "good %.4f > bad %.4f" good bad)
+    true (good > bad)
+
+let test_noisy_with_swap_stages () =
+  (* Multi-stage programs (SWAP networks included) stay near the ideal for a
+     fast molecule. *)
+  let env = Qcp_env.Molecules.boc_glycine_fluoride in
+  let p = place_exn (Options.default ~threshold:200.0) env (Qcp_circuit.Catalog.qft 4) in
+  let f = Noisy.empirical_fidelity ~input:9 p in
+  Alcotest.(check bool) (Printf.sprintf "fidelity %.4f reasonable" f) true
+    (f > 0.5 && f <= 1.0 +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "pure state properties" `Quick test_pure_state_properties;
+    Alcotest.test_case "conjugation matches statevec" `Quick
+      test_gate_conjugation_matches_statevec;
+    Alcotest.test_case "dephasing kills coherence" `Quick test_dephasing_kills_coherence;
+    Alcotest.test_case "dephasing closed form" `Quick test_dephasing_analytic_decay;
+    Alcotest.test_case "basis states immune" `Quick test_dephasing_ignores_basis_states;
+    Alcotest.test_case "infinite T2 no-op" `Quick test_dephase_infinite_t2_noop;
+    Alcotest.test_case "noisy exact without T2" `Quick test_noisy_no_t2_is_exact;
+    Alcotest.test_case "noisy close to analytic" `Quick
+      test_noisy_fidelity_bounded_by_analytic_shape;
+    Alcotest.test_case "noisy orders placements" `Quick
+      test_noisy_orders_placements_like_analytic;
+    Alcotest.test_case "noisy with swap stages" `Quick test_noisy_with_swap_stages;
+  ]

@@ -1,0 +1,114 @@
+(* Tests of the Section-4 NP-completeness reduction: zero-runtime placement
+   iff Hamiltonian cycle, cross-validated against the direct search. *)
+
+module Np = Qcp.Np_reduction
+module Hamilton = Qcp_graph.Hamilton
+module Gen = Qcp_graph.Generators
+module Graph = Qcp_graph.Graph
+
+let fixtures =
+  [
+    ("cycle-5", Gen.cycle_graph 5, true);
+    ("cycle-8", Gen.cycle_graph 8, true);
+    ("complete-5", Gen.complete 5, true);
+    ("complete-6", Gen.complete 6, true);
+    ("path-6", Gen.path_graph 6, false);
+    ("star-6", Gen.star 6, false);
+    ("petersen", Gen.petersen (), false);
+    ("grid-2x3", Gen.grid 2 3, true);
+    ("grid-3x3", Gen.grid 3 3, false);
+    (* grids with an odd number of cells and even side? 3x3 grid is bipartite
+       with unequal parts: not Hamiltonian. *)
+    ("binary-tree-7", Gen.binary_tree 7, false);
+  ]
+
+let test_known_graphs () =
+  List.iter
+    (fun (name, g, expected) ->
+      Alcotest.(check bool)
+        (name ^ " zero placement")
+        expected
+        (Np.has_zero_placement g);
+      Alcotest.(check bool)
+        (name ^ " hamilton agrees")
+        expected
+        (Hamilton.cycle g <> None))
+    fixtures
+
+let test_zero_placement_is_cycle () =
+  List.iter
+    (fun (name, g, expected) ->
+      if expected then
+        match Np.zero_placement g with
+        | None -> Alcotest.failf "%s: expected a zero placement" name
+        | Some placement ->
+          Alcotest.(check bool)
+            (name ^ " placement is a Hamiltonian cycle")
+            true
+            (Hamilton.is_cycle g (Array.to_list placement)))
+    fixtures
+
+let test_optimal_cost_positive_when_no_cycle () =
+  Alcotest.(check bool) "path cost > 0" true (Np.optimal_cost (Gen.path_graph 5) > 0.0);
+  Helpers.check_close "cycle cost = 0" 0.0 (Np.optimal_cost (Gen.cycle_graph 5));
+  (* Removing one edge from a cycle forces cost exactly 1. *)
+  let broken = Graph.of_edges 5 [ (0, 1); (1, 2); (2, 3); (3, 4) ] in
+  Helpers.check_close "one missing edge" 1.0 (Np.optimal_cost broken)
+
+let test_reduction_environment () =
+  let g = Gen.cycle_graph 4 in
+  let env = Np.environment_of_graph g in
+  Helpers.check_close "edge weight 0" 0.0
+    (Qcp_env.Environment.coupling_delay env 0 1);
+  Helpers.check_close "non-edge weight 1" 1.0
+    (Qcp_env.Environment.coupling_delay env 0 2);
+  Helpers.check_close "single delays 0" 0.0 (Qcp_env.Environment.single_delay env 0)
+
+let test_reduction_circuit_shape () =
+  let c = Np.cycle_circuit 5 in
+  Alcotest.(check int) "m gates" 5 (Qcp_circuit.Circuit.gate_count c);
+  Alcotest.(check int) "all two-qubit" 5 (Qcp_circuit.Circuit.two_qubit_count c);
+  (* The interaction graph is the cycle C5. *)
+  Alcotest.(check bool) "interactions form a cycle" true
+    (Graph.equal (Qcp_circuit.Circuit.interaction_graph c) (Gen.cycle_graph 5))
+
+let test_reduction_cost_equals_timing () =
+  (* The branch-and-bound cost must equal the timing model's evaluation of
+     the reduction circuit under the same placement. *)
+  let g = Gen.petersen () in
+  let env = Np.environment_of_graph g in
+  let circuit = Np.cycle_circuit (Graph.n g) in
+  let rng = Qcp_util.Rng.create 4 in
+  for _ = 1 to 10 do
+    let placement = Qcp_util.Rng.permutation rng (Graph.n g) in
+    let timed = Qcp.Baselines.evaluate env circuit ~placement in
+    (* Direct edge-cost sum. *)
+    let direct = ref 0.0 in
+    let m = Graph.n g in
+    for i = 0 to m - 1 do
+      let u = placement.(i) and v = placement.((i + 1) mod m) in
+      if not (Graph.mem_edge g u v) then direct := !direct +. 1.0
+    done;
+    Helpers.check_close "timing = edge cost sum" !direct timed
+  done
+
+let qcheck_reduction_agrees_with_hamilton =
+  QCheck.Test.make
+    ~name:"zero placement exists iff Hamiltonian cycle exists" ~count:40
+    QCheck.(pair small_int (int_range 3 9))
+    (fun (seed, n) ->
+      let rng = Qcp_util.Rng.create seed in
+      let g = Gen.random_connected rng ~n ~extra_edges:(Qcp_util.Rng.int rng n) in
+      Np.has_zero_placement g = (Hamilton.cycle g <> None))
+
+let suite =
+  [
+    Alcotest.test_case "known graphs" `Quick test_known_graphs;
+    Alcotest.test_case "zero placement is a Hamiltonian cycle" `Quick
+      test_zero_placement_is_cycle;
+    Alcotest.test_case "optimal costs" `Quick test_optimal_cost_positive_when_no_cycle;
+    Alcotest.test_case "reduction environment" `Quick test_reduction_environment;
+    Alcotest.test_case "reduction circuit" `Quick test_reduction_circuit_shape;
+    Alcotest.test_case "reduction cost = timing" `Quick test_reduction_cost_equals_timing;
+    QCheck_alcotest.to_alcotest qcheck_reduction_agrees_with_hamilton;
+  ]

@@ -1,0 +1,188 @@
+(* Tests for Walsh refocusing schemes (paper Section 2) and the placer's
+   search-effort instrumentation. *)
+
+module Refocus = Qcp.Refocus
+module Gate = Qcp_circuit.Gate
+module Placer = Qcp.Placer
+module Options = Qcp.Options
+
+let test_walsh_signs () =
+  (* Row 0 is constant +1; row 1 alternates. *)
+  for s = 0 to 7 do
+    Alcotest.(check int) "row 0" 1 (Refocus.walsh 0 s)
+  done;
+  Alcotest.(check int) "row 1 slice 0" 1 (Refocus.walsh 1 0);
+  Alcotest.(check int) "row 1 slice 1" (-1) (Refocus.walsh 1 1);
+  Alcotest.(check int) "row 3 slice 3" 1 (Refocus.walsh 3 3)
+
+let test_walsh_orthogonality () =
+  let slices = 8 in
+  for r1 = 0 to slices - 1 do
+    for r2 = 0 to slices - 1 do
+      let dot = ref 0 in
+      for s = 0 to slices - 1 do
+        dot := !dot + (Refocus.walsh r1 s * Refocus.walsh r2 s)
+      done;
+      let expected = if r1 = r2 then slices else 0 in
+      Alcotest.(check int) (Printf.sprintf "rows %d.%d" r1 r2) expected !dot
+    done
+  done
+
+let test_design_keeps_pairs () =
+  let scheme = Refocus.design ~nuclei:6 ~keep:[ (0, 1); (3, 4) ] in
+  Helpers.check_close "kept 0-1" 1.0 (Refocus.effective_coupling scheme 0 1);
+  Helpers.check_close "kept 3-4" 1.0 (Refocus.effective_coupling scheme 3 4);
+  Helpers.check_close "decoupled 0-3" 0.0 (Refocus.effective_coupling scheme 0 3);
+  Helpers.check_close "decoupled 1-2" 0.0 (Refocus.effective_coupling scheme 1 2);
+  Helpers.check_close "decoupled 2-5" 0.0 (Refocus.effective_coupling scheme 2 5);
+  Alcotest.(check bool) "valid" true (Refocus.is_valid scheme ~keep:[ (0, 1); (3, 4) ])
+
+let test_design_all_decoupled () =
+  (* No kept interactions: every pair must average away (a pure delay). *)
+  let scheme = Refocus.design ~nuclei:5 ~keep:[] in
+  for a = 0 to 4 do
+    for b = a + 1 to 4 do
+      Helpers.check_close "decoupled" 0.0 (Refocus.effective_coupling scheme a b)
+    done
+  done;
+  Alcotest.(check bool) "valid" true (Refocus.is_valid scheme ~keep:[])
+
+let test_design_slices_power_of_two () =
+  List.iter
+    (fun (nuclei, keep, min_slices) ->
+      let scheme = Refocus.design ~nuclei ~keep in
+      Alcotest.(check bool)
+        (Printf.sprintf "slices %d >= %d and power of 2" scheme.Refocus.slices min_slices)
+        true
+        (scheme.Refocus.slices >= min_slices
+        && scheme.Refocus.slices land (scheme.Refocus.slices - 1) = 0))
+    [ (4, [], 4); (4, [ (0, 1) ], 2); (4, [ (0, 1); (2, 3) ], 2); (2, [ (0, 1) ], 1) ]
+
+let test_pulse_counts () =
+  let scheme = Refocus.design ~nuclei:4 ~keep:[] in
+  let pulses = Refocus.pulses_per_nucleus scheme in
+  (* Row 0 never flips; alternating rows flip every slice. *)
+  let sorted = Array.copy pulses in
+  Array.sort compare sorted;
+  Alcotest.(check int) "constant row" 0 sorted.(0);
+  Alcotest.(check bool) "others flip" true (sorted.(1) > 0);
+  Alcotest.(check int) "total" (Array.fold_left ( + ) 0 pulses)
+    (Refocus.total_pulses scheme)
+
+let test_pulse_overhead () =
+  let env = Qcp_env.Molecules.acetyl_chloride in
+  let scheme = Refocus.design ~nuclei:3 ~keep:[ (1, 2) ] in
+  let overhead = Refocus.pulse_overhead env scheme in
+  Alcotest.(check bool) "positive" true (overhead > 0.0)
+
+let test_for_level () =
+  let level = [ Gate.zz 0 1 90.0; Gate.ry 4 90.0; Gate.zz 2 3 90.0 ] in
+  let scheme = Refocus.for_level ~nuclei:5 level in
+  Alcotest.(check bool) "valid for the level's pairs" true
+    (Refocus.is_valid scheme ~keep:[ (0, 1); (2, 3) ]);
+  Helpers.check_close "spectator decoupled" 0.0 (Refocus.effective_coupling scheme 0 4)
+
+let test_for_placed_program_levels () =
+  (* Every logic level of every placed stage admits a valid scheme. *)
+  let env = Qcp_env.Molecules.trans_crotonic_acid in
+  match Placer.place (Options.default ~threshold:100.0) env (Qcp_circuit.Catalog.qft 5) with
+  | Placer.Unplaceable msg -> Alcotest.failf "unplaceable: %s" msg
+  | Placer.Placed p ->
+    let m = Qcp_env.Environment.size env in
+    List.iter
+      (fun stage ->
+        let circuit =
+          match stage with
+          | Placer.Compute { placement; circuit } ->
+            Qcp_circuit.Circuit.map_qubits (fun q -> placement.(q)) ~qubits:m circuit
+          | Placer.Permute net -> Qcp_route.Swap_network.to_circuit ~qubits:m net
+        in
+        List.iter
+          (fun level ->
+            let keep =
+              List.filter_map
+                (fun gate ->
+                  match Gate.qubits gate with
+                  | [ a; b ] -> Some (a, b)
+                  | _ -> None)
+                level
+            in
+            let scheme = Refocus.for_level ~nuclei:m level in
+            Alcotest.(check bool) "level scheme valid" true
+              (Refocus.is_valid scheme ~keep))
+          (Qcp_circuit.Levelize.levels circuit))
+      p.Placer.stages
+
+let qcheck_design_always_valid =
+  QCheck.Test.make ~name:"refocusing schemes are always valid on matchings"
+    ~count:60
+    QCheck.(pair small_int (int_range 2 12))
+    (fun (seed, nuclei) ->
+      let rng = Qcp_util.Rng.create seed in
+      (* Draw a random matching. *)
+      let order = Qcp_util.Rng.permutation rng nuclei in
+      let pairs = ref [] in
+      let i = ref 0 in
+      while !i + 1 < nuclei do
+        if Qcp_util.Rng.bool rng then pairs := (order.(!i), order.(!i + 1)) :: !pairs;
+        i := !i + 2
+      done;
+      let scheme = Refocus.design ~nuclei ~keep:!pairs in
+      Refocus.is_valid scheme ~keep:!pairs)
+
+(* ------------------------------ stats ----------------------------- *)
+
+let test_stats_populated () =
+  let env = Qcp_env.Molecules.trans_crotonic_acid in
+  match Placer.place (Options.default ~threshold:100.0) env (Qcp_circuit.Catalog.qft 6) with
+  | Placer.Unplaceable msg -> Alcotest.failf "unplaceable: %s" msg
+  | Placer.Placed p ->
+    let s = p.Placer.stats in
+    Alcotest.(check bool) "oracle consulted" true (s.Placer.oracle_calls > 0);
+    Alcotest.(check bool) "candidates scored" true (s.Placer.candidates_scored > 0);
+    Alcotest.(check bool) "networks routed" true (s.Placer.networks_routed > 0)
+
+let test_stats_oracle_bound () =
+  (* The paper's bound: at most 2s monomorphism calls for s two-qubit gates;
+     our implementation only queries on new pairs, so even fewer. *)
+  let env = Qcp_env.Molecules.trans_crotonic_acid in
+  let circuit = Qcp_circuit.Catalog.qft 6 in
+  match Placer.place (Options.default ~threshold:200.0) env circuit with
+  | Placer.Unplaceable msg -> Alcotest.failf "unplaceable: %s" msg
+  | Placer.Placed p ->
+    let s = Qcp_circuit.Circuit.two_qubit_count circuit in
+    Alcotest.(check bool)
+      (Printf.sprintf "%d oracle calls <= 2s = %d" p.Placer.stats.Placer.oracle_calls (2 * s))
+      true
+      (p.Placer.stats.Placer.oracle_calls <= 2 * s)
+
+let test_stats_lookahead_costs_more () =
+  let env = Qcp_env.Molecules.trans_crotonic_acid in
+  let circuit = Qcp_circuit.Catalog.qft 6 in
+  let base = Options.default ~threshold:100.0 in
+  match
+    ( Placer.place base env circuit,
+      Placer.place { base with Options.lookahead = false } env circuit )
+  with
+  | Placer.Placed la, Placer.Placed greedy ->
+    Alcotest.(check bool) "lookahead scores more candidates" true
+      (la.Placer.stats.Placer.candidates_scored
+      > greedy.Placer.stats.Placer.candidates_scored)
+  | _ -> Alcotest.fail "both must place"
+
+let suite =
+  [
+    Alcotest.test_case "walsh signs" `Quick test_walsh_signs;
+    Alcotest.test_case "walsh orthogonality" `Quick test_walsh_orthogonality;
+    Alcotest.test_case "design keeps pairs" `Quick test_design_keeps_pairs;
+    Alcotest.test_case "design all decoupled" `Quick test_design_all_decoupled;
+    Alcotest.test_case "slices power of two" `Quick test_design_slices_power_of_two;
+    Alcotest.test_case "pulse counts" `Quick test_pulse_counts;
+    Alcotest.test_case "pulse overhead" `Quick test_pulse_overhead;
+    Alcotest.test_case "for_level" `Quick test_for_level;
+    Alcotest.test_case "schemes for placed programs" `Quick test_for_placed_program_levels;
+    QCheck_alcotest.to_alcotest qcheck_design_always_valid;
+    Alcotest.test_case "stats populated" `Quick test_stats_populated;
+    Alcotest.test_case "stats oracle bound (2s)" `Quick test_stats_oracle_bound;
+    Alcotest.test_case "stats lookahead costs more" `Quick test_stats_lookahead_costs_more;
+  ]

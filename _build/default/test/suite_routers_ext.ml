@@ -1,0 +1,151 @@
+(* Tests for the routing extensions: odd-even transposition on chains, the
+   weighted channel refinement, and the pretty circuit renderer. *)
+
+module Oes = Qcp_route.Oes_router
+module Bisect = Qcp_route.Bisect_router
+module Network = Qcp_route.Swap_network
+module Perm = Qcp_route.Perm
+module Gen = Qcp_graph.Generators
+module Graph = Qcp_graph.Graph
+
+let test_path_order_detects_paths () =
+  (match Oes.path_order (Gen.path_graph 6) with
+  | Some order ->
+    Alcotest.(check int) "length" 6 (Array.length order);
+    (* Consecutive entries must be edges. *)
+    for i = 0 to 4 do
+      Alcotest.(check bool) "chain order" true
+        (Graph.mem_edge (Gen.path_graph 6) order.(i) order.(i + 1))
+    done
+  | None -> Alcotest.fail "path not recognized");
+  Alcotest.(check bool) "cycle rejected" true (Oes.path_order (Gen.cycle_graph 5) = None);
+  Alcotest.(check bool) "star rejected" true (Oes.path_order (Gen.star 5) = None);
+  Alcotest.(check bool) "disconnected rejected" true
+    (Oes.path_order (Graph.of_edges 4 [ (0, 1); (2, 3) ]) = None)
+
+let test_oes_reversal () =
+  let n = 10 in
+  let g = Gen.path_graph n in
+  let perm = Array.init n (fun i -> n - 1 - i) in
+  let net = Oes.route g ~perm in
+  Alcotest.(check bool) "realizes" true (Network.realizes net ~perm);
+  Alcotest.(check bool) "valid" true (Network.is_valid g net);
+  Alcotest.(check bool) "depth <= n" true (Network.depth net <= n)
+
+let test_oes_identity () =
+  let g = Gen.path_graph 7 in
+  Alcotest.(check int) "empty" 0 (Network.depth (Oes.route g ~perm:(Perm.identity 7)))
+
+let test_oes_beats_or_ties_bisect_on_chain () =
+  (* Odd-even transposition is the depth-optimal comparator network on
+     chains: never deeper than n, so never much deeper than bisect. *)
+  let rng = Qcp_util.Rng.create 17 in
+  for _ = 1 to 10 do
+    let n = 4 + Qcp_util.Rng.int rng 20 in
+    let g = Gen.path_graph n in
+    let perm = Perm.random rng n in
+    let oes = Network.depth (Oes.route g ~perm) in
+    Alcotest.(check bool) (Printf.sprintf "depth %d <= n=%d" oes n) true (oes <= n)
+  done
+
+let test_oes_non_path_raises () =
+  Alcotest.(check bool) "raises" true
+    (match Oes.route (Gen.cycle_graph 5) ~perm:(Perm.identity 5) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let qcheck_oes_correct =
+  QCheck.Test.make ~name:"odd-even routing realizes random permutations" ~count:60
+    QCheck.(pair small_int (int_range 2 40))
+    (fun (seed, n) ->
+      let rng = Qcp_util.Rng.create seed in
+      let g = Gen.path_graph n in
+      let perm = Perm.random rng n in
+      let net = Oes.route g ~perm in
+      Network.realizes net ~perm && Network.is_valid g net && Network.depth net <= n)
+
+let test_weighted_channel_correct () =
+  let rng = Qcp_util.Rng.create 23 in
+  for _ = 1 to 10 do
+    let n = 3 + Qcp_util.Rng.int rng 20 in
+    let g = Gen.random_connected rng ~n ~extra_edges:4 in
+    let perm = Perm.random rng n in
+    let cost u v = Float.of_int ((u * 7) + v + 1) in
+    let net = Bisect.route ~edge_cost:cost g ~perm in
+    Alcotest.(check bool) "weighted realizes" true (Network.realizes net ~perm);
+    Alcotest.(check bool) "weighted valid" true (Network.is_valid g net)
+  done
+
+let test_weighted_router_in_placer () =
+  let env = Qcp_env.Molecules.trans_crotonic_acid in
+  let circuit = Qcp_circuit.Catalog.qft 6 in
+  let options =
+    { (Qcp.Options.default ~threshold:200.0) with
+      Qcp.Options.router = Qcp.Options.Bisect_weighted }
+  in
+  match Qcp.Placer.place options env circuit with
+  | Qcp.Placer.Placed p ->
+    Alcotest.(check bool) "verified" true
+      (Qcp.Verify.equivalent ~inputs:[ 0; 1; 42 ] p)
+  | Qcp.Placer.Unplaceable msg -> Alcotest.failf "unplaceable: %s" msg
+
+let test_odd_even_router_in_placer () =
+  (* On a chain environment, the Odd_even option routes via OES; on
+     molecules it silently falls back to Bisect. *)
+  let env = Qcp_env.Environment.chain 8 in
+  let rng = Qcp_util.Rng.create 7 in
+  let circuit, _ = Qcp_circuit.Random_circuit.hidden_stages rng ~n:8 in
+  let options =
+    { (Qcp.Options.fast ~threshold:50.0) with
+      Qcp.Options.router = Qcp.Options.Odd_even }
+  in
+  (match Qcp.Placer.place options env circuit with
+  | Qcp.Placer.Placed p ->
+    Alcotest.(check bool) "placed with swap stages" true
+      (Qcp.Placer.swap_stage_count p > 0)
+  | Qcp.Placer.Unplaceable msg -> Alcotest.failf "chain unplaceable: %s" msg);
+  let molecule_options =
+    { (Qcp.Options.default ~threshold:100.0) with
+      Qcp.Options.router = Qcp.Options.Odd_even }
+  in
+  match
+    Qcp.Placer.place molecule_options Qcp_env.Molecules.trans_crotonic_acid
+      (Qcp_circuit.Catalog.qft 5)
+  with
+  | Qcp.Placer.Placed p ->
+    Alcotest.(check bool) "fallback verified" true (Qcp.Verify.equivalent p)
+  | Qcp.Placer.Unplaceable msg -> Alcotest.failf "fallback unplaceable: %s" msg
+
+(* --------------------------- renderer ----------------------------- *)
+
+let test_pretty_renders () =
+  let text = Qcp_circuit.Pretty.render Qcp_circuit.Catalog.qec3_encode in
+  Alcotest.(check bool) "has wires" true (Helpers.contains ~needle:"q0" text);
+  Alcotest.(check bool) "has ZZ box" true (Helpers.contains ~needle:"[ZZ 90]" text);
+  Alcotest.(check bool) "has Ry box" true (Helpers.contains ~needle:"[Ry 90]" text);
+  (* One wire row per qubit plus connector rows. *)
+  let lines = String.split_on_char '\n' text |> List.filter (fun l -> l <> "") in
+  Alcotest.(check int) "rows" 5 (List.length lines)
+
+let test_pretty_custom_labels () =
+  let text =
+    Qcp_circuit.Pretty.render
+      ~wire_labels:(fun q -> [| "M"; "C1"; "C2" |].(q))
+      Qcp_circuit.Catalog.qec3_encode
+  in
+  Alcotest.(check bool) "nucleus labels" true (Helpers.contains ~needle:"C1" text)
+
+let suite =
+  [
+    Alcotest.test_case "path order detection" `Quick test_path_order_detects_paths;
+    Alcotest.test_case "oes reversal" `Quick test_oes_reversal;
+    Alcotest.test_case "oes identity" `Quick test_oes_identity;
+    Alcotest.test_case "oes depth bound" `Quick test_oes_beats_or_ties_bisect_on_chain;
+    Alcotest.test_case "oes non-path raises" `Quick test_oes_non_path_raises;
+    QCheck_alcotest.to_alcotest qcheck_oes_correct;
+    Alcotest.test_case "weighted channel correct" `Quick test_weighted_channel_correct;
+    Alcotest.test_case "weighted router in placer" `Quick test_weighted_router_in_placer;
+    Alcotest.test_case "odd-even router in placer" `Quick test_odd_even_router_in_placer;
+    Alcotest.test_case "pretty renders" `Quick test_pretty_renders;
+    Alcotest.test_case "pretty custom labels" `Quick test_pretty_custom_labels;
+  ]

@@ -1,0 +1,27 @@
+let () =
+  Alcotest.run "qcp"
+    [
+      ("util", Suite_util.suite);
+      ("graph", Suite_graph.suite);
+      ("circuit", Suite_circuit.suite);
+      ("transform", Suite_transform.suite);
+      ("decompose", Suite_decompose.suite);
+      ("library", Suite_library.suite);
+      ("qasm", Suite_qasm.suite);
+      ("sim", Suite_sim.suite);
+      ("env", Suite_env.suite);
+      ("route", Suite_route.suite);
+      ("routers-ext", Suite_routers_ext.suite);
+      ("workspace", Suite_workspace.suite);
+      ("placer", Suite_placer.suite);
+      ("baselines", Suite_baselines.suite);
+      ("fidelity", Suite_fidelity.suite);
+      ("schedule-metrics", Suite_schedule.suite);
+      ("refocus-stats", Suite_refocus.suite);
+      ("tuner-compress", Suite_tuner.suite);
+      ("np-completeness", Suite_npc.suite);
+      ("verify", Suite_verify.suite);
+      ("experiments", Suite_experiments.suite);
+      ("crosscheck", Suite_crosscheck.suite);
+      ("noisy", Suite_noisy.suite);
+    ]
