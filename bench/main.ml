@@ -6,7 +6,9 @@
      bench/main.exe                 -- all tables, figures, npc, ablation, micro
      bench/main.exe table3          -- one artifact
      bench/main.exe table4 --full   -- the full 8..1024 sweep of Table 4
-     bench/main.exe micro           -- microbenchmarks only                  *)
+     bench/main.exe micro           -- microbenchmarks only
+     bench/main.exe micro --json    -- also write BENCH_micro.json
+                                       (kernel name -> ns/run)               *)
 
 module Experiments = Qcp_report.Experiments
 
@@ -66,6 +68,16 @@ let micro_tests () =
   in
   let petersen = Qcp_graph.Generators.petersen () in
   let npc_kernel () = Qcp.Np_reduction.optimal_cost petersen in
+  (* The scoring engine itself: one full placement of the Table 3 workload
+     with memoization on (default) vs off, isolating the cache's effect. *)
+  let score_kernel ~cache () =
+    let options =
+      { (Qcp.Options.default ~threshold:100.0) with Qcp.Options.score_cache = cache }
+    in
+    match Qcp.Placer.place options crotonic phaseest with
+    | Qcp.Placer.Placed p -> Qcp.Placer.runtime p
+    | Qcp.Placer.Unplaceable _ -> nan
+  in
   Test.make_grouped ~name:"qcp"
     [
       Test.make ~name:"table1/timing-eval" (Staged.stage table1_kernel);
@@ -75,9 +87,36 @@ let micro_tests () =
       Test.make ~name:"figure3/route-crotonic" (Staged.stage figure3_kernel);
       Test.make ~name:"kernel/monomorphism" (Staged.stage monomorph_kernel);
       Test.make ~name:"npc/petersen-branch-bound" (Staged.stage npc_kernel);
+      Test.make ~name:"kernel/score-candidate-cached"
+        (Staged.stage (score_kernel ~cache:true));
+      Test.make ~name:"kernel/score-candidate-uncached"
+        (Staged.stage (score_kernel ~cache:false));
     ]
 
-let run_micro () =
+let json_escape name =
+  String.concat ""
+    (List.map
+       (fun c ->
+         match c with
+         | '"' -> "\\\""
+         | '\\' -> "\\\\"
+         | c -> String.make 1 c)
+       (List.init (String.length name) (String.get name)))
+
+let write_micro_json rows =
+  let out = open_out "BENCH_micro.json" in
+  output_string out "{\n";
+  List.iteri
+    (fun i (name, ns) ->
+      Printf.fprintf out "  \"%s\": %.1f%s\n" (json_escape name) ns
+        (if i + 1 < List.length rows then "," else ""))
+    rows;
+  output_string out "}\n";
+  close_out out;
+  Printf.printf "\nwrote BENCH_micro.json (%d kernels, ns/run)\n"
+    (List.length rows)
+
+let run_micro ?(json = false) () =
   let open Bechamel in
   let open Bechamel.Toolkit in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) () in
@@ -87,15 +126,22 @@ let run_micro () =
   in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+  let rows =
+    List.sort compare
+      (List.map
+         (fun (name, r) ->
+           let estimate =
+             match Analyze.OLS.estimates r with
+             | Some [ value ] -> value
+             | Some _ | None -> nan
+           in
+           (name, estimate))
+         rows)
+  in
   Printf.printf "%-40s %16s\n" "microbenchmark" "time/run";
   Printf.printf "%-40s %16s\n" (String.make 40 '-') (String.make 16 '-');
   List.iter
-    (fun (name, r) ->
-      let estimate =
-        match Analyze.OLS.estimates r with
-        | Some [ value ] -> value
-        | Some _ | None -> nan
-      in
+    (fun (name, estimate) ->
       let pretty =
         if estimate >= 1e9 then Printf.sprintf "%.3f s" (estimate /. 1e9)
         else if estimate >= 1e6 then Printf.sprintf "%.3f ms" (estimate /. 1e6)
@@ -103,7 +149,8 @@ let run_micro () =
         else Printf.sprintf "%.0f ns" estimate
       in
       Printf.printf "%-40s %16s\n" name pretty)
-    (List.sort compare rows)
+    rows;
+  if json then write_micro_json rows
 
 (* ------------------------------------------------------------------ *)
 (* Dispatch                                                            *)
@@ -112,7 +159,8 @@ let run_micro () =
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let full = List.mem "--full" args in
-  let args = List.filter (fun a -> a <> "--full") args in
+  let json = List.mem "--json" args in
+  let args = List.filter (fun a -> a <> "--full" && a <> "--json") args in
   let run = function
     | "table1" -> section "Table 1" (Experiments.table1 ())
     | "table2" -> section "Table 2" (Experiments.table2 ())
@@ -129,7 +177,7 @@ let () =
     | "schedule" -> section "Pulse schedule (extension)" (Experiments.schedule_demo ())
     | "micro" ->
       section "Microbenchmarks (Bechamel)" "";
-      run_micro ()
+      run_micro ~json ()
     | other ->
       Printf.eprintf
         "unknown target %S (expected table1..table4, figure1..figure4, npc, ablation, fidelity, micro)\n"

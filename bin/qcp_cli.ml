@@ -103,7 +103,7 @@ let threshold_arg =
 
 let options_term =
   let make threshold no_lookahead fine_tune no_override router no_cap
-      sequential limit commute balance env =
+      sequential limit commute balance no_cache parallel env =
     let threshold =
       match threshold with
       | Some th -> th
@@ -122,6 +122,8 @@ let options_term =
       monomorphism_limit = limit;
       commute_prepass = commute;
       balance_boundaries = balance;
+      score_cache = not no_cache;
+      parallel_scoring = parallel;
     }
   in
   Term.(
@@ -154,7 +156,21 @@ let options_term =
     $ Arg.(
         value & flag
         & info [ "balance" ]
-            ~doc:"Refine subcircuit boundaries against swap-stage costs."))
+            ~doc:"Refine subcircuit boundaries against swap-stage costs.")
+    $ Arg.(
+        value & flag
+        & info [ "no-score-cache" ]
+            ~doc:
+              "Disable scoring memoization (routed networks, router \
+               structure, monomorphism sets).  Placements are identical \
+               either way; this only exists for benchmarking.")
+    $ Arg.(
+        value & opt int 0
+        & info [ "parallel" ] ~docv:"DOMAINS"
+            ~doc:
+              "Score independent placement candidates on this many domains \
+               (0 or 1 = sequential).  The chosen placement is identical to \
+               sequential scoring."))
 
 (* ------------------------------------------------------------------ *)
 (* place                                                               *)
@@ -198,6 +214,13 @@ let place_run env circuit options_of_env auto verbose =
     | None -> ());
     let fidelity = Qcp.Fidelity.estimate p in
     if fidelity < 1.0 then Printf.printf "fidelity   : %.4f (exp(-sum dt/T2))\n" fidelity;
+    let s = p.Qcp.Placer.stats in
+    Printf.printf
+      "scoring    : %d candidates, %d routing requests (%d cache hits, %d \
+       routed), %.4f s\n"
+      s.Qcp.Placer.candidates_scored s.Qcp.Placer.networks_routed
+      s.Qcp.Placer.route_cache_hits s.Qcp.Placer.route_cache_misses
+      s.Qcp.Placer.scoring_seconds;
     if verbose then Format.printf "%a" Qcp.Placer.pp p;
     0
 

@@ -71,6 +71,141 @@ let sequential_times ?reuse_cap ~start ~weights ~place circuit =
   in
   Array.make n total
 
+(* ------------------------------------------------------------------ *)
+(* Placed timing: a *logical* circuit evaluated against physical-indexed
+   clocks through the placement callback, so the placer never has to build
+   the remapped circuit ([Circuit.map_qubits]) just to time it.  The float
+   recurrence is executed in exactly the same order as timing the remapped
+   circuit, so results are bit-identical. *)
+
+type scratch = {
+  mutable s_time : float array;
+  mutable s_pair : int array; (* current run's pair, encoded lo*reg+hi; -1 none *)
+  mutable s_acc : float array;
+  mutable s_len : int; (* register size of the clocks currently loaded *)
+}
+
+let make_scratch () = { s_time = [||]; s_pair = [||]; s_acc = [||]; s_len = 0 }
+
+let scratch_ready scratch register =
+  if Array.length scratch.s_time < register then begin
+    scratch.s_time <- Array.make register 0.0;
+    scratch.s_pair <- Array.make register (-1);
+    scratch.s_acc <- Array.make register 0.0
+  end
+
+(* The ASAP recurrence over physical clocks.  [time] must be pre-loaded with
+   the start clocks; [pair_code] with -1; [run_acc] with 0. *)
+let asap_placed_into ?reuse_cap ~register ~time ~pair_code ~run_acc ~weights
+    ~place circuit =
+  let step gate =
+    match gate with
+    | Gate.G1 (_, q) ->
+      let p = place q in
+      time.(p) <- time.(p) +. (weights.single p *. Gate.duration gate)
+    | Gate.G2 (_, a, b) ->
+      let pa = place a and pb = place b in
+      let lo = min pa pb and hi = max pa pb in
+      let code = (lo * register) + hi in
+      let t = Gate.duration gate in
+      let effective =
+        if pair_code.(pa) = code && pair_code.(pb) = code then begin
+          match reuse_cap with
+          | None ->
+            run_acc.(pa) <- run_acc.(pa) +. t;
+            run_acc.(pb) <- run_acc.(pa);
+            t
+          | Some cap ->
+            let acc = run_acc.(pa) in
+            let eff = Float.min cap (acc +. t) -. Float.min cap acc in
+            run_acc.(pa) <- acc +. t;
+            run_acc.(pb) <- run_acc.(pa);
+            eff
+        end
+        else begin
+          pair_code.(pa) <- code;
+          pair_code.(pb) <- code;
+          run_acc.(pa) <- t;
+          run_acc.(pb) <- t;
+          capped reuse_cap t
+        end
+      in
+      let finish =
+        Float.max time.(pa) time.(pb) +. (weights.coupled pa pb *. effective)
+      in
+      time.(pa) <- finish;
+      time.(pb) <- finish
+  in
+  List.iter step (Circuit.gates circuit)
+
+let sequential_placed_total ?reuse_cap ~ready ~weights ~place circuit =
+  let gate_cost gate =
+    match gate with
+    | Gate.G1 (_, q) -> weights.single (place q) *. Gate.duration gate
+    | Gate.G2 (_, a, b) ->
+      weights.coupled (place a) (place b) *. capped reuse_cap (Gate.duration gate)
+  in
+  List.fold_left
+    (fun acc level ->
+      acc +. List.fold_left (fun m gate -> Float.max m (gate_cost gate)) 0.0 level)
+    ready
+    (Levelize.levels circuit)
+
+let check_placed ~register circuit =
+  if Circuit.qubits circuit > register then
+    invalid_arg "Timing: circuit does not fit the physical register"
+
+let finish_times_placed ?(model = Asap) ?reuse_cap ~start ~weights ~place
+    circuit =
+  let register = Array.length start in
+  check_placed ~register circuit;
+  match model with
+  | Asap ->
+    let time = Array.copy start in
+    let pair_code = Array.make register (-1) in
+    let run_acc = Array.make register 0.0 in
+    asap_placed_into ?reuse_cap ~register ~time ~pair_code ~run_acc ~weights
+      ~place circuit;
+    time
+  | Sequential ->
+    let ready = Array.fold_left Float.max 0.0 start in
+    Array.make register
+      (sequential_placed_total ?reuse_cap ~ready ~weights ~place circuit)
+
+let stage_start scratch start =
+  let register = Array.length start in
+  scratch_ready scratch register;
+  scratch.s_len <- register;
+  Array.blit start 0 scratch.s_time 0 register
+
+let stage_advance ?(model = Asap) ?reuse_cap ~weights ~place scratch circuit =
+  let register = scratch.s_len in
+  check_placed ~register circuit;
+  match model with
+  | Asap ->
+    (* Fresh interaction-run state per stage, exactly like a separate
+       [finish_times] call on the stage's circuit. *)
+    Array.fill scratch.s_pair 0 register (-1);
+    Array.fill scratch.s_acc 0 register 0.0;
+    asap_placed_into ?reuse_cap ~register ~time:scratch.s_time
+      ~pair_code:scratch.s_pair ~run_acc:scratch.s_acc ~weights ~place circuit
+  | Sequential ->
+    let ready = ref 0.0 in
+    for v = 0 to register - 1 do
+      ready := Float.max !ready scratch.s_time.(v)
+    done;
+    let total =
+      sequential_placed_total ?reuse_cap ~ready:!ready ~weights ~place circuit
+    in
+    Array.fill scratch.s_time 0 register total
+
+let stage_makespan scratch =
+  let best = ref 0.0 in
+  for v = 0 to scratch.s_len - 1 do
+    best := Float.max !best scratch.s_time.(v)
+  done;
+  !best
+
 let finish_times ?(model = Asap) ?reuse_cap ?start ~weights ~place circuit =
   let start =
     match start with

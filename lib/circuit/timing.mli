@@ -48,3 +48,55 @@ val runtime :
 val identity_place : int -> int
 (** Convenience placement for circuits already expressed over physical
     vertices. *)
+
+(** {1 Placed timing}
+
+    The placer's hot loop times a *logical* subcircuit under a candidate
+    placement against the physical register's clocks.  These entry points
+    run the recurrence directly through the [place] callback with
+    physical-indexed state, so no remapped circuit ([Circuit.map_qubits])
+    is ever materialized; the float operations execute in the same order as
+    timing the remapped circuit, making results bit-identical. *)
+
+val finish_times_placed :
+  ?model:model ->
+  ?reuse_cap:float ->
+  start:float array ->
+  weights:weights ->
+  place:(int -> int) ->
+  Circuit.t ->
+  float array
+(** Physical finish times of a logical circuit whose qubit [q] executes on
+    vertex [place q].  [start] gives the per-vertex ready clocks and defines
+    the register size; the circuit's qubit count must not exceed it.
+    Equivalent to [finish_times ~start ~place:identity_place] on
+    [Circuit.map_qubits place ~qubits:(Array.length start) circuit]. *)
+
+type scratch
+(** Reusable physical-clock buffers, so the candidate-scoring inner loop
+    allocates nothing per evaluation.  A scoring pass loads the current
+    clocks with {!stage_start}, advances them through one or more stages
+    ({!stage_advance} — e.g. a connecting SWAP stage then the subcircuit),
+    and reads the makespan off with {!stage_makespan}.  Not thread-safe:
+    use one scratch per domain. *)
+
+val make_scratch : unit -> scratch
+(** An empty scratch; buffers grow on demand to the largest register seen. *)
+
+val stage_start : scratch -> float array -> unit
+(** Load per-vertex ready clocks (defines the register size). *)
+
+val stage_advance :
+  ?model:model ->
+  ?reuse_cap:float ->
+  weights:weights ->
+  place:(int -> int) ->
+  scratch ->
+  Circuit.t ->
+  unit
+(** Advance the loaded clocks across one placed stage.  Interaction-run
+    state (the [reuse_cap] accounting) is fresh per call, exactly as in a
+    separate {!finish_times} call per stage. *)
+
+val stage_makespan : scratch -> float
+(** [max 0] of the loaded clocks. *)

@@ -11,6 +11,8 @@ type t = {
   model : Qcp_circuit.Timing.model;
   commute_prepass : bool;
   balance_boundaries : bool;
+  score_cache : bool;
+  parallel_scoring : int;
 }
 
 let default ~threshold =
@@ -25,6 +27,8 @@ let default ~threshold =
     model = Qcp_circuit.Timing.Asap;
     commute_prepass = false;
     balance_boundaries = false;
+    score_cache = true;
+    parallel_scoring = 0;
   }
 
 let fast ~threshold =
@@ -39,4 +43,6 @@ let fast ~threshold =
     model = Qcp_circuit.Timing.Asap;
     commute_prepass = false;
     balance_boundaries = false;
+    score_cache = true;
+    parallel_scoring = 0;
   }

@@ -39,6 +39,21 @@ type t = {
           ("finding a good balance between the depth of a useful computation
           and the depth of the following swapping stage; right now, our
           method is greedy").  Off by default. *)
+  score_cache : bool;
+      (** Memoize routed SWAP networks, the router's bisection structure and
+          per-subcircuit interaction graphs / monomorphism enumerations
+          across candidate scorings ({!Score_cache}).  Placement output is
+          bit-identical either way; disabling only exists for benchmarking
+          and debugging.  On by default. *)
+  parallel_scoring : int;
+      (** Fan independent candidate scorings across this many domains in
+          the greedy/lookahead candidate sweeps; [0] (the default) and [1]
+          score sequentially.  The chosen placement is bit-identical to
+          sequential scoring — ties still resolve to the earliest
+          candidate.  Worthwhile only when individual scorings are
+          expensive (large registers, deep lookahead); at the paper's
+          problem sizes domain spawn and minor-GC coordination outweigh the
+          parallelism, so the default stays sequential. *)
 }
 
 val default : threshold:float -> t

@@ -17,6 +17,9 @@ type stats = {
   enumerations : int;
   candidates_scored : int;
   networks_routed : int;
+  route_cache_hits : int;
+  route_cache_misses : int;
+  scoring_seconds : float;
 }
 
 type program = {
@@ -32,7 +35,9 @@ type outcome = Placed of program | Unplaceable of string
 
 let units_per_second = 10000.0
 
-(* Internal context shared by the pipeline. *)
+(* Internal context shared by the pipeline.  Scoring counters are atomic so
+   parallel candidate evaluation can share the ctx; the remaining refs are
+   only touched by sequential orchestration code. *)
 type ctx = {
   c_env : Environment.t;
   c_adjacency : Graph.t;
@@ -42,34 +47,44 @@ type ctx = {
   c_n : int; (* circuit qubits *)
   c_oracle : int ref;
   c_enumerations : int ref;
-  c_scored : int ref;
-  c_routed : int ref;
+  c_scored : int Atomic.t;
+  c_routed : int Atomic.t;
+  c_cache : Score_cache.t;
+  c_scratch : Timing.scratch; (* main-domain scoring buffers *)
+  c_scoring_time : float ref; (* wall seconds spent scoring candidates *)
 }
 
+(* Accumulate the wall time of a candidate-scoring section. *)
+let timed ctx f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  ctx.c_scoring_time := !(ctx.c_scoring_time) +. (Unix.gettimeofday () -. t0);
+  result
+
 let route_network ctx perm =
-  incr ctx.c_routed;
-  let bisect ?edge_cost () =
-    Qcp_route.Bisect_router.route
-      ~leaf_override:ctx.c_options.Options.leaf_override ?edge_cost
-      ctx.c_adjacency ~perm
-  in
-  match ctx.c_options.Options.router with
-  | Options.Bisect -> bisect ()
-  | Options.Bisect_weighted ->
-    bisect ~edge_cost:(fun u v -> Environment.coupling_delay ctx.c_env u v) ()
-  | Options.Token -> Qcp_route.Token_router.route ctx.c_adjacency ~perm
-  | Options.Odd_even -> (
-    match Qcp_route.Oes_router.path_order ctx.c_adjacency with
-    | Some _ -> Qcp_route.Oes_router.route ctx.c_adjacency ~perm
-    | None -> bisect ())
+  Atomic.incr ctx.c_routed;
+  Score_cache.route ctx.c_cache perm ~route:(fun perm ->
+      let bisect ?edge_cost () =
+        Qcp_route.Bisect_router.route
+          ~leaf_override:ctx.c_options.Options.leaf_override ?edge_cost
+          ?memo:(Score_cache.bisect_memo ctx.c_cache) ctx.c_adjacency ~perm
+      in
+      match ctx.c_options.Options.router with
+      | Options.Bisect -> bisect ()
+      | Options.Bisect_weighted ->
+        bisect
+          ~edge_cost:(fun u v -> Environment.coupling_delay ctx.c_env u v)
+          ()
+      | Options.Token -> Qcp_route.Token_router.route ctx.c_adjacency ~perm
+      | Options.Odd_even -> (
+        match Qcp_route.Oes_router.path_order ctx.c_adjacency with
+        | Some _ -> Qcp_route.Oes_router.route ctx.c_adjacency ~perm
+        | None -> bisect ()))
 
-let time_physical ctx start circuit =
-  Timing.finish_times ~model:ctx.c_options.Options.model
+let time_placed ctx start place circuit =
+  Timing.finish_times_placed ~model:ctx.c_options.Options.model
     ?reuse_cap:ctx.c_options.Options.reuse_cap ~start ~weights:ctx.c_weights
-    ~place:Timing.identity_place circuit
-
-let to_physical ctx placement circuit =
-  Circuit.map_qubits (fun q -> placement.(q)) ~qubits:ctx.c_m circuit
+    ~place circuit
 
 (* Extend a partial monomorphism (active qubits only) to a full injective
    placement of every logical qubit.  Inactive qubits keep their previous
@@ -147,36 +162,99 @@ let complete_placement ctx ~prev ~subcircuit mapping =
       (Qcp_util.Listx.take (List.length by_workload) free));
   placement
 
+(* The connecting SWAP stage for a candidate, via the route cache. *)
+let connecting_stage ctx ~prev placement =
+  match prev with
+  | None -> None
+  | Some previous ->
+    let perm =
+      Perm.of_placements ~size:ctx.c_m ~before:previous ~after:placement
+    in
+    if Perm.is_identity perm then None else Some (route_network ctx perm)
+
 (* Score one candidate placement from the current physical clock: optional
    connecting SWAP stage, then the subcircuit.  Returns the network, the
    updated clock and the makespan. *)
 let score_candidate ctx ~phys_start ~prev ~subcircuit placement =
-  incr ctx.c_scored;
-  let network =
-    match prev with
-    | None -> None
-    | Some previous ->
-      let perm =
-        Perm.of_placements ~size:ctx.c_m ~before:previous ~after:placement
-      in
-      if Perm.is_identity perm then None else Some (route_network ctx perm)
-  in
+  Atomic.incr ctx.c_scored;
+  let entry = connecting_stage ctx ~prev placement in
   let after_swaps =
-    match network with
+    match entry with
     | None -> phys_start
-    | Some net ->
-      time_physical ctx phys_start (Swap_network.to_circuit ~qubits:ctx.c_m net)
+    | Some entry ->
+      time_placed ctx phys_start Timing.identity_place
+        entry.Score_cache.swap_circuit
   in
-  let finish = time_physical ctx after_swaps (to_physical ctx placement subcircuit) in
+  let finish = time_placed ctx after_swaps (fun q -> placement.(q)) subcircuit in
   let makespan = Array.fold_left Float.max 0.0 finish in
-  (network, finish, makespan)
+  (Option.map (fun e -> e.Score_cache.network) entry, finish, makespan)
+
+(* Same recurrence as {!score_candidate} restricted to the makespan, run
+   through reusable clock buffers so the argmin sweeps allocate nothing per
+   evaluation. *)
+let score_makespan ctx ~scratch ~phys_start ~prev ~subcircuit placement =
+  Atomic.incr ctx.c_scored;
+  let entry = connecting_stage ctx ~prev placement in
+  let model = ctx.c_options.Options.model in
+  let reuse_cap = ctx.c_options.Options.reuse_cap in
+  Timing.stage_start scratch phys_start;
+  (match entry with
+  | None -> ()
+  | Some entry ->
+    Timing.stage_advance ~model ?reuse_cap ~weights:ctx.c_weights
+      ~place:Timing.identity_place scratch entry.Score_cache.swap_circuit);
+  Timing.stage_advance ~model ?reuse_cap ~weights:ctx.c_weights
+    ~place:(fun q -> placement.(q)) scratch subcircuit;
+  Timing.stage_makespan scratch
+
+(* Evaluate [score scratch candidate] for every candidate, fanning the
+   independent evaluations across [Options.parallel_scoring] domains.  Work
+   is handed out through an atomic counter; each slot is a pure function of
+   its candidate, so the score array -- and hence the argmin below -- is
+   schedule-independent. *)
+let candidate_scores ctx score arr =
+  let total = Array.length arr in
+  let workers = min ctx.c_options.Options.parallel_scoring total in
+  if workers <= 1 then Array.map (score ctx.c_scratch) arr
+  else begin
+    let out = Array.make total infinity in
+    let next = Atomic.make 0 in
+    let work scratch =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < total then begin
+          out.(i) <- score scratch arr.(i);
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let helpers =
+      List.init (workers - 1) (fun _ ->
+          Domain.spawn (fun () -> work (Timing.make_scratch ())))
+    in
+    work ctx.c_scratch;
+    List.iter Domain.join helpers;
+    out
+  end
+
+(* Earliest strict minimum -- the same tie-breaking as [Listx.min_by]. *)
+let pick_best ctx score candidates =
+  match candidates with
+  | [] -> None
+  | _ ->
+    let arr = Array.of_list candidates in
+    let scores = candidate_scores ctx score arr in
+    let best = ref 0 in
+    Array.iteri (fun i s -> if s < scores.(!best) then best := i) scores;
+    Some arr.(!best)
 
 (* Hill-climbing fine tuning (paper Section 5.1, "fine tuning"): move each
    interacting qubit to every vertex (swapping occupants when needed), keep
    changes that preserve fast-interaction alignment and reduce the stage
    makespan. *)
 let fine_tune ctx ~phys_start ~prev ~subcircuit placement =
-  let pattern = Circuit.interaction_graph subcircuit in
+  let pattern = Score_cache.interaction_graph ctx.c_cache subcircuit in
   let pattern_edges = Graph.edges pattern in
   let active =
     List.filter (fun q -> Graph.degree pattern q > 0) (Qcp_util.Listx.range ctx.c_n)
@@ -187,8 +265,8 @@ let fine_tune ctx ~phys_start ~prev ~subcircuit placement =
       pattern_edges
   in
   let score candidate =
-    let _, _, makespan = score_candidate ctx ~phys_start ~prev ~subcircuit candidate in
-    makespan
+    score_makespan ctx ~scratch:ctx.c_scratch ~phys_start ~prev ~subcircuit
+      candidate
   in
   let current = ref (Array.copy placement) in
   let current_score = ref (score !current) in
@@ -232,9 +310,10 @@ let fine_tune ctx ~phys_start ~prev ~subcircuit placement =
 
 let enumerate_mappings ctx ~subcircuit =
   incr ctx.c_enumerations;
-  let pattern = Circuit.interaction_graph subcircuit in
-  Monomorph.enumerate ~limit:ctx.c_options.Options.monomorphism_limit ~pattern
-    ~target:ctx.c_adjacency ()
+  Score_cache.mappings ctx.c_cache subcircuit ~enumerate:(fun subcircuit ->
+      let pattern = Score_cache.interaction_graph ctx.c_cache subcircuit in
+      Monomorph.enumerate ~limit:ctx.c_options.Options.monomorphism_limit
+        ~pattern ~target:ctx.c_adjacency ())
 
 let enumerate_candidates ctx ~prev ~subcircuit =
   List.map
@@ -243,12 +322,9 @@ let enumerate_candidates ctx ~prev ~subcircuit =
 
 (* Best single-stage candidate by makespan. *)
 let pick_greedy ctx ~phys_start ~prev ~subcircuit candidates =
-  Qcp_util.Listx.min_by
-    (fun placement ->
-      let _, _, makespan =
-        score_candidate ctx ~phys_start ~prev ~subcircuit placement
-      in
-      makespan)
+  pick_best ctx
+    (fun scratch placement ->
+      score_makespan ctx ~scratch ~phys_start ~prev ~subcircuit placement)
     candidates
 
 (* Depth-2 lookahead score (paper Section 5.3): the best achievable makespan
@@ -257,8 +333,8 @@ let pick_greedy ctx ~phys_start ~prev ~subcircuit candidates =
    candidate (the paper's "the sets M_{i,j} for different values i are
    equal" remark), so they are enumerated once and passed in; only their
    completion over inactive qubits depends on the current placement. *)
-let deep_score ctx ~phys_start ~prev ~subcircuit ~next_subcircuit ~next_mappings
-    placement =
+let deep_score ctx ~scratch ~phys_start ~prev ~subcircuit ~next_subcircuit
+    ~next_mappings placement =
   let _, finish, makespan =
     score_candidate ctx ~phys_start ~prev ~subcircuit placement
   in
@@ -268,21 +344,19 @@ let deep_score ctx ~phys_start ~prev ~subcircuit ~next_subcircuit ~next_mappings
       next_mappings
   in
   let next_makespan next_placement =
-    let _, _, value =
-      score_candidate ctx ~phys_start:finish ~prev:(Some placement)
-        ~subcircuit:next_subcircuit next_placement
-    in
-    value
+    score_makespan ctx ~scratch ~phys_start:finish ~prev:(Some placement)
+      ~subcircuit:next_subcircuit next_placement
   in
-  match Qcp_util.Listx.min_by next_makespan next_candidates with
+  match Qcp_util.Listx.min_by_key next_makespan next_candidates with
   | None -> makespan
-  | Some best_next -> next_makespan best_next
+  | Some (_, best) -> best
 
 let pick_lookahead ctx ~phys_start ~prev ~subcircuit ~next_subcircuit
     ~next_mappings candidates =
-  Qcp_util.Listx.min_by
-    (deep_score ctx ~phys_start ~prev ~subcircuit ~next_subcircuit
-       ~next_mappings)
+  pick_best ctx
+    (fun scratch placement ->
+      deep_score ctx ~scratch ~phys_start ~prev ~subcircuit ~next_subcircuit
+        ~next_mappings placement)
     candidates
 
 (* The main stage loop: place each subcircuit in order, connecting
@@ -306,13 +380,15 @@ let run_pipeline ctx subcircuits =
          else None
        in
        let chosen =
-         match next_mappings with
-         | Some next_mappings ->
-           pick_lookahead ctx ~phys_start:!phys_start ~prev:!prev ~subcircuit
-             ~next_subcircuit:subs.(i + 1) ~next_mappings candidates
-         | None ->
-           pick_greedy ctx ~phys_start:!phys_start ~prev:!prev ~subcircuit
-             candidates
+         timed ctx (fun () ->
+             match next_mappings with
+             | Some next_mappings ->
+               pick_lookahead ctx ~phys_start:!phys_start ~prev:!prev
+                 ~subcircuit ~next_subcircuit:subs.(i + 1) ~next_mappings
+                 candidates
+             | None ->
+               pick_greedy ctx ~phys_start:!phys_start ~prev:!prev ~subcircuit
+                 candidates)
        in
        match chosen with
        | None ->
@@ -320,28 +396,32 @@ let run_pipeline ctx subcircuits =
          raise Exit
        | Some placement ->
          let tuned =
-           if options.Options.fine_tune_passes > 0 then begin
-             let candidate =
-               fine_tune ctx ~phys_start:!phys_start ~prev:!prev ~subcircuit
-                 placement
-             in
-             (* Fine tuning optimizes the current stage only; under
-                lookahead, keep it only if it does not undo the two-stage
-                choice. *)
-             match next_mappings with
-             | Some next_mappings when candidate <> placement ->
-               let judge =
-                 deep_score ctx ~phys_start:!phys_start ~prev:!prev ~subcircuit
-                   ~next_subcircuit:subs.(i + 1) ~next_mappings
-               in
-               if judge candidate <= judge placement then candidate else placement
-             | Some _ | None -> candidate
-           end
-           else placement
+           timed ctx (fun () ->
+               if options.Options.fine_tune_passes > 0 then begin
+                 let candidate =
+                   fine_tune ctx ~phys_start:!phys_start ~prev:!prev ~subcircuit
+                     placement
+                 in
+                 (* Fine tuning optimizes the current stage only; under
+                    lookahead, keep it only if it does not undo the two-stage
+                    choice. *)
+                 match next_mappings with
+                 | Some next_mappings when candidate <> placement ->
+                   let judge =
+                     deep_score ctx ~scratch:ctx.c_scratch
+                       ~phys_start:!phys_start ~prev:!prev ~subcircuit
+                       ~next_subcircuit:subs.(i + 1) ~next_mappings
+                   in
+                   if judge candidate <= judge placement then candidate
+                   else placement
+                 | Some _ | None -> candidate
+               end
+               else placement)
          in
          let network, finish, _ =
-           score_candidate ctx ~phys_start:!phys_start ~prev:!prev ~subcircuit
-             tuned
+           timed ctx (fun () ->
+               score_candidate ctx ~phys_start:!phys_start ~prev:!prev
+                 ~subcircuit tuned)
          in
          (match network with
          | Some net when net <> [] -> stages := Permute net :: !stages
@@ -389,7 +469,7 @@ let balance_boundaries ctx subcircuits =
         in
         if
           Monomorph.exists
-            ~pattern:(Circuit.interaction_graph taker')
+            ~pattern:(Score_cache.interaction_graph ctx.c_cache taker')
             ~target:ctx.c_adjacency
         then begin
           let giver' = Circuit.make ~qubits:ctx.c_n (List.rev rest_rev) in
@@ -449,8 +529,13 @@ let place options env circuit =
           c_n = n;
           c_oracle = ref 0;
           c_enumerations = ref 0;
-          c_scored = ref 0;
-          c_routed = ref 0;
+          c_scored = Atomic.make 0;
+          c_routed = Atomic.make 0;
+          c_cache =
+            Score_cache.create ~enabled:options.Options.score_cache
+              ~register:m ();
+          c_scratch = Timing.make_scratch ();
+          c_scoring_time = ref 0.0;
         }
       in
       match Workspace.split ~oracle_calls:ctx.c_oracle ~adjacency circuit with
@@ -475,8 +560,11 @@ let place options env circuit =
                 {
                   oracle_calls = !(ctx.c_oracle);
                   enumerations = !(ctx.c_enumerations);
-                  candidates_scored = !(ctx.c_scored);
-                  networks_routed = !(ctx.c_routed);
+                  candidates_scored = Atomic.get ctx.c_scored;
+                  networks_routed = Atomic.get ctx.c_routed;
+                  route_cache_hits = Score_cache.hits ctx.c_cache;
+                  route_cache_misses = Score_cache.misses ctx.c_cache;
+                  scoring_seconds = !(ctx.c_scoring_time);
                 };
             }))
 
@@ -542,6 +630,12 @@ let pp ppf program =
   let nucleus v = Environment.nucleus env v in
   Format.fprintf ppf "placed program on %s (%d stages)@." (Environment.name env)
     (List.length program.stages);
+  let s = program.stats in
+  Format.fprintf ppf
+    "search: %d candidates scored, %d routing requests (%d cache hits, %d \
+     routed), %.4f s scoring@."
+    s.candidates_scored s.networks_routed s.route_cache_hits
+    s.route_cache_misses s.scoring_seconds;
   List.iteri
     (fun i stage ->
       match stage with

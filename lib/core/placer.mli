@@ -24,7 +24,18 @@ type stats = {
   candidates_scored : int;
       (** Placement candidates evaluated through the timing model. *)
   networks_routed : int;
-      (** SWAP networks constructed (including lookahead trials). *)
+      (** SWAP routing requests (including lookahead trials).  Counted per
+          request, so the value matches the number of networks constructed
+          when the score cache is off; with the cache on,
+          [route_cache_misses] is the number actually built. *)
+  route_cache_hits : int;
+      (** Routing requests answered from the {!Score_cache} route table. *)
+  route_cache_misses : int;
+      (** Routing requests that ran the router (equals [networks_routed]
+          when [Options.score_cache] is off). *)
+  scoring_seconds : float;
+      (** Wall-clock seconds spent scoring candidates (routing + timing),
+          across all domains' sweeps. *)
 }
 
 type program = {

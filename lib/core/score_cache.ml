@@ -1,0 +1,112 @@
+module Graph = Qcp_graph.Graph
+module Circuit = Qcp_circuit.Circuit
+module Perm = Qcp_route.Perm
+module Swap_network = Qcp_route.Swap_network
+module Bisect_router = Qcp_route.Bisect_router
+
+(* Permutations are int arrays; the default polymorphic hash truncates long
+   arrays, which would collapse all large-register perms into few buckets. *)
+module Perm_tbl = Hashtbl.Make (struct
+  type t = int array
+
+  let equal = Stdlib.( = )
+
+  let hash a =
+    (* FNV-1a over the entries *)
+    let h = ref 0x811c9dc5 in
+    Array.iter (fun x -> h := (!h lxor x) * 0x01000193 land max_int) a;
+    !h
+end)
+
+type route_entry = {
+  network : Swap_network.t;
+  swap_circuit : Circuit.t; (* the network as a physical SWAP circuit *)
+}
+
+type t = {
+  enabled : bool;
+  register : int;
+  routes : route_entry Perm_tbl.t;
+  lock : Mutex.t;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  bisect_memo : Bisect_router.memo;
+  mutable graphs : (Circuit.t * Graph.t) list;
+  mutable mappings : (Circuit.t * int array list) list;
+}
+
+let memo_cap = 32
+
+let create ?(enabled = true) ~register () =
+  {
+    enabled;
+    register;
+    routes = Perm_tbl.create 256;
+    lock = Mutex.create ();
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    bisect_memo = Bisect_router.make_memo ();
+    graphs = [];
+    mappings = [];
+  }
+
+let hits t = Atomic.get t.hits
+
+let misses t = Atomic.get t.misses
+
+let bisect_memo t = if t.enabled then Some t.bisect_memo else None
+
+let entry_of t network =
+  { network; swap_circuit = Swap_network.to_circuit ~qubits:t.register network }
+
+let route t ~route perm =
+  if not t.enabled then begin
+    Atomic.incr t.misses;
+    entry_of t (route perm)
+  end
+  else begin
+    let cached = Mutex.protect t.lock (fun () -> Perm_tbl.find_opt t.routes perm) in
+    match cached with
+    | Some entry ->
+      Atomic.incr t.hits;
+      entry
+    | None ->
+      Atomic.incr t.misses;
+      (* Routing runs outside the lock; concurrent scorers of the same perm
+         may race to insert, but the router is deterministic so both compute
+         the same entry. *)
+      let entry = entry_of t (route perm) in
+      Mutex.protect t.lock (fun () ->
+          if not (Perm_tbl.mem t.routes perm) then
+            Perm_tbl.add t.routes (Array.copy perm) entry);
+      entry
+  end
+
+(* The per-subcircuit memos are keyed by physical identity: the placer
+   threads the same circuit values through stage formation, lookahead and
+   fine tuning, so identity hits exactly where recomputation would occur.
+   They are only consulted from the sequential orchestration code (never
+   from parallel scoring), so a plain list with a small cap suffices. *)
+let assoc_memo get set cap key compute t =
+  match List.assq_opt key (get t) with
+  | Some value -> value
+  | None ->
+    let value = compute key in
+    set t (Qcp_util.Listx.take cap ((key, value) :: get t));
+    value
+
+let interaction_graph t circuit =
+  if not t.enabled then Circuit.interaction_graph circuit
+  else
+    assoc_memo
+      (fun t -> t.graphs)
+      (fun t v -> t.graphs <- v)
+      memo_cap circuit Circuit.interaction_graph t
+
+let mappings t ~enumerate circuit =
+  if not t.enabled then enumerate circuit
+  else
+    assoc_memo
+      (fun t -> t.mappings)
+      (fun t v -> t.mappings <- v)
+      memo_cap circuit enumerate t

@@ -1,0 +1,61 @@
+(** Memoization backing the placer's incremental scoring engine.
+
+    Candidate scoring re-routes the same connecting permutations over and
+    over: the lookahead pair sweep, fine tuning and the final re-score of a
+    stage's winner all revisit [before -> after] placements already routed
+    earlier in the same placement run.  This cache stores, per run:
+
+    - routed SWAP networks keyed by their connecting permutation, together
+      with their physical SWAP-circuit form (the timing model's input);
+    - the bisection router's permutation-independent subset structure
+      ({!Qcp_route.Bisect_router.memo});
+    - per-subcircuit interaction graphs and monomorphism enumerations,
+      keyed by physical identity.
+
+    Everything cached is a deterministic function of its key, so placements
+    computed with the cache enabled are bit-identical to placements computed
+    without it.  The route table is lock-protected and its counters are
+    atomic, so parallel candidate scoring can share one cache; the
+    per-subcircuit memos must only be consulted from sequential
+    orchestration code. *)
+
+type t
+
+type route_entry = {
+  network : Qcp_route.Swap_network.t;
+  swap_circuit : Qcp_circuit.Circuit.t;
+      (** [Swap_network.to_circuit] of [network] over the full register,
+          memoized so scoring never rebuilds it. *)
+}
+
+val create : ?enabled:bool -> register:int -> unit -> t
+(** A fresh cache for one placement run over a [register]-vertex
+    environment.  With [enabled = false] every lookup recomputes (and
+    counts a miss) — the configuration flag behind
+    [Options.score_cache = false]. *)
+
+val route :
+  t -> route:(Qcp_route.Perm.t -> Qcp_route.Swap_network.t) -> Qcp_route.Perm.t -> route_entry
+(** The routed network for a permutation, from cache or by calling [route]. *)
+
+val bisect_memo : t -> Qcp_route.Bisect_router.memo option
+(** The shared router memo ([None] when the cache is disabled). *)
+
+val interaction_graph : t -> Qcp_circuit.Circuit.t -> Qcp_graph.Graph.t
+(** Memoized {!Qcp_circuit.Circuit.interaction_graph} (physical identity
+    key).  Sequential callers only. *)
+
+val mappings :
+  t ->
+  enumerate:(Qcp_circuit.Circuit.t -> int array list) ->
+  Qcp_circuit.Circuit.t ->
+  int array list
+(** Memoized monomorphism enumeration per subcircuit (physical identity
+    key); assumes [enumerate] is fixed for the cache's lifetime, as it is
+    within one placement run.  Sequential callers only. *)
+
+val hits : t -> int
+(** Route-cache hits so far. *)
+
+val misses : t -> int
+(** Route-cache misses (= networks actually routed). *)

@@ -10,9 +10,112 @@ let pattern = Circuit.interaction_graph
    calls is bounded by the number of distinct pairs, not by the gate count. *)
 let split ?oracle_calls ~adjacency circuit =
   let qubits = Circuit.qubits circuit in
+  let count () = match oracle_calls with Some r -> incr r | None -> () in
   let embeds pairs =
-    (match oracle_calls with Some r -> incr r | None -> ());
+    count ();
     Monomorph.exists ~pattern:(Graph.of_edges qubits pairs) ~target:adjacency
+  in
+  (* Witness shortcut: remember one concrete monomorphism of the current
+     pair set (plus its occupied-vertex mask).  A new pair whose endpoints
+     the witness already maps to an adjacent vertex pair is embeddable by
+     that same witness; a pair with exactly one mapped endpoint can often be
+     absorbed by assigning the other endpoint a free neighbor of the mapped
+     image.  Both answer yes constructively, in O(degree), without building
+     a pattern graph or searching; when neither applies we fall back to the
+     full search, so answers never differ from the plain oracle's.  Counted
+     as an oracle call either way -- the shortcut changes the cost of a
+     query, never its answer. *)
+  let witness = ref None in
+  let witness_covers (a, b) =
+    match !witness with
+    | None -> false
+    | Some (m, taken) ->
+      let claim q v =
+        m.(q) <- v;
+        taken.(v) <- true;
+        true
+      in
+      let absorb unmapped mapped =
+        Array.exists
+          (fun v -> (not taken.(v)) && claim unmapped v)
+          (Graph.neighbors adjacency m.(mapped))
+      in
+      if m.(a) >= 0 then
+        if m.(b) >= 0 then Graph.mem_edge adjacency m.(a) m.(b)
+        else absorb b a
+      else if m.(b) >= 0 then absorb a b
+      else
+        (* Both endpoints new: any free adjacent vertex pair hosts them. *)
+        let rec scan v =
+          if v >= Graph.n adjacency then false
+          else if
+            (not taken.(v))
+            && Array.exists
+                 (fun u -> (not taken.(u)) && claim a v && claim b u)
+                 (Graph.neighbors adjacency v)
+          then true
+          else scan (v + 1)
+        in
+        scan 0
+  in
+  (* Degree exclusion: a pattern vertex of degree d needs a target vertex of
+     degree >= d, so exceeding the target's maximum degree refutes
+     embeddability without a search (the common case when a stage closes). *)
+  let max_deg = Graph.max_degree adjacency in
+  let deg = Array.make qubits 0 in
+  (* On a path target the oracle is decidable exactly without any search: a
+     degree-bounded pattern embeds into an n-vertex path iff every component
+     is a simple path (acyclic given degrees <= 2) and at most n vertices
+     are used.  Components and the used-vertex count are maintained
+     incrementally with a union-find over the pattern qubits. *)
+  let target_is_path =
+    let n = Graph.n adjacency in
+    Graph.edge_count adjacency = n - 1
+    && max_deg <= 2
+    && Qcp_graph.Paths.is_connected adjacency
+  in
+  let uf = Array.init qubits (fun q -> q) in
+  let rec find q = if uf.(q) = q then q else begin
+      let root = find uf.(q) in
+      uf.(q) <- root;
+      root
+    end
+  in
+  let used = ref 0 in
+  (* Commit pair [(a, b)] into the incremental pattern state.  Callers do
+     this exactly when the oracle admitted the pair and the pair joins the
+     current set. *)
+  let admit (a, b) =
+    if deg.(a) = 0 then incr used;
+    if deg.(b) = 0 then incr used;
+    deg.(a) <- deg.(a) + 1;
+    deg.(b) <- deg.(b) + 1;
+    let ra = find a and rb = find b in
+    if ra <> rb then uf.(ra) <- rb
+  in
+  let extends ((a, b) as pair) pairs =
+    count ();
+    witness_covers pair
+    || (deg.(a) < max_deg && deg.(b) < max_deg)
+       &&
+       if target_is_path then
+         find a <> find b
+         && !used
+            + (if deg.(a) = 0 then 1 else 0)
+            + (if deg.(b) = 0 then 1 else 0)
+            <= Graph.n adjacency
+       else
+         match
+           Monomorph.enumerate ~limit:1
+             ~pattern:(Graph.of_edges qubits pairs)
+             ~target:adjacency ()
+         with
+         | m :: _ ->
+           let taken = Array.make (Graph.n adjacency) false in
+           Array.iter (fun v -> if v >= 0 then taken.(v) <- true) m;
+           witness := Some (m, taken);
+           true
+         | [] -> false
   in
   let subcircuits = ref [] in
   let gates = ref [] in
@@ -23,6 +126,10 @@ let split ?oracle_calls ~adjacency circuit =
       subcircuits := Circuit.make ~qubits (List.rev !gates) :: !subcircuits;
       gates := [];
       pairs := [];
+      witness := None;
+      Array.fill deg 0 qubits 0;
+      Array.iteri (fun q _ -> uf.(q) <- q) uf;
+      used := 0;
       Hashtbl.reset pair_set
     end
   in
@@ -34,8 +141,9 @@ let split ?oracle_calls ~adjacency circuit =
       | [ a; b ] ->
         let pair = (min a b, max a b) in
         if Hashtbl.mem pair_set pair then gates := gate :: !gates
-        else if embeds (pair :: !pairs) then begin
+        else if extends pair (pair :: !pairs) then begin
           pairs := pair :: !pairs;
+          admit pair;
           Hashtbl.replace pair_set pair ();
           gates := gate :: !gates
         end
@@ -48,6 +156,7 @@ let split ?oracle_calls ~adjacency circuit =
         else begin
           close ();
           pairs := [ pair ];
+          admit pair;
           Hashtbl.replace pair_set pair ();
           gates := [ gate ]
         end

@@ -3,14 +3,32 @@
    graph-connectivity of both sides.  We try BFS trees from several roots and
    keep the most balanced split. *)
 
-let subtree_sizes parent order =
-  let size = Array.make (Array.length parent) 1 in
-  (* [order] lists vertices by decreasing BFS depth, so children come first. *)
-  List.iter
-    (fun v ->
+(* Subtree sizes by an explicit-stack post-order over the children lists —
+   children are accumulated into their parent before the parent is popped,
+   so no per-root sort by BFS depth is needed. *)
+let subtree_sizes parent =
+  let n = Array.length parent in
+  let size = Array.make n 1 in
+  let children = Array.make n [] in
+  let roots = ref [] in
+  Array.iteri
+    (fun v p ->
+      if p >= 0 && p <> v then children.(p) <- v :: children.(p)
+      else roots := v :: !roots)
+    parent;
+  let stack = Stack.create () in
+  List.iter (fun r -> Stack.push (r, false) stack) !roots;
+  while not (Stack.is_empty stack) do
+    let v, expanded = Stack.pop stack in
+    if expanded then begin
       let p = parent.(v) in
-      if p >= 0 && p <> v then size.(p) <- size.(p) + size.(v))
-    order;
+      if p >= 0 && p <> v then size.(p) <- size.(p) + size.(v)
+    end
+    else begin
+      Stack.push (v, true) stack;
+      List.iter (fun c -> Stack.push (c, false) stack) children.(v)
+    end
+  done;
   size
 
 let candidate_roots g =
@@ -28,12 +46,7 @@ let bisect g =
     let best = ref None in
     let consider root =
       let parent = Paths.bfs_parents g root in
-      let dist = Paths.bfs_dist g root in
-      let order =
-        Qcp_util.Listx.range size
-        |> List.sort (fun a b -> compare dist.(b) dist.(a))
-      in
-      let sizes = subtree_sizes parent order in
+      let sizes = subtree_sizes parent in
       for v = 0 to size - 1 do
         if v <> root && parent.(v) >= 0 then begin
           let small = min sizes.(v) (size - sizes.(v)) in

@@ -6,14 +6,88 @@ exception Routing_failure of string
 
 let depth_upper_bound g = (8 * Graph.n g) + 8
 
-(* Interleave sibling level lists: the halves are vertex-disjoint, so their
-   levels execute in parallel. *)
-let rec merge la lb =
-  match (la, lb) with
-  | [], rest | rest, [] -> rest
-  | a :: ra, b :: rb -> (a @ b) :: merge ra rb
+(* Everything the divide-and-conquer recursion derives from a vertex subset
+   alone — the bisection, the channel edge and the per-half BFS structure —
+   is independent of the permutation being routed.  A [memo] caches it per
+   subset so repeated routes over the same adjacency graph (the placer
+   scores hundreds of candidates against one graph) pay the separator and
+   BFS costs once. *)
+type split_info = {
+  si_sa : int list; (* small half, original vertex ids *)
+  si_sb : int list; (* large half *)
+  si_in_a : bool array;
+  si_in_b : bool array;
+  si_guard_cap : int;
+  si_channel : int * int; (* (u1 in sa, u2 in sb) *)
+  si_parent_a : int array;
+  si_order_a : int list; (* sa sorted by distance to the channel *)
+  si_parent_b : int array;
+  si_order_b : int list;
+}
 
-let route ?(leaf_override = true) ?edge_cost g ~perm =
+type subset_info = Unsplittable | No_channel | Split of split_info
+
+type memo = {
+  table : (int list, subset_info) Hashtbl.t;
+  lock : Mutex.t;
+  mutable owner : Graph.t option; (* the graph this memo was built against *)
+}
+
+let make_memo () = { table = Hashtbl.create 64; lock = Mutex.create (); owner = None }
+
+let compute_info g edge_cost vertices =
+  let n = Graph.n g in
+  let sub, back = Graph.induced g vertices in
+  match Separator.bisect sub with
+  | None -> Unsplittable
+  | Some (small, large) ->
+    let sa = List.map (fun i -> back.(i)) small in
+    let sb = List.map (fun i -> back.(i)) large in
+    let in_sa = Array.make n false in
+    let in_sb = Array.make n false in
+    List.iter (fun v -> in_sa.(v) <- true) sa;
+    List.iter (fun v -> in_sb.(v) <- true) sb;
+    let channel =
+      (* All crossing edges; with an edge-cost oracle (the paper notes the
+         algorithm extends to weighted SWAPs) pick the cheapest channel. *)
+      let crossing =
+        List.concat_map
+          (fun v ->
+            Array.to_list (Graph.neighbors g v)
+            |> List.filter_map (fun u -> if in_sb.(u) then Some (v, u) else None))
+          sa
+      in
+      match (edge_cost, crossing) with
+      | _, [] -> None
+      | None, first :: _ -> Some first
+      | Some cost, candidates ->
+        Qcp_util.Listx.min_by (fun (u, v) -> cost u v) candidates
+    in
+    (match channel with
+    | None -> No_channel
+    | Some (u1, u2) ->
+      let dist_a = Paths.bfs_dist ~restrict:(fun v -> in_sa.(v)) g u1 in
+      let parent_a = Paths.bfs_parents ~restrict:(fun v -> in_sa.(v)) g u1 in
+      let dist_b = Paths.bfs_dist ~restrict:(fun v -> in_sb.(v)) g u2 in
+      let parent_b = Paths.bfs_parents ~restrict:(fun v -> in_sb.(v)) g u2 in
+      let by_dist dist side =
+        List.sort (fun a b -> compare dist.(a) dist.(b)) side
+      in
+      Split
+        {
+          si_sa = sa;
+          si_sb = sb;
+          si_in_a = in_sa;
+          si_in_b = in_sb;
+          si_guard_cap = (8 * (List.length sa + List.length sb)) + 16;
+          si_channel = (u1, u2);
+          si_parent_a = parent_a;
+          si_order_a = by_dist dist_a sa;
+          si_parent_b = parent_b;
+          si_order_b = by_dist dist_b sb;
+        })
+
+let route ?(leaf_override = true) ?edge_cost ?memo g ~perm =
   let n = Graph.n g in
   if Array.length perm <> n then
     invalid_arg "Bisect_router.route: permutation size mismatch";
@@ -21,6 +95,25 @@ let route ?(leaf_override = true) ?edge_cost g ~perm =
     invalid_arg "Bisect_router.route: not a permutation";
   if not (Paths.is_connected g) then
     invalid_arg "Bisect_router.route: adjacency graph must be connected";
+  let info_of =
+    match memo with
+    | None -> compute_info g edge_cost
+    | Some memo ->
+      (match memo.owner with
+      | None -> memo.owner <- Some g
+      | Some owner ->
+        if owner != g then
+          invalid_arg "Bisect_router.route: memo built for a different graph");
+      fun vertices ->
+        let find () = Hashtbl.find_opt memo.table vertices in
+        Mutex.protect memo.lock (fun () ->
+            match find () with
+            | Some info -> info
+            | None ->
+              let info = compute_info g edge_cost vertices in
+              Hashtbl.add memo.table vertices info;
+              info)
+  in
   let config = Array.init n (fun v -> v) in
   let dest_of v = perm.(config.(v)) in
   let settled v = dest_of v = v in
@@ -86,47 +179,13 @@ let route ?(leaf_override = true) ?edge_cost g ~perm =
      channel edge (u1, u2); within a half, misplaced tokens bubble toward the
      channel along BFS-tree parents, swapping only with correctly-sided
      tokens, closest-to-channel first. *)
-  let phase sa sb =
-    let in_sa = Array.make n false in
-    let in_sb = Array.make n false in
-    List.iter (fun v -> in_sa.(v) <- true) sa;
-    List.iter (fun v -> in_sb.(v) <- true) sb;
-    let channel =
-      (* All crossing edges; with an edge-cost oracle (the paper notes the
-         algorithm extends to weighted SWAPs) pick the cheapest channel. *)
-      let crossing =
-        List.concat_map
-          (fun v ->
-            Array.to_list (Graph.neighbors g v)
-            |> List.filter_map (fun u -> if in_sb.(u) then Some (v, u) else None))
-          sa
-      in
-      let chosen =
-        match (edge_cost, crossing) with
-        | _, [] -> None
-        | None, first :: _ -> Some first
-        | Some cost, candidates ->
-          Qcp_util.Listx.min_by (fun (u, v) -> cost u v) candidates
-      in
-      match chosen with
-      | Some edge -> edge
-      | None -> raise (Routing_failure "no channel edge between bisection halves")
-    in
-    let u1, u2 = channel in
-    let dist_a = Paths.bfs_dist ~restrict:(fun v -> in_sa.(v)) g u1 in
-    let parent_a = Paths.bfs_parents ~restrict:(fun v -> in_sa.(v)) g u1 in
-    let dist_b = Paths.bfs_dist ~restrict:(fun v -> in_sb.(v)) g u2 in
-    let parent_b = Paths.bfs_parents ~restrict:(fun v -> in_sb.(v)) g u2 in
-    let by_dist dist side =
-      List.sort (fun a b -> compare dist.(a) dist.(b)) side
-    in
-    let order_a = by_dist dist_a sa in
-    let order_b = by_dist dist_b sb in
-    let misplaced () =
-      List.exists (fun v -> in_sb.(dest_of v)) sa
-    in
+  let phase info =
+    let in_sa = info.si_in_a in
+    let in_sb = info.si_in_b in
+    let u1, u2 = info.si_channel in
+    let misplaced () = List.exists (fun v -> in_sb.(dest_of v)) info.si_sa in
     let out = ref [] in
-    let guard = ref (0, (8 * (List.length sa + List.length sb)) + 16) in
+    let guard = ref (0, info.si_guard_cap) in
     while misplaced () do
       let iter, cap = !guard in
       if iter > cap then raise (Routing_failure "phase did not converge");
@@ -150,8 +209,8 @@ let route ?(leaf_override = true) ?edge_cost g ~perm =
             end)
           order
       in
-      sweep order_a parent_a (fun d -> in_sb.(d)) u1;
-      sweep order_b parent_b (fun d -> in_sa.(d)) u2;
+      sweep info.si_order_a info.si_parent_a (fun d -> in_sb.(d)) u1;
+      sweep info.si_order_b info.si_parent_b (fun d -> in_sa.(d)) u2;
       if !level = [] then raise (Routing_failure "phase produced an empty level");
       apply_level !level;
       out := !level :: !out
@@ -159,6 +218,13 @@ let route ?(leaf_override = true) ?edge_cost g ~perm =
     List.rev !out
   in
 
+  (* Interleave sibling level lists: the halves are vertex-disjoint, so their
+     levels execute in parallel. *)
+  let rec merge la lb =
+    match (la, lb) with
+    | [], rest | rest, [] -> rest
+    | a :: ra, b :: rb -> (a @ b) :: merge ra rb
+  in
   let rec solve vertices =
     match vertices with
     | [] | [ _ ] -> []
@@ -169,16 +235,14 @@ let route ?(leaf_override = true) ?edge_cost g ~perm =
         apply_level level;
         [ level ]
       end
-    | _ ->
-      let sub, back = Graph.induced g vertices in
-      (match Separator.bisect sub with
-      | None -> raise (Routing_failure "could not bisect a connected subgraph")
-      | Some (small, large) ->
-        let sa = List.map (fun i -> back.(i)) small in
-        let sb = List.map (fun i -> back.(i)) large in
-        let phase_levels = phase sa sb in
-        let la = solve sa in
-        let lb = solve sb in
+    | _ -> (
+      match info_of vertices with
+      | Unsplittable -> raise (Routing_failure "could not bisect a connected subgraph")
+      | No_channel -> raise (Routing_failure "no channel edge between bisection halves")
+      | Split info ->
+        let phase_levels = phase info in
+        let la = solve info.si_sa in
+        let lb = solve info.si_sb in
         phase_levels @ merge la lb)
   in
   let remaining = List.filter (fun v -> active.(v)) (Graph.vertices g) in

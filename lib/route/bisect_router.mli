@@ -15,9 +15,24 @@
 exception Routing_failure of string
 (** Internal-invariant violation; never expected on valid inputs. *)
 
+type memo
+(** Cache of the permutation-independent routing structure (bisections,
+    channel edges, per-half BFS trees) per vertex subset of one adjacency
+    graph.  Sharing a memo across [route] calls on the same graph amortizes
+    the separator work, which dominates routing cost; networks produced with
+    and without a memo are identical.  A memo is internally locked and safe
+    to share across domains. *)
+
+val make_memo : unit -> memo
+(** A fresh, empty memo.  Use one memo per (graph, [edge_cost]) combination:
+    the first [route] call binds it to its graph (later calls with another
+    graph raise [Invalid_argument]), but a differing [edge_cost] cannot be
+    detected and silently yields the channels of the first one. *)
+
 val route :
   ?leaf_override:bool ->
   ?edge_cost:(int -> int -> float) ->
+  ?memo:memo ->
   Qcp_graph.Graph.t ->
   perm:Perm.t ->
   Swap_network.t

@@ -45,22 +45,23 @@ let pp ppf t =
 
 let compress t =
   let swaps = List.concat t in
-  let level_of_vertex = Hashtbl.create 16 in
-  let buckets = Hashtbl.create 16 in
-  let max_level = ref (-1) in
-  List.iter
-    (fun (u, v) ->
-      let ready w = match Hashtbl.find_opt level_of_vertex w with Some l -> l | None -> 0 in
-      let level = max (ready u) (ready v) in
-      Hashtbl.replace level_of_vertex u (level + 1);
-      Hashtbl.replace level_of_vertex v (level + 1);
-      max_level := max !max_level level;
-      let existing = try Hashtbl.find buckets level with Not_found -> [] in
-      Hashtbl.replace buckets level ((u, v) :: existing))
-    swaps;
-  List.filter_map
-    (fun level ->
-      match Hashtbl.find_opt buckets level with
-      | None -> None
-      | Some bucket -> Some (List.rev bucket))
-    (List.init (!max_level + 1) (fun i -> i))
+  match swaps with
+  | [] -> []
+  | _ ->
+    let top =
+      List.fold_left (fun acc (u, v) -> max acc (max u v)) 0 swaps
+    in
+    (* ready.(v) is the earliest level where vertex v is free; assigned
+       levels are contiguous, so plain arrays replace the hashtables. *)
+    let ready = Array.make (top + 1) 0 in
+    let buckets = Array.make (List.length swaps) [] in
+    let max_level = ref (-1) in
+    List.iter
+      (fun (u, v) ->
+        let level = max ready.(u) ready.(v) in
+        ready.(u) <- level + 1;
+        ready.(v) <- level + 1;
+        if level > !max_level then max_level := level;
+        buckets.(level) <- (u, v) :: buckets.(level))
+      swaps;
+    List.init (!max_level + 1) (fun i -> List.rev buckets.(i))

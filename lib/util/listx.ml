@@ -10,17 +10,17 @@ let rec drop n = function
   | [] -> []
   | _ :: rest as all -> if n <= 0 then all else drop (n - 1) rest
 
-let min_by key = function
+let min_by_key key = function
   | [] -> None
   | first :: rest ->
-    let best, _ =
-      List.fold_left
-        (fun (b, kb) x ->
-          let kx = key x in
-          if kx < kb then (x, kx) else (b, kb))
-        (first, key first) rest
-    in
-    Some best
+    Some
+      (List.fold_left
+         (fun (b, kb) x ->
+           let kx = key x in
+           if kx < kb then (x, kx) else (b, kb))
+         (first, key first) rest)
+
+let min_by key list = Option.map fst (min_by_key key list)
 
 let max_by key list = min_by (fun x -> -.key x) list
 

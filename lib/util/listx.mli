@@ -15,6 +15,11 @@ val drop : int -> 'a list -> 'a list
 val min_by : ('a -> float) -> 'a list -> 'a option
 (** Element minimizing the key; [None] on an empty list. *)
 
+val min_by_key : ('a -> float) -> 'a list -> ('a * float) option
+(** Like {!min_by} but also returns the winning key, so callers needing the
+    score do not have to evaluate the (possibly expensive) key again.  Ties
+    keep the earliest element, exactly as {!min_by}. *)
+
 val max_by : ('a -> float) -> 'a list -> 'a option
 (** Element maximizing the key; [None] on an empty list. *)
 

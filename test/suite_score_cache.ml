@@ -1,0 +1,109 @@
+(* Property tests for the incremental scoring engine (Score_cache +
+   parallel candidate evaluation): memoization and domain fan-out are pure
+   performance features, so every placement decision -- the stage list, the
+   end-to-end runtime, the swap counts -- must be bit-identical with them on
+   or off. *)
+
+module Placer = Qcp.Placer
+module Options = Qcp.Options
+module Environment = Qcp_env.Environment
+
+(* The reference configuration disables everything; the others must match
+   it exactly. *)
+let variants options =
+  [
+    ( "cache-off",
+      { options with Options.score_cache = false; parallel_scoring = 0 } );
+    ( "cache-on",
+      { options with Options.score_cache = true; parallel_scoring = 0 } );
+    ( "cache-on-parallel",
+      { options with Options.score_cache = true; parallel_scoring = 4 } );
+  ]
+
+let check_identical ~seed reference (name, outcome) =
+  let tag what = Printf.sprintf "seed %d, %s: %s" seed name what in
+  match (reference, outcome) with
+  | Placer.Unplaceable a, Placer.Unplaceable b ->
+    Alcotest.(check string) (tag "same failure") a b
+  | Placer.Placed _, Placer.Unplaceable msg ->
+    Alcotest.fail (tag ("unplaceable only with this variant: " ^ msg))
+  | Placer.Unplaceable msg, Placer.Placed _ ->
+    Alcotest.fail (tag ("placeable only with this variant: " ^ msg))
+  | Placer.Placed a, Placer.Placed b ->
+    Alcotest.(check bool) (tag "identical stages") true
+      (a.Placer.stages = b.Placer.stages);
+    (* Exact float equality on purpose: the engines must run the same float
+       operations in the same order. *)
+    Alcotest.(check bool) (tag "identical runtime") true
+      (Placer.runtime a = Placer.runtime b);
+    Alcotest.(check int) (tag "swap stages") (Placer.swap_stage_count a)
+      (Placer.swap_stage_count b);
+    Alcotest.(check int) (tag "swap depth") (Placer.swap_depth_total a)
+      (Placer.swap_depth_total b);
+    (* Scoring work is counted per request, so the search-effort counters
+       also agree; only the hit/miss split may differ. *)
+    let sa = a.Placer.stats and sb = b.Placer.stats in
+    Alcotest.(check int) (tag "oracle calls") sa.Placer.oracle_calls
+      sb.Placer.oracle_calls;
+    Alcotest.(check int) (tag "candidates scored") sa.Placer.candidates_scored
+      sb.Placer.candidates_scored;
+    Alcotest.(check int) (tag "routing requests") sa.Placer.networks_routed
+      sb.Placer.networks_routed;
+    Alcotest.(check int)
+      (tag "hits + misses = requests")
+      sb.Placer.networks_routed
+      (sb.Placer.route_cache_hits + sb.Placer.route_cache_misses)
+
+let options_for ~seed threshold =
+  (* Alternate option profiles so the sweep exercises lookahead + fine
+     tuning, the cheap greedy path and boundary balancing. *)
+  match seed mod 3 with
+  | 0 -> Options.fast ~threshold
+  | 1 -> Options.default ~threshold
+  | _ -> { (Options.default ~threshold) with Options.balance_boundaries = true }
+
+let test_engine_identical () =
+  for seed = 1 to 50 do
+    let rng = Qcp_util.Rng.create seed in
+    let n = 4 + Qcp_util.Rng.int rng 5 in
+    let env = Qcp_env.Random_env.molecule rng ~n in
+    let threshold = Qcp_env.Random_env.interesting_threshold rng env in
+    let circuit, _ = Qcp_circuit.Random_circuit.hidden_stages rng ~n in
+    let options = options_for ~seed threshold in
+    match
+      List.map
+        (fun (name, o) -> (name, Placer.place o env circuit))
+        (variants options)
+    with
+    | (_, reference) :: others ->
+      List.iter (check_identical ~seed reference) others;
+      (* The reference variant never touches the cache. *)
+      (match reference with
+      | Placer.Placed p ->
+        Alcotest.(check int)
+          (Printf.sprintf "seed %d: cache-off has no hits" seed)
+          0 p.Placer.stats.Placer.route_cache_hits
+      | Placer.Unplaceable _ -> ())
+    | [] -> assert false
+  done
+
+let test_cache_actually_hits () =
+  (* On the Table 3 workload the lookahead sweep revisits permutations
+     constantly; the cache must absorb a substantial share of requests. *)
+  let env = Qcp_env.Molecules.trans_crotonic_acid in
+  let circuit = Qcp_circuit.Catalog.phase_estimation 4 in
+  match Placer.place (Options.default ~threshold:100.0) env circuit with
+  | Placer.Unplaceable msg -> Alcotest.fail msg
+  | Placer.Placed p ->
+    let s = p.Placer.stats in
+    Alcotest.(check bool) "has hits" true (s.Placer.route_cache_hits > 0);
+    Alcotest.(check int) "split sums" s.Placer.networks_routed
+      (s.Placer.route_cache_hits + s.Placer.route_cache_misses)
+
+let suite =
+  [
+    Alcotest.test_case "engine variants identical over 50 seeds" `Quick
+      test_engine_identical;
+    Alcotest.test_case "route cache hits on table3 workload" `Quick
+      test_cache_actually_hits;
+  ]

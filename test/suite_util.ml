@@ -69,7 +69,21 @@ let test_min_max_by () =
   let key x = float_of_int (x mod 10) in
   Alcotest.(check (option int)) "min_by" (Some 30) (Listx.min_by key [ 42; 30; 17 ]);
   Alcotest.(check (option int)) "max_by" (Some 17) (Listx.max_by key [ 42; 30; 17 ]);
-  Alcotest.(check (option int)) "min_by empty" None (Listx.min_by key [])
+  Alcotest.(check (option int)) "min_by empty" None (Listx.min_by key []);
+  (* min_by_key returns the winner *and* its score, evaluating the key
+     exactly once per element; ties keep the earliest element. *)
+  Alcotest.(check (option (pair int (float 0.0))))
+    "min_by_key" (Some (30, 0.0)) (Listx.min_by_key key [ 42; 30; 17 ]);
+  Alcotest.(check (option (pair int (float 0.0)))) "min_by_key empty" None
+    (Listx.min_by_key key []);
+  let calls = ref 0 in
+  let counting x = incr calls; key x in
+  (match Listx.min_by_key counting [ 42; 30; 17; 30 ] with
+  | Some (winner, score) ->
+    Alcotest.(check int) "earliest tie" 30 winner;
+    Alcotest.(check (float 0.0)) "score" 0.0 score
+  | None -> Alcotest.fail "expected a winner");
+  Alcotest.(check int) "one evaluation per element" 4 !calls
 
 let test_pairs () =
   Alcotest.(check int) "pairs count" 6 (List.length (Listx.pairs [ 1; 2; 3; 4 ]));

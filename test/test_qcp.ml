@@ -14,6 +14,7 @@ let () =
       ("routers-ext", Suite_routers_ext.suite);
       ("workspace", Suite_workspace.suite);
       ("placer", Suite_placer.suite);
+      ("score-cache", Suite_score_cache.suite);
       ("baselines", Suite_baselines.suite);
       ("fidelity", Suite_fidelity.suite);
       ("schedule-metrics", Suite_schedule.suite);
