@@ -67,7 +67,18 @@ let micro_tests () =
     Qcp_graph.Monomorph.enumerate ~limit:100 ~pattern ~target:bonds ()
   in
   let petersen = Qcp_graph.Generators.petersen () in
+  (* Dense variant: a 6-cycle into the Petersen graph exercises the
+     multi-neighbor candidate intersections instead of chains of single
+     constraints. *)
+  let dense_pattern = Qcp_graph.Generators.cycle_graph 6 in
+  let monomorph_dense_kernel () =
+    Qcp_graph.Monomorph.enumerate ~limit:100 ~pattern:dense_pattern
+      ~target:petersen ()
+  in
   let npc_kernel () = Qcp.Np_reduction.optimal_cost petersen in
+  (* The workspace's incremental embeddability oracle end to end: split the
+     Table 3 workload into alignable subcircuits. *)
+  let split_kernel () = Qcp.Workspace.split ~adjacency:bonds phaseest in
   (* The scoring engine itself: one full placement of the Table 3 workload
      with memoization on (default) vs off, isolating the cache's effect. *)
   let score_kernel ~cache () =
@@ -86,6 +97,9 @@ let micro_tests () =
       Test.make ~name:"table4/place-chain32" (Staged.stage table4_kernel);
       Test.make ~name:"figure3/route-crotonic" (Staged.stage figure3_kernel);
       Test.make ~name:"kernel/monomorphism" (Staged.stage monomorph_kernel);
+      Test.make ~name:"kernel/monomorphism-dense"
+        (Staged.stage monomorph_dense_kernel);
+      Test.make ~name:"kernel/workspace-split" (Staged.stage split_kernel);
       Test.make ~name:"npc/petersen-branch-bound" (Staged.stage npc_kernel);
       Test.make ~name:"kernel/score-candidate-cached"
         (Staged.stage (score_kernel ~cache:true));

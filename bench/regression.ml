@@ -1,0 +1,91 @@
+(* Compare two BENCH_micro.json files (flat {"kernel": ns_per_run} maps, as
+   written by [main.exe micro --json]) and fail when any kernel present in
+   the baseline regressed by more than the given factor.
+
+   Usage: regression.exe BASELINE.json CURRENT.json [FACTOR]
+
+   Exit codes: 0 all kernels within the budget, 1 regression (or a baseline
+   kernel missing from the current run), 2 usage/parse error. *)
+
+let parse_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  (* The format is a flat object of string keys and number values; a line
+     scanner is enough and avoids a JSON dependency. *)
+  let rows = ref [] in
+  String.split_on_char '\n' s
+  |> List.iter (fun line ->
+         let line = String.trim line in
+         match String.index_opt line '"' with
+         | Some 0 ->
+           (match String.index_from_opt line 1 '"' with
+           | Some close ->
+             let name = String.sub line 1 (close - 1) in
+             (match String.index_from_opt line close ':' with
+             | Some colon ->
+               let value =
+                 String.sub line (colon + 1) (String.length line - colon - 1)
+                 |> String.trim
+                 |> fun v ->
+                 (if String.length v > 0 && v.[String.length v - 1] = ',' then
+                    String.sub v 0 (String.length v - 1)
+                  else v)
+                 |> float_of_string_opt
+               in
+               (match value with
+               | Some ns -> rows := (name, ns) :: !rows
+               | None ->
+                 Printf.eprintf "%s: unparsable value on line %S\n" path line;
+                 exit 2)
+             | None -> ())
+           | None ->
+             Printf.eprintf "%s: unparsable line %S\n" path line;
+             exit 2)
+         | _ -> ());
+  List.rev !rows
+
+let () =
+  let baseline_path, current_path, factor =
+    match Sys.argv with
+    | [| _; b; c |] -> (b, c, 2.0)
+    | [| _; b; c; f |] -> (
+      match float_of_string_opt f with
+      | Some f when f > 0.0 -> (b, c, f)
+      | _ ->
+        Printf.eprintf "invalid factor %S\n" f;
+        exit 2)
+    | _ ->
+      Printf.eprintf "usage: %s BASELINE.json CURRENT.json [FACTOR]\n"
+        Sys.argv.(0);
+      exit 2
+  in
+  let baseline = parse_file baseline_path in
+  let current = parse_file current_path in
+  let failures = ref 0 in
+  List.iter
+    (fun (name, base_ns) ->
+      match List.assoc_opt name current with
+      | None ->
+        incr failures;
+        Printf.printf "MISSING  %-40s baseline %.1f ns, absent from %s\n" name
+          base_ns current_path
+      | Some ns ->
+        let ratio = ns /. base_ns in
+        let status = if ratio > factor then "REGRESSED" else "ok" in
+        if ratio > factor then incr failures;
+        Printf.printf "%-9s %-40s %10.1f -> %10.1f ns (%.2fx, budget %.1fx)\n"
+          status name base_ns ns ratio factor)
+    baseline;
+  List.iter
+    (fun (name, ns) ->
+      if List.assoc_opt name baseline = None then
+        Printf.printf "NEW       %-40s %10.1f ns (no baseline)\n" name ns)
+    current;
+  if !failures > 0 then begin
+    Printf.printf "%d kernel(s) regressed beyond %.1fx\n" !failures factor;
+    exit 1
+  end
+  else Printf.printf "all %d baseline kernel(s) within %.1fx\n"
+         (List.length baseline) factor

@@ -103,7 +103,7 @@ let threshold_arg =
 
 let options_term =
   let make threshold no_lookahead fine_tune no_override router no_cap
-      sequential limit commute balance no_cache parallel env =
+      sequential limit commute balance no_cache parallel parallel_enum env =
     let threshold =
       match threshold with
       | Some th -> th
@@ -124,6 +124,7 @@ let options_term =
       balance_boundaries = balance;
       score_cache = not no_cache;
       parallel_scoring = parallel;
+      parallel_enumeration = parallel_enum;
     }
   in
   Term.(
@@ -170,7 +171,14 @@ let options_term =
             ~doc:
               "Score independent placement candidates on this many domains \
                (0 or 1 = sequential).  The chosen placement is identical to \
-               sequential scoring."))
+               sequential scoring.")
+    $ Arg.(
+        value & opt int 0
+        & info [ "parallel-enum" ] ~docv:"DOMAINS"
+            ~doc:
+              "Fan the monomorphism enumeration over this many domains (0 \
+               or 1 = sequential).  The enumerated mapping list, and hence \
+               the placement, is identical to sequential enumeration."))
 
 (* ------------------------------------------------------------------ *)
 (* place                                                               *)

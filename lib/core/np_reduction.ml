@@ -25,9 +25,141 @@ let cycle_circuit m =
 
 (* Branch and bound: assigning qubits in cycle order 0,1,...,m-1 makes each
    new assignment close exactly one gate (q_{i-1}, q_i) — plus the wrap-around
-   gate when the last qubit is placed — so the partial cost is monotone. *)
-let branch_and_bound g ~stop_at_zero =
-  let m = Graph.n g in
+   gate when the last qubit is placed — so the partial cost is monotone.
+
+   The graph-sized fast path packs every vertex set into one native-int word
+   (adjacency rows come straight from the bitset kernel) and accelerates the
+   dominant regime: once [cost +. 1.0 >= best] only zero-cost steps survive
+   the seed's own [cost +. step < best] test, so the remaining route must be
+   a Hamiltonian path of the subgraph induced on {prev} U free, ending
+   adjacent to placement.(0) (the wrap-around gate must also be satisfied).
+   In that regime the candidate loop shrinks to the free neighbors of the
+   previous vertex — popped off the adjacency word in the same ascending
+   order the full scan would visit them — and, while enough vertices remain
+   unplaced for the subtree to be worth refuting, a word-parallel
+   connectivity + forced-endpoint check prunes dead branches.  Every cut
+   only discards branches whose completions all cost at least the incumbent,
+   so the incumbent sequence — and hence the returned placement and cost —
+   is identical to the plain scan's. *)
+
+(* Below this many unplaced vertices the subtree is too small for the
+   connectivity check to pay for itself (measured on the Petersen
+   benchmark); the neighbor-restricted candidate loop already bounds the
+   work there. *)
+let zero_check_min_unplaced = 5
+
+let branch_and_bound_small g ~stop_at_zero m =
+  let nbr = Array.init m (fun v -> (Graph.neighbor_mask g v).(0)) in
+  let placement = Array.make m (-1) in
+  let free = ref ((1 lsl m) - 1) in
+  let best_cost = ref Float.infinity in
+  let best_placement = ref None in
+  (* Can {prev} U free still host a zero-cost completion (a Hamiltonian path
+     from prev ending adjacent to [first])?  Sound refutations only: every
+     free vertex reachable from prev through free, and at most one free
+     vertex with fewer than two available neighbors — such a vertex must be
+     the final one, hence also adjacent to [first]. *)
+  let zero_completable prev first =
+    let fr = !free in
+    let reach = ref (nbr.(prev) land fr) in
+    let frontier = ref !reach in
+    while !frontier <> 0 do
+      let acc = ref 0 in
+      let f = ref !frontier in
+      while !f <> 0 do
+        let b = !f land (- !f) in
+        f := !f lxor b;
+        acc := !acc lor nbr.(Graph.bit_index b)
+      done;
+      frontier := !acc land fr land lnot !reach;
+      reach := !reach lor !frontier
+    done;
+    fr land lnot !reach = 0
+    &&
+    let avail_set = fr lor (1 lsl prev) in
+    let first_bit = 1 lsl first in
+    let forced = ref 0 and ok = ref true in
+    let f = ref fr in
+    while !ok && !f <> 0 do
+      let b = !f land (- !f) in
+      f := !f lxor b;
+      let nv = nbr.(Graph.bit_index b) in
+      let avail = nv land avail_set in
+      (* avail has fewer than two bits set *)
+      if avail land (avail - 1) = 0 then begin
+        incr forced;
+        if avail = 0 || !forced > 1 || nv land first_bit = 0 then ok := false
+      end
+    done;
+    !ok
+  in
+  let exception Done in
+  let rec assign q cost =
+    if cost < !best_cost then begin
+      if q = m then begin
+        let total =
+          cost
+          +.
+          if nbr.(placement.(m - 1)) land (1 lsl placement.(0)) <> 0 then 0.0
+          else 1.0
+        in
+        if total < !best_cost then begin
+          best_cost := total;
+          best_placement := Some (Array.copy placement);
+          if stop_at_zero && total = 0.0 then raise Done
+        end
+      end
+      else if q = 0 then
+        for v = 0 to m - 1 do
+          free := !free land lnot (1 lsl v);
+          placement.(q) <- v;
+          assign (q + 1) 0.0;
+          placement.(q) <- -1;
+          free := !free lor (1 lsl v)
+        done
+      else begin
+        let prev = placement.(q - 1) in
+        if cost +. 1.0 >= !best_cost then begin
+          if
+            m - q < zero_check_min_unplaced
+            || zero_completable prev placement.(0)
+          then begin
+            let cand = ref (nbr.(prev) land !free) in
+            while !cand <> 0 && cost < !best_cost do
+              let b = !cand land (- !cand) in
+              cand := !cand lxor b;
+              free := !free lxor b;
+              placement.(q) <- Graph.bit_index b;
+              assign (q + 1) cost;
+              placement.(q) <- -1;
+              free := !free lor b
+            done
+          end
+        end
+        else begin
+          let pn = nbr.(prev) in
+          for v = 0 to m - 1 do
+            if !free land (1 lsl v) <> 0 then begin
+              let step = if pn land (1 lsl v) <> 0 then 0.0 else 1.0 in
+              if cost +. step < !best_cost then begin
+                free := !free land lnot (1 lsl v);
+                placement.(q) <- v;
+                assign (q + 1) (cost +. step);
+                placement.(q) <- -1;
+                free := !free lor (1 lsl v)
+              end
+            end
+          done
+        end
+      end
+    end
+  in
+  (try assign 0 0.0 with Done -> ());
+  (!best_placement, !best_cost)
+
+(* Fallback for graphs too large for single-word vertex sets (the search is
+   exponential, so such inputs are out of practical reach anyway). *)
+let branch_and_bound_large g ~stop_at_zero m =
   let edge_cost u v = if Graph.mem_edge g u v then 0.0 else 1.0 in
   let placement = Array.make m (-1) in
   let taken = Array.make m false in
@@ -61,6 +193,11 @@ let branch_and_bound g ~stop_at_zero =
   in
   (try assign 0 0.0 with Done -> ());
   (!best_placement, !best_cost)
+
+let branch_and_bound g ~stop_at_zero =
+  let m = Graph.n g in
+  if m <= 62 then branch_and_bound_small g ~stop_at_zero m
+  else branch_and_bound_large g ~stop_at_zero m
 
 let optimal_cost g = snd (branch_and_bound g ~stop_at_zero:true)
 

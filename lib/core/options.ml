@@ -13,6 +13,7 @@ type t = {
   balance_boundaries : bool;
   score_cache : bool;
   parallel_scoring : int;
+  parallel_enumeration : int;
 }
 
 let default ~threshold =
@@ -29,6 +30,7 @@ let default ~threshold =
     balance_boundaries = false;
     score_cache = true;
     parallel_scoring = 0;
+    parallel_enumeration = 0;
   }
 
 let fast ~threshold =
@@ -45,4 +47,5 @@ let fast ~threshold =
     balance_boundaries = false;
     score_cache = true;
     parallel_scoring = 0;
+    parallel_enumeration = 0;
   }

@@ -54,6 +54,14 @@ type t = {
           expensive (large registers, deep lookahead); at the paper's
           problem sizes domain spawn and minor-GC coordination outweigh the
           parallelism, so the default stays sequential. *)
+  parallel_enumeration : int;
+      (** Fan the per-subcircuit monomorphism enumeration across this many
+          domains, partitioned by the first ordered pattern vertex's
+          candidate images; [0] (the default) and [1] enumerate
+          sequentially.  The merged list — mappings and their order — is
+          identical to sequential enumeration, so placements are unchanged.
+          Worthwhile only when [monomorphism_limit] is large and the
+          adjacency graph is dense enough for deep subtrees. *)
 }
 
 val default : threshold:float -> t

@@ -313,6 +313,7 @@ let enumerate_mappings ctx ~subcircuit =
   Score_cache.mappings ctx.c_cache subcircuit ~enumerate:(fun subcircuit ->
       let pattern = Score_cache.interaction_graph ctx.c_cache subcircuit in
       Monomorph.enumerate ~limit:ctx.c_options.Options.monomorphism_limit
+        ~domains:(max 1 ctx.c_options.Options.parallel_enumeration)
         ~pattern ~target:ctx.c_adjacency ())
 
 let enumerate_candidates ctx ~prev ~subcircuit =

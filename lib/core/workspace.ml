@@ -15,6 +15,12 @@ let split ?oracle_calls ~adjacency circuit =
     count ();
     Monomorph.exists ~pattern:(Graph.of_edges qubits pairs) ~target:adjacency
   in
+  (* The workspace's pattern grows one pair at a time, so the oracle state
+     lives in an incremental engine instead of a [Graph.t] rebuilt per
+     query; [Monomorph.Incremental.embeds_with] answers the same existence
+     question as the full enumerator. *)
+  let inc = Monomorph.Incremental.create ~qubits ~target:adjacency in
+  let pdeg q = Monomorph.Incremental.degree inc q in
   (* Witness shortcut: remember one concrete monomorphism of the current
      pair set (plus its occupied-vertex mask).  A new pair whose endpoints
      the witness already maps to an adjacent vertex pair is embeddable by
@@ -62,7 +68,6 @@ let split ?oracle_calls ~adjacency circuit =
      degree >= d, so exceeding the target's maximum degree refutes
      embeddability without a search (the common case when a stage closes). *)
   let max_deg = Graph.max_degree adjacency in
-  let deg = Array.make qubits 0 in
   (* On a path target the oracle is decidable exactly without any search: a
      degree-bounded pattern embeds into an n-vertex path iff every component
      is a simple path (acyclic given degrees <= 2) and at most n vertices
@@ -85,49 +90,42 @@ let split ?oracle_calls ~adjacency circuit =
   (* Commit pair [(a, b)] into the incremental pattern state.  Callers do
      this exactly when the oracle admitted the pair and the pair joins the
      current set. *)
-  let admit (a, b) =
-    if deg.(a) = 0 then incr used;
-    if deg.(b) = 0 then incr used;
-    deg.(a) <- deg.(a) + 1;
-    deg.(b) <- deg.(b) + 1;
+  let admit ((a, b) as pair) =
+    if pdeg a = 0 then incr used;
+    if pdeg b = 0 then incr used;
+    Monomorph.Incremental.add inc pair;
     let ra = find a and rb = find b in
     if ra <> rb then uf.(ra) <- rb
   in
-  let extends ((a, b) as pair) pairs =
+  let extends ((a, b) as pair) =
     count ();
     witness_covers pair
-    || (deg.(a) < max_deg && deg.(b) < max_deg)
+    || (pdeg a < max_deg && pdeg b < max_deg)
        &&
        if target_is_path then
          find a <> find b
          && !used
-            + (if deg.(a) = 0 then 1 else 0)
-            + (if deg.(b) = 0 then 1 else 0)
+            + (if pdeg a = 0 then 1 else 0)
+            + (if pdeg b = 0 then 1 else 0)
             <= Graph.n adjacency
        else
-         match
-           Monomorph.enumerate ~limit:1
-             ~pattern:(Graph.of_edges qubits pairs)
-             ~target:adjacency ()
-         with
-         | m :: _ ->
+         match Monomorph.Incremental.embeds_with inc pair with
+         | Some m ->
            let taken = Array.make (Graph.n adjacency) false in
            Array.iter (fun v -> if v >= 0 then taken.(v) <- true) m;
            witness := Some (m, taken);
            true
-         | [] -> false
+         | None -> false
   in
   let subcircuits = ref [] in
   let gates = ref [] in
-  let pairs = ref [] in
   let pair_set = Hashtbl.create 64 in
   let close () =
     if !gates <> [] then begin
       subcircuits := Circuit.make ~qubits (List.rev !gates) :: !subcircuits;
       gates := [];
-      pairs := [];
       witness := None;
-      Array.fill deg 0 qubits 0;
+      Monomorph.Incremental.reset inc;
       Array.iteri (fun q _ -> uf.(q) <- q) uf;
       used := 0;
       Hashtbl.reset pair_set
@@ -141,8 +139,7 @@ let split ?oracle_calls ~adjacency circuit =
       | [ a; b ] ->
         let pair = (min a b, max a b) in
         if Hashtbl.mem pair_set pair then gates := gate :: !gates
-        else if extends pair (pair :: !pairs) then begin
-          pairs := pair :: !pairs;
+        else if extends pair then begin
           admit pair;
           Hashtbl.replace pair_set pair ();
           gates := gate :: !gates
@@ -155,7 +152,6 @@ let split ?oracle_calls ~adjacency circuit =
                  (Gate.name gate))
         else begin
           close ();
-          pairs := [ pair ];
           admit pair;
           Hashtbl.replace pair_set pair ();
           gates := [ gate ]

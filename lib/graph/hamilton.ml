@@ -1,34 +1,107 @@
+(* Backtracking search on the bitset kernel, with two sound prunings run at
+   every interior node:
+
+   - connectivity: the remaining route is a Hamiltonian path of the subgraph
+     induced on {current} U unvisited, so if some unvisited vertex is
+     unreachable from the current endpoint through unvisited vertices the
+     branch is dead;
+   - forced endpoints: an unvisited vertex with fewer than two neighbors in
+     {current} U unvisited must be the final vertex of the route (interior
+     vertices need both a predecessor and a successor in the set), so two
+     such vertices kill the branch, as does one that is not adjacent to the
+     start vertex when searching for a closed route.
+
+   Both rules only discard branches that cannot complete; surviving branches
+   are explored in the seed order (sorted neighbor arrays, ascending), so
+   the route found is identical to the unpruned search's. *)
+
 let search g ~closed =
   let size = Graph.n g in
   if size = 0 then None
   else if size = 1 then Some [ 0 ]
-  else if closed && List.exists (fun v -> Graph.degree g v < 2) (Graph.vertices g) then None
   else begin
-    let visited = Array.make size false in
-    let route = ref [] in
-    (* Start from a minimum-degree vertex to shrink the branching factor. *)
-    let start =
-      match Qcp_util.Listx.min_by (fun v -> float_of_int (Graph.degree g v)) (Graph.vertices g) with
-      | Some v -> v
-      | None -> 0
-    in
-    let rec extend v depth =
-      visited.(v) <- true;
-      route := v :: !route;
-      let ok =
-        if depth = size then (not closed) || Graph.mem_edge g v start
-        else
-          Array.exists
-            (fun w -> (not visited.(w)) && extend w (depth + 1))
-            (Graph.neighbors g v)
+    let degree_below_two = ref false in
+    for v = 0 to size - 1 do
+      if Graph.degree g v < 2 then degree_below_two := true
+    done;
+    if closed && !degree_below_two then None
+    else begin
+      let free = Graph.mask_make size in
+      for v = 0 to size - 1 do
+        Graph.mask_set free v
+      done;
+      let route = ref [] in
+      (* Start from a minimum-degree vertex to shrink the branching factor
+         (first minimum, matching the seed's [min_by] tie-breaking). *)
+      let start = ref 0 in
+      for v = size - 1 downto 0 do
+        if Graph.degree g v <= Graph.degree g !start then start := v
+      done;
+      let start = !start in
+      let reach = Graph.mask_make size in
+      let stack = Array.make size 0 in
+      (* Both prunings in one sweep over the free set. *)
+      let can_complete v =
+        Array.fill reach 0 (Array.length reach) 0;
+        Graph.mask_set reach v;
+        stack.(0) <- v;
+        let top = ref 1 in
+        while !top > 0 do
+          decr top;
+          let u = stack.(!top) in
+          Graph.iter_mask
+            (fun w ->
+              if Graph.mask_mem free w && not (Graph.mask_mem reach w) then begin
+                Graph.mask_set reach w;
+                stack.(!top) <- w;
+                incr top
+              end)
+            (Graph.neighbor_mask g u)
+        done;
+        let connected = ref true in
+        let forced = ref 0 in
+        let forced_ok = ref true in
+        Graph.iter_mask
+          (fun u ->
+            if not (Graph.mask_mem reach u) then connected := false
+            else begin
+              let nm = Graph.neighbor_mask g u in
+              let avail = ref (if Graph.mask_mem nm v then 1 else 0) in
+              for w = 0 to Array.length nm - 1 do
+                let m = ref (nm.(w) land free.(w)) in
+                while !m <> 0 do
+                  m := !m land (!m - 1);
+                  incr avail
+                done
+              done;
+              if !avail < 2 then begin
+                incr forced;
+                if closed && not (Graph.mem_edge g u start) then
+                  forced_ok := false
+              end
+            end)
+          free;
+        !connected && !forced <= 1 && !forced_ok
       in
-      if not ok then begin
-        visited.(v) <- false;
-        route := List.tl !route
-      end;
-      ok
-    in
-    if extend start 1 then Some (List.rev !route) else None
+      let rec extend v depth =
+        Graph.mask_clear free v;
+        route := v :: !route;
+        let ok =
+          if depth = size then (not closed) || Graph.mem_edge g v start
+          else
+            can_complete v
+            && Array.exists
+                 (fun w -> Graph.mask_mem free w && extend w (depth + 1))
+                 (Graph.neighbors g v)
+        in
+        if not ok then begin
+          Graph.mask_set free v;
+          route := List.tl !route
+        end;
+        ok
+      in
+      if extend start 1 then Some (List.rev !route) else None
+    end
   end
 
 let cycle g = search g ~closed:true
@@ -38,7 +111,7 @@ let path g = search g ~closed:false
 let is_cycle g route =
   let size = Graph.n g in
   List.length route = size
-  && List.sort_uniq compare route = Graph.vertices g
+  && List.sort_uniq Int.compare route = Graph.vertices g
   && size >= 3
   &&
   let arr = Array.of_list route in

@@ -1,8 +1,18 @@
-(** Hamiltonian cycle and path search by backtracking.
+(** Hamiltonian cycle and path search by backtracking on the bitset graph
+    kernel.
 
     Used by the NP-completeness experiment (paper Section 4): the reduction
     maps Hamiltonian-cycle instances to placement instances, and this module
-    provides the ground truth on small graphs. *)
+    provides the ground truth on small graphs.
+
+    Two sound prunings run at every interior node: the remaining route must
+    reach every unvisited vertex through unvisited vertices (connectivity),
+    and at most one unvisited vertex may have fewer than two neighbors left
+    in {current} U unvisited — such a vertex is a forced final vertex, and
+    for a closed route it must also be adjacent to the start.  Pruned
+    branches can never complete, and surviving branches are explored in
+    sorted neighbor order, so the returned route is exactly the one the
+    unpruned backtracking search finds. *)
 
 val cycle : Graph.t -> int list option
 (** A Hamiltonian cycle as a vertex list (start vertex not repeated at the

@@ -2,97 +2,320 @@
    component in BFS order from a maximum-degree seed, so each vertex after a
    component seed has at least one previously-mapped neighbor.  That keeps the
    candidate set for non-seed vertices restricted to neighbors of an already
-   mapped image, which is what makes the search fast on sparse patterns. *)
+   mapped image, which is what makes the search fast on sparse patterns.
+
+   The search itself runs on the bitset kernel: the candidate set of a vertex
+   is the bitwise AND of the target neighbor masks of *all* already-mapped
+   pattern neighbors, minus the used-vertex mask, iterated in increasing
+   vertex order.  That iteration order is exactly the seed enumerator's
+   (sorted neighbor array of the first mapped image, filtered), so the result
+   list -- mappings and their order -- is unchanged; only dead branches are
+   cut earlier, by degree-sequence and neighborhood-degree pruning. *)
+
+(* Sort key shared by the ordering heuristics: degree descending, vertex id
+   ascending -- the order a stable sort of an ascending list by degree
+   produces, which is what the enumeration order contract is pinned to. *)
+let by_degree_desc degree a b =
+  match Int.compare (degree b) (degree a) with
+  | 0 -> Int.compare a b
+  | c -> c
+
+(* Insertion sort of [arr.(lo .. hi-1)] by [cmp]; the sorted ranges are tiny
+   (bounded by a vertex degree), so this beats allocating slices for
+   [Array.sort]. *)
+let insertion_sort cmp arr lo hi =
+  for i = lo + 1 to hi - 1 do
+    let x = arr.(i) in
+    let j = ref (i - 1) in
+    while !j >= lo && cmp arr.(!j) x > 0 do
+      arr.(!j + 1) <- arr.(!j);
+      decr j
+    done;
+    arr.(!j + 1) <- x
+  done
 
 let ordering pattern =
-  let active =
-    List.filter (fun v -> Graph.degree pattern v > 0) (Graph.vertices pattern)
+  let np = Graph.n pattern in
+  let deg = Graph.degrees pattern in
+  let order = Array.make (max 1 np) 0 in
+  let len = ref 0 in
+  let seen = Array.make np false in
+  let cmp a b =
+    match Int.compare deg.(b) deg.(a) with 0 -> Int.compare a b | c -> c
   in
-  let seen = Array.make (Graph.n pattern) false in
-  let order = ref [] in
-  let by_degree_desc =
-    List.sort
-      (fun a b -> compare (Graph.degree pattern b) (Graph.degree pattern a))
-      active
-  in
-  let bfs_from seed =
-    let queue = Queue.create () in
-    seen.(seed) <- true;
-    Queue.add seed queue;
-    while not (Queue.is_empty queue) do
-      let u = Queue.pop queue in
-      order := u :: !order;
-      let next =
-        Array.to_list (Graph.neighbors pattern u)
-        |> List.filter (fun v -> not seen.(v))
-        |> List.sort (fun a b ->
-               compare (Graph.degree pattern b) (Graph.degree pattern a))
-      in
-      List.iter
-        (fun v ->
-          seen.(v) <- true;
-          Queue.add v queue)
-        next
-    done
-  in
-  List.iter (fun v -> if not seen.(v) then bfs_from v) by_degree_desc;
-  Array.of_list (List.rev !order)
+  let nseeds = ref 0 in
+  let seeds = Array.make (max 1 np) 0 in
+  for v = 0 to np - 1 do
+    if deg.(v) > 0 then begin
+      seeds.(!nseeds) <- v;
+      incr nseeds
+    end
+  done;
+  insertion_sort cmp seeds 0 !nseeds;
+  (* [order] itself is the BFS queue: [head] consumes what the loop below
+     appends, and the emission order is exactly the visit order. *)
+  let head = ref 0 in
+  for s = 0 to !nseeds - 1 do
+    let seed = seeds.(s) in
+    if not seen.(seed) then begin
+      seen.(seed) <- true;
+      order.(!len) <- seed;
+      incr len;
+      while !head < !len do
+        let u = order.(!head) in
+        incr head;
+        let first = !len in
+        Array.iter
+          (fun v ->
+            if not seen.(v) then begin
+              seen.(v) <- true;
+              order.(!len) <- v;
+              incr len
+            end)
+          (Graph.neighbors pattern u);
+        insertion_sort cmp order first !len
+      done
+    end
+  done;
+  Array.sub order 0 !len
 
-let compatible pattern target mapping v candidate =
-  Graph.degree target candidate >= Graph.degree pattern v
-  && Array.for_all
-       (fun u ->
-         let image = mapping.(u) in
-         image < 0 || Graph.mem_edge target image candidate)
-       (Graph.neighbors pattern v)
+(* Sorted-degree-sequence refutation via suffix counts: for every degree
+   bound d, the number of active pattern vertices of degree >= d must not
+   exceed the number of target vertices of degree >= d (those pattern
+   vertices occupy that many distinct target vertices).  Equivalent to
+   pointwise domination of the descending degree sequences; subsumes the
+   max-degree test. *)
+let degree_sequence_ok pattern target =
+  let sp = Graph.degree_suffix pattern and st = Graph.degree_suffix target in
+  let maxd_p = Array.length sp - 2 in
+  maxd_p <= Array.length st - 2
+  &&
+  let ok = ref true in
+  for d = 1 to maxd_p do
+    if sp.(d) > st.(d) then ok := false
+  done;
+  !ok
 
-let enumerate ?(limit = 100) ~pattern ~target () =
+type engine = {
+  pattern : Graph.t;
+  target : Graph.t;
+  nt : int;
+  order : int array;
+  deg_p : int array;
+  deg_t : int array;
+  sig_p : int array array;
+      (* neighbor-degree signatures (sorted descending): if f(v) = c then
+         v's signature must be dominated by a prefix of c's, so candidates
+         failing the test head only dead branches -- pruning them cannot
+         drop or reorder results *)
+  sig_t : int array array;
+}
+
+let make_engine ~pattern ~target ~order =
+  {
+    pattern;
+    target;
+    nt = Graph.n target;
+    order;
+    deg_p = Graph.degrees pattern;
+    deg_t = Graph.degrees target;
+    sig_p = Graph.neighbor_degrees pattern;
+    sig_t = Graph.neighbor_degrees target;
+  }
+
+let compatible e v c =
+  e.deg_t.(c) >= e.deg_p.(v)
+  &&
+  let ps = e.sig_p.(v) and ts = e.sig_t.(c) in
+  let ok = ref true in
+  for i = 0 to Array.length ps - 1 do
+    if ps.(i) > ts.(i) then ok := false
+  done;
+  !ok
+
+(* Per-search mutable state; one per domain when fanning out.  The
+   single-word search path tracks the used set as a plain int argument, so
+   [used] and [cand] stay empty there. *)
+type state = {
+  mapping : int array;
+  used : int array; (* bitset over target vertices *)
+  cand : int array array; (* per-depth candidate-mask scratch *)
+  limit : int;
+  mutable results : int array list; (* reversed *)
+  mutable count : int;
+}
+
+let small e = Graph.words e.target = 1
+
+let make_state e limit =
+  let multiword = not (small e) in
+  {
+    mapping = Array.make (Graph.n e.pattern) (-1);
+    used = (if multiword then Graph.mask_make e.nt else [||]);
+    cand =
+      (if multiword then
+         Array.init
+           (max 1 (Array.length e.order))
+           (fun _ -> Graph.mask_make e.nt)
+       else [||]);
+    limit;
+    results = [];
+    count = 0;
+  }
+
+let clear_state st =
+  st.results <- [];
+  st.count <- 0;
+  Array.fill st.mapping 0 (Array.length st.mapping) (-1);
+  Array.fill st.used 0 (Array.length st.used) 0
+
+exception Limit_reached
+
+let record st =
+  st.results <- Array.copy st.mapping :: st.results;
+  st.count <- st.count + 1;
+  if st.count >= st.limit then raise Limit_reached
+
+let rec extend e st step =
+  if step >= Array.length e.order then record st
+  else begin
+    let v = e.order.(step) in
+    let try_candidate c =
+      st.mapping.(v) <- c;
+      Graph.mask_set st.used c;
+      extend e st (step + 1);
+      Graph.mask_clear st.used c;
+      st.mapping.(v) <- -1
+    in
+    let mask = st.cand.(step) in
+    let constrained = ref false in
+    Array.iter
+      (fun u ->
+        let image = st.mapping.(u) in
+        if image >= 0 then begin
+          let nm = Graph.neighbor_mask e.target image in
+          if !constrained then Graph.mask_inter_into ~into:mask nm
+          else begin
+            Array.blit nm 0 mask 0 (Array.length nm);
+            constrained := true
+          end
+        end)
+      (Graph.neighbors e.pattern v);
+    if !constrained then begin
+      Graph.mask_diff_into ~into:mask st.used;
+      Graph.iter_mask (fun c -> if compatible e v c then try_candidate c) mask
+    end
+    else
+      for c = 0 to e.nt - 1 do
+        if (not (Graph.mask_mem st.used c)) && compatible e v c then
+          try_candidate c
+      done
+  end
+
+(* Same search with every target vertex set packed in one int: candidate
+   words are intersected and popped in ascending order (identical
+   enumeration order), and the used set threads through the recursion as an
+   immutable argument — the search allocates nothing but results. *)
+let rec extend_small e st step used =
+  if step >= Array.length e.order then record st
+  else begin
+    let v = e.order.(step) in
+    let pn = Graph.neighbors e.pattern v in
+    let cw = ref 0 and constrained = ref false in
+    for i = 0 to Array.length pn - 1 do
+      let image = st.mapping.(pn.(i)) in
+      if image >= 0 then begin
+        let w = (Graph.neighbor_mask e.target image).(0) in
+        cw := (if !constrained then !cw land w else w);
+        constrained := true
+      end
+    done;
+    if !constrained then begin
+      let cand = ref (!cw land lnot used) in
+      while !cand <> 0 do
+        let b = !cand land (- !cand) in
+        cand := !cand lxor b;
+        let c = Graph.bit_index b in
+        if compatible e v c then begin
+          st.mapping.(v) <- c;
+          extend_small e st (step + 1) (used lor b);
+          st.mapping.(v) <- -1
+        end
+      done
+    end
+    else
+      for c = 0 to e.nt - 1 do
+        if used land (1 lsl c) = 0 && compatible e v c then begin
+          st.mapping.(v) <- c;
+          extend_small e st (step + 1) (used lor (1 lsl c));
+          st.mapping.(v) <- -1
+        end
+      done
+  end
+
+let run_sequential e limit =
+  let st = make_state e limit in
+  (try if small e then extend_small e st 0 0 else extend e st 0
+   with Limit_reached -> ());
+  List.rev st.results
+
+(* Domain fan-out over the first ordered vertex's candidate images: each
+   domain owns a disjoint slice of first-vertex choices and enumerates its
+   subtrees completely (capped at [limit]); slot-per-candidate collection
+   plus an ascending merge reproduces the sequential result list exactly,
+   truncated to [limit]. *)
+let run_parallel e limit domains =
+  let v0 = e.order.(0) in
+  let firsts = ref [] in
+  for c = e.nt - 1 downto 0 do
+    if compatible e v0 c then firsts := c :: !firsts
+  done;
+  let firsts = Array.of_list !firsts in
+  let slots = Array.make (Array.length firsts) [] in
+  let next = Atomic.make 0 in
+  let work () =
+    let st = make_state e limit in
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < Array.length firsts then begin
+        let c = firsts.(i) in
+        (* Full reset: a previous slot that hit the limit left [mapping] and
+           [used] mid-search. *)
+        clear_state st;
+        st.mapping.(v0) <- c;
+        (try
+           if small e then extend_small e st 1 (1 lsl c)
+           else begin
+             Graph.mask_set st.used c;
+             extend e st 1
+           end
+         with Limit_reached -> ());
+        slots.(i) <- List.rev st.results;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let helpers =
+    List.init
+      (max 0 (min domains (Array.length firsts) - 1))
+      (fun _ -> Domain.spawn work)
+  in
+  work ();
+  List.iter Domain.join helpers;
+  Qcp_util.Listx.take limit (List.concat (Array.to_list slots))
+
+let enumerate ?(limit = 100) ?(domains = 1) ~pattern ~target () =
   if limit <= 0 then []
   else begin
     let order = ordering pattern in
-    let np = Graph.n pattern in
-    let nt = Graph.n target in
-    let mapping = Array.make np (-1) in
-    let used = Array.make nt false in
-    let results = ref [] in
-    let count = ref 0 in
-    let rec extend step =
-      if !count >= limit then ()
-      else if step >= Array.length order then begin
-        results := Array.copy mapping :: !results;
-        incr count
-      end
-      else begin
-        let v = order.(step) in
-        let candidates =
-          (* Prefer the frontier of an already-mapped neighbor. *)
-          let mapped_neighbor =
-            Array.fold_left
-              (fun acc u -> if acc >= 0 then acc else mapping.(u))
-              (-1) (Graph.neighbors pattern v)
-          in
-          if mapped_neighbor >= 0 then Graph.neighbors target mapped_neighbor
-          else Array.init nt (fun i -> i)
-        in
-        Array.iter
-          (fun c ->
-            if
-              !count < limit && (not used.(c))
-              && compatible pattern target mapping v c
-            then begin
-              mapping.(v) <- c;
-              used.(c) <- true;
-              extend (step + 1);
-              used.(c) <- false;
-              mapping.(v) <- -1
-            end)
-          candidates
-      end
-    in
     if Graph.max_degree pattern > Graph.max_degree target then []
+    else if not (degree_sequence_ok pattern target) then []
     else begin
-      extend 0;
-      List.rev !results
+      let e = make_engine ~pattern ~target ~order in
+      if domains > 1 && limit > 1 && Array.length order > 0 then
+        run_parallel e limit domains
+      else run_sequential e limit
     end
   end
 
@@ -117,3 +340,174 @@ let check ~pattern ~target mapping =
          mapping.(u) >= 0 && mapping.(v) >= 0
          && Graph.mem_edge target mapping.(u) mapping.(v))
        (Graph.edges pattern)
+
+(* ------------------------------------------------------------------ *)
+(* Incremental existence oracle                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Incremental = struct
+  (* The workspace grows its pattern one interaction pair at a time and only
+     ever asks "does the grown pattern still embed?".  Rebuilding a Graph.t
+     per query (sort + dedup + adjacency construction) dominated that loop;
+     here the pattern lives as mutable degree counters and adjacency bitsets
+     over the qubit indices, and a query is a plain existence search over
+     that structure.  Existence is order-independent, so the search is free
+     to use any sound ordering; answers always match the full enumerator. *)
+
+  type t = {
+    qubits : int;
+    target : Graph.t;
+    nt : int;
+    deg_t : int array;
+    max_deg_t : int;
+    pmask : int array array; (* pattern adjacency bitsets, over qubits *)
+    pdeg : int array;
+    (* per-query scratch, allocated once *)
+    mapping : int array;
+    used : int array;
+    cand : int array array;
+    order : int array;
+    seen : bool array;
+  }
+
+  let create ~qubits ~target =
+    {
+      qubits;
+      target;
+      nt = Graph.n target;
+      deg_t = Array.init (Graph.n target) (Graph.degree target);
+      max_deg_t = Graph.max_degree target;
+      pmask = Array.init qubits (fun _ -> Graph.mask_make qubits);
+      pdeg = Array.make qubits 0;
+      mapping = Array.make qubits (-1);
+      used = Graph.mask_make (Graph.n target);
+      cand = Array.init (max 1 qubits) (fun _ -> Graph.mask_make (Graph.n target));
+      order = Array.make (max 1 qubits) 0;
+      seen = Array.make qubits false;
+    }
+
+  let reset inc =
+    Array.iter (fun m -> Array.fill m 0 (Array.length m) 0) inc.pmask;
+    Array.fill inc.pdeg 0 inc.qubits 0
+
+  let mem inc a b = Graph.mask_mem inc.pmask.(a) b
+
+  let add inc (a, b) =
+    if a <> b && not (mem inc a b) then begin
+      Graph.mask_set inc.pmask.(a) b;
+      Graph.mask_set inc.pmask.(b) a;
+      inc.pdeg.(a) <- inc.pdeg.(a) + 1;
+      inc.pdeg.(b) <- inc.pdeg.(b) + 1
+    end
+
+  let remove inc (a, b) =
+    if a <> b && mem inc a b then begin
+      Graph.mask_clear inc.pmask.(a) b;
+      Graph.mask_clear inc.pmask.(b) a;
+      inc.pdeg.(a) <- inc.pdeg.(a) - 1;
+      inc.pdeg.(b) <- inc.pdeg.(b) - 1
+    end
+
+  let degree inc q = inc.pdeg.(q)
+
+  (* BFS component order from maximum-degree seeds, as in {!ordering};
+     neighbor ties resolve in ascending qubit order (existence does not
+     depend on it). *)
+  let build_order inc =
+    let len = ref 0 in
+    Array.fill inc.seen 0 inc.qubits false;
+    let cmp = by_degree_desc (fun q -> inc.pdeg.(q)) in
+    let seeds = ref [] in
+    for q = inc.qubits - 1 downto 0 do
+      if inc.pdeg.(q) > 0 then seeds := q :: !seeds
+    done;
+    let seeds = Array.of_list !seeds in
+    Array.sort cmp seeds;
+    let queue = Queue.create () in
+    Array.iter
+      (fun seed ->
+        if not inc.seen.(seed) then begin
+          inc.seen.(seed) <- true;
+          Queue.add seed queue;
+          while not (Queue.is_empty queue) do
+            let u = Queue.pop queue in
+            inc.order.(!len) <- u;
+            incr len;
+            Graph.iter_mask
+              (fun v ->
+                if not inc.seen.(v) then begin
+                  inc.seen.(v) <- true;
+                  Queue.add v queue
+                end)
+              inc.pmask.(u)
+          done
+        end)
+      seeds;
+    !len
+
+  exception Found
+
+  let search inc =
+    let order_len = build_order inc in
+    (* Quick refutations: an active qubit needs a target vertex of at least
+       its degree; active qubits need distinct target vertices. *)
+    let feasible = ref (order_len <= inc.nt) in
+    for i = 0 to order_len - 1 do
+      if inc.pdeg.(inc.order.(i)) > inc.max_deg_t then feasible := false
+    done;
+    if not !feasible then None
+    else begin
+      Array.fill inc.mapping 0 inc.qubits (-1);
+      Array.fill inc.used 0 (Array.length inc.used) 0;
+      let witness = ref None in
+      let rec extend step =
+        if step >= order_len then begin
+          witness := Some (Array.copy inc.mapping);
+          raise Found
+        end
+        else begin
+          let v = inc.order.(step) in
+          let try_candidate c =
+            inc.mapping.(v) <- c;
+            Graph.mask_set inc.used c;
+            extend (step + 1);
+            Graph.mask_clear inc.used c;
+            inc.mapping.(v) <- -1
+          in
+          let deg_ok c = inc.deg_t.(c) >= inc.pdeg.(v) in
+          let mask = inc.cand.(step) in
+          let constrained = ref false in
+          Graph.iter_mask
+            (fun u ->
+              let image = inc.mapping.(u) in
+              if image >= 0 then begin
+                let nm = Graph.neighbor_mask inc.target image in
+                if !constrained then Graph.mask_inter_into ~into:mask nm
+                else begin
+                  Array.blit nm 0 mask 0 (Array.length nm);
+                  constrained := true
+                end
+              end)
+            inc.pmask.(v);
+          if !constrained then begin
+            Graph.mask_diff_into ~into:mask inc.used;
+            Graph.iter_mask (fun c -> if deg_ok c then try_candidate c) mask
+          end
+          else
+            for c = 0 to inc.nt - 1 do
+              if (not (Graph.mask_mem inc.used c)) && deg_ok c then
+                try_candidate c
+            done
+        end
+      in
+      (try extend 0 with Found -> ());
+      !witness
+    end
+
+  let embeds_with inc ((a, b) as pair) =
+    let fresh = not (mem inc a b) in
+    if fresh then add inc pair;
+    let result = search inc in
+    if fresh then remove inc pair;
+    result
+end

@@ -6,15 +6,34 @@
     environment), enumerate injective maps [f] with
     [pattern edge (u,v) => target edge (f u, f v)].
 
-    The search is a VF2-style backtracking enumeration with connectivity-
-    guided vertex ordering and degree / mapped-neighborhood pruning.  Pattern
+    The search is a VF2-style backtracking enumeration over the bitset
+    adjacency kernel: candidate sets are the bitwise AND of the target
+    neighbor masks of every already-mapped pattern neighbor, with
+    degree-sequence and neighborhood-degree refutation up front.  Pattern
     vertices of degree zero are assigned no image ([-1] in the result); the
-    placement layer positions such qubits separately. *)
+    placement layer positions such qubits separately.
 
-val enumerate : ?limit:int -> pattern:Graph.t -> target:Graph.t -> unit -> int array list
+    Determinism guarantee: pruning only removes branches that contain no
+    monomorphism, and candidates are tried in increasing target-vertex
+    order, so the result list -- which mappings, and in which order -- is
+    identical to the reference backtracking enumerator's (property-tested
+    in [test/suite_monomorph.ml]). *)
+
+val enumerate :
+  ?limit:int ->
+  ?domains:int ->
+  pattern:Graph.t ->
+  target:Graph.t ->
+  unit ->
+  int array list
 (** Up to [limit] (default 100) monomorphisms.  Each result maps pattern
     vertex index to target vertex index, [-1] for isolated pattern vertices.
-    Results are in deterministic search order. *)
+    Results are in deterministic search order.
+
+    [domains] (default 1) > 1 fans the search out over first-vertex choices
+    across that many OCaml domains; slices are merged back in first-image
+    order, so the result list is bit-identical to the sequential one.  Only
+    worthwhile when [limit] is large and subtrees are expensive. *)
 
 val exists : pattern:Graph.t -> target:Graph.t -> bool
 (** Whether at least one monomorphism exists. *)
@@ -22,3 +41,34 @@ val exists : pattern:Graph.t -> target:Graph.t -> bool
 val check : pattern:Graph.t -> target:Graph.t -> int array -> bool
 (** Validate a candidate mapping: injective on non-negative entries and
     edge-preserving. *)
+
+(** Incremental existence oracle for patterns grown one edge at a time.
+
+    {!Qcp.Workspace.split} asks, per candidate interaction pair, whether the
+    current pattern plus that pair still embeds into the target.  This API
+    keeps the pattern as mutable adjacency bitsets over the qubit indices so
+    a query runs directly on that structure instead of rebuilding a
+    {!Graph.t} per call.  Answers agree with [exists] on the equivalent
+    built graph (existence is search-order independent). *)
+module Incremental : sig
+  type t
+
+  val create : qubits:int -> target:Graph.t -> t
+  (** An empty pattern over [qubits] vertices against a fixed target. *)
+
+  val reset : t -> unit
+  (** Forget every added edge (start a new subcircuit). *)
+
+  val add : t -> int * int -> unit
+  (** Commit an edge to the pattern.  Self-loops and duplicates are
+      ignored, mirroring {!Graph.of_edges}. *)
+
+  val degree : t -> int -> int
+  (** Current pattern degree of a qubit. *)
+
+  val embeds_with : t -> int * int -> int array option
+  (** [embeds_with t (a, b)] searches for a monomorphism of the current
+      pattern extended with edge [(a, b)] -- without committing the edge --
+      and returns one witness mapping ([-1] for isolated qubits), or [None].
+      Callers that keep the pair then commit it with {!add}. *)
+end

@@ -1,0 +1,351 @@
+(* Property tests pinning the bitset monomorphism engine and the pruned
+   Hamiltonian search to the seed implementations they replaced: the new
+   engines must produce the same mappings in the same order (respectively
+   the same route), because downstream placement decisions are keyed to
+   that enumeration order. *)
+
+module Graph = Qcp_graph.Graph
+module Monomorph = Qcp_graph.Monomorph
+module Hamilton = Qcp_graph.Hamilton
+module Gen = Qcp_graph.Generators
+module Rng = Qcp_util.Rng
+
+(* ------------------------------------------------------------------ *)
+(* Reference enumerator: the seed implementation, kept verbatim.       *)
+(* ------------------------------------------------------------------ *)
+
+module Reference = struct
+  let ordering pattern =
+    let active =
+      List.filter (fun v -> Graph.degree pattern v > 0) (Graph.vertices pattern)
+    in
+    let seen = Array.make (Graph.n pattern) false in
+    let order = ref [] in
+    let by_degree_desc =
+      List.sort
+        (fun a b -> compare (Graph.degree pattern b) (Graph.degree pattern a))
+        active
+    in
+    let bfs_from seed =
+      let queue = Queue.create () in
+      seen.(seed) <- true;
+      Queue.add seed queue;
+      while not (Queue.is_empty queue) do
+        let u = Queue.pop queue in
+        order := u :: !order;
+        let next =
+          Array.to_list (Graph.neighbors pattern u)
+          |> List.filter (fun v -> not seen.(v))
+          |> List.sort (fun a b ->
+                 compare (Graph.degree pattern b) (Graph.degree pattern a))
+        in
+        List.iter
+          (fun v ->
+            seen.(v) <- true;
+            Queue.add v queue)
+          next
+      done
+    in
+    List.iter (fun v -> if not seen.(v) then bfs_from v) by_degree_desc;
+    Array.of_list (List.rev !order)
+
+  let compatible pattern target mapping v candidate =
+    Graph.degree target candidate >= Graph.degree pattern v
+    && Array.for_all
+         (fun u ->
+           let image = mapping.(u) in
+           image < 0 || Graph.mem_edge target image candidate)
+         (Graph.neighbors pattern v)
+
+  let enumerate ?(limit = 100) ~pattern ~target () =
+    if limit <= 0 then []
+    else begin
+      let order = ordering pattern in
+      let np = Graph.n pattern in
+      let nt = Graph.n target in
+      let mapping = Array.make np (-1) in
+      let used = Array.make nt false in
+      let results = ref [] in
+      let count = ref 0 in
+      let rec extend step =
+        if !count >= limit then ()
+        else if step >= Array.length order then begin
+          results := Array.copy mapping :: !results;
+          incr count
+        end
+        else begin
+          let v = order.(step) in
+          let candidates =
+            let mapped_neighbor =
+              Array.fold_left
+                (fun acc u -> if acc >= 0 then acc else mapping.(u))
+                (-1) (Graph.neighbors pattern v)
+            in
+            if mapped_neighbor >= 0 then Graph.neighbors target mapped_neighbor
+            else Array.init nt (fun i -> i)
+          in
+          Array.iter
+            (fun c ->
+              if
+                !count < limit && (not used.(c))
+                && compatible pattern target mapping v c
+              then begin
+                mapping.(v) <- c;
+                used.(c) <- true;
+                extend (step + 1);
+                used.(c) <- false;
+                mapping.(v) <- -1
+              end)
+            candidates
+        end
+      in
+      if Graph.max_degree pattern > Graph.max_degree target then []
+      else begin
+        extend 0;
+        List.rev !results
+      end
+    end
+
+  (* Seed Hamiltonian search: plain backtracking, no pruning. *)
+  let hamilton g ~closed =
+    let size = Graph.n g in
+    if size = 0 then None
+    else if size = 1 then Some [ 0 ]
+    else if
+      closed
+      && List.exists (fun v -> Graph.degree g v < 2) (Graph.vertices g)
+    then None
+    else begin
+      let visited = Array.make size false in
+      let route = ref [] in
+      let start =
+        let best = ref 0 in
+        List.iter
+          (fun v -> if Graph.degree g v < Graph.degree g !best then best := v)
+          (Graph.vertices g);
+        !best
+      in
+      let rec extend v depth =
+        visited.(v) <- true;
+        route := v :: !route;
+        let ok =
+          if depth = size then (not closed) || Graph.mem_edge g v start
+          else
+            Array.exists
+              (fun w -> (not visited.(w)) && extend w (depth + 1))
+              (Graph.neighbors g v)
+        in
+        if not ok then begin
+          visited.(v) <- false;
+          route := List.tl !route
+        end;
+        ok
+      in
+      if extend start 1 then Some (List.rev !route) else None
+    end
+end
+
+(* ------------------------------------------------------------------ *)
+(* Random instances                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let random_graph rng n ~edge_chance =
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Rng.float rng 1.0 < edge_chance then edges := (u, v) :: !edges
+    done
+  done;
+  Graph.of_edges n !edges
+
+(* A pattern over the same vertex budget, sparse enough to be embeddable
+   reasonably often: either a random sparse graph or a random path. *)
+let random_pattern rng np =
+  if Rng.bool rng then random_graph rng np ~edge_chance:0.3
+  else begin
+    let perm = Rng.permutation rng np in
+    let edges = ref [] in
+    for i = 0 to np - 2 do
+      if Rng.float rng 1.0 < 0.8 then edges := (perm.(i), perm.(i + 1)) :: !edges
+    done;
+    Graph.of_edges np !edges
+  end
+
+let mapping_list = Alcotest.(list (array int))
+
+(* ------------------------------------------------------------------ *)
+(* Tests                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_enumerate_matches_reference () =
+  for seed = 0 to 49 do
+    let rng = Rng.create (1000 + seed) in
+    let nt = 4 + Rng.int rng 8 in
+    let target = random_graph rng nt ~edge_chance:(0.2 +. Rng.float rng 0.4) in
+    let np = 2 + Rng.int rng 5 in
+    let pattern = random_pattern rng np in
+    List.iter
+      (fun limit ->
+        let expected = Reference.enumerate ~limit ~pattern ~target () in
+        let actual = Monomorph.enumerate ~limit ~pattern ~target () in
+        Alcotest.check mapping_list
+          (Printf.sprintf "seed %d limit %d" seed limit)
+          expected actual)
+      [ 1; 3; 100 ]
+  done
+
+let test_enumerate_matches_reference_multiword () =
+  (* Targets above 63 vertices exercise the multi-word search path. *)
+  for seed = 0 to 9 do
+    let rng = Rng.create (2000 + seed) in
+    let nt = 64 + Rng.int rng 16 in
+    let target = random_graph rng nt ~edge_chance:0.05 in
+    let pattern = random_pattern rng (2 + Rng.int rng 4) in
+    List.iter
+      (fun limit ->
+        let expected = Reference.enumerate ~limit ~pattern ~target () in
+        let actual = Monomorph.enumerate ~limit ~pattern ~target () in
+        Alcotest.check mapping_list
+          (Printf.sprintf "seed %d limit %d" seed limit)
+          expected actual)
+      [ 1; 7; 100 ]
+  done
+
+let test_parallel_matches_sequential () =
+  for seed = 0 to 19 do
+    let rng = Rng.create (3000 + seed) in
+    let nt = 5 + Rng.int rng 7 in
+    let target = random_graph rng nt ~edge_chance:(0.3 +. Rng.float rng 0.3) in
+    let pattern = random_pattern rng (2 + Rng.int rng 4) in
+    List.iter
+      (fun limit ->
+        let sequential = Monomorph.enumerate ~limit ~pattern ~target () in
+        List.iter
+          (fun domains ->
+            let parallel =
+              Monomorph.enumerate ~limit ~domains ~pattern ~target ()
+            in
+            Alcotest.check mapping_list
+              (Printf.sprintf "seed %d limit %d domains %d" seed limit domains)
+              sequential parallel)
+          [ 2; 3 ])
+      [ 2; 100 ]
+  done
+
+let hamilton_fixtures () =
+  [
+    ("cycle-5", Gen.cycle_graph 5);
+    ("cycle-8", Gen.cycle_graph 8);
+    ("complete-5", Gen.complete 5);
+    ("path-6", Gen.path_graph 6);
+    ("star-6", Gen.star 6);
+    ("petersen", Gen.petersen ());
+    ("grid-2x3", Gen.grid 2 3);
+    ("grid-3x3", Gen.grid 3 3);
+    ("binary-tree-7", Gen.binary_tree 7);
+  ]
+
+let test_hamilton_matches_reference () =
+  let route = Alcotest.(option (list int)) in
+  List.iter
+    (fun (name, g) ->
+      Alcotest.check route (name ^ " cycle")
+        (Reference.hamilton g ~closed:true)
+        (Hamilton.cycle g);
+      Alcotest.check route (name ^ " path")
+        (Reference.hamilton g ~closed:false)
+        (Hamilton.path g))
+    (hamilton_fixtures ());
+  for seed = 0 to 29 do
+    let rng = Rng.create (4000 + seed) in
+    let n = 3 + Rng.int rng 6 in
+    let g = random_graph rng n ~edge_chance:(0.2 +. Rng.float rng 0.5) in
+    Alcotest.check route
+      (Printf.sprintf "seed %d cycle" seed)
+      (Reference.hamilton g ~closed:true)
+      (Hamilton.cycle g);
+    Alcotest.check route
+      (Printf.sprintf "seed %d path" seed)
+      (Reference.hamilton g ~closed:false)
+      (Hamilton.path g)
+  done
+
+let test_incremental_matches_oracle () =
+  for seed = 0 to 29 do
+    let rng = Rng.create (5000 + seed) in
+    let nt = 4 + Rng.int rng 6 in
+    let target = random_graph rng nt ~edge_chance:(0.3 +. Rng.float rng 0.4) in
+    let qubits = 3 + Rng.int rng 5 in
+    let inc = Monomorph.Incremental.create ~qubits ~target in
+    let admitted = ref [] in
+    for step = 0 to 14 do
+      let a = Rng.int rng qubits and b = Rng.int rng qubits in
+      if a <> b then begin
+        let pair = (min a b, max a b) in
+        let pattern = Graph.of_edges qubits (pair :: !admitted) in
+        let expected = Monomorph.exists ~pattern ~target in
+        let witness = Monomorph.Incremental.embeds_with inc pair in
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d step %d answer" seed step)
+          expected (witness <> None);
+        (match witness with
+        | Some m ->
+          Alcotest.(check bool)
+            (Printf.sprintf "seed %d step %d witness valid" seed step)
+            true
+            (Monomorph.check ~pattern ~target m)
+        | None -> ());
+        (* Grow the pattern when the pair fits, as the workspace does. *)
+        if expected && not (List.mem pair !admitted) then begin
+          Monomorph.Incremental.add inc pair;
+          admitted := pair :: !admitted
+        end
+      end
+    done;
+    (* After a reset the engine accepts a fresh sequence. *)
+    Monomorph.Incremental.reset inc;
+    let pair = (0, 1) in
+    let expected =
+      Monomorph.exists ~pattern:(Graph.of_edges qubits [ pair ]) ~target
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d post-reset" seed)
+      expected
+      (Monomorph.Incremental.embeds_with inc pair <> None)
+  done
+
+let test_degree_suffix () =
+  for seed = 0 to 9 do
+    let rng = Rng.create (6000 + seed) in
+    let n = 2 + Rng.int rng 10 in
+    let g = random_graph rng n ~edge_chance:(Rng.float rng 1.0) in
+    let s = Graph.degree_suffix g in
+    Alcotest.(check int)
+      (Printf.sprintf "seed %d length" seed)
+      (Graph.max_degree g + 2)
+      (Array.length s);
+    Array.iteri
+      (fun d count ->
+        let expected =
+          List.length
+            (List.filter (fun v -> Graph.degree g v >= d) (Graph.vertices g))
+        in
+        Alcotest.(check int) (Printf.sprintf "seed %d suffix %d" seed d)
+          expected count)
+      s
+  done
+
+let suite =
+  [
+    Alcotest.test_case "enumerate matches seed enumerator" `Quick
+      test_enumerate_matches_reference;
+    Alcotest.test_case "enumerate matches on multi-word targets" `Quick
+      test_enumerate_matches_reference_multiword;
+    Alcotest.test_case "parallel enumeration matches sequential" `Quick
+      test_parallel_matches_sequential;
+    Alcotest.test_case "hamilton pruning matches seed search" `Quick
+      test_hamilton_matches_reference;
+    Alcotest.test_case "incremental oracle matches enumerator" `Quick
+      test_incremental_matches_oracle;
+    Alcotest.test_case "degree suffix counts" `Quick test_degree_suffix;
+  ]

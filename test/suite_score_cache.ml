@@ -18,6 +18,8 @@ let variants options =
       { options with Options.score_cache = true; parallel_scoring = 0 } );
     ( "cache-on-parallel",
       { options with Options.score_cache = true; parallel_scoring = 4 } );
+    ( "parallel-enum",
+      { options with Options.score_cache = true; parallel_enumeration = 3 } );
   ]
 
 let check_identical ~seed reference (name, outcome) =

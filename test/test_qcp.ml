@@ -3,6 +3,7 @@ let () =
     [
       ("util", Suite_util.suite);
       ("graph", Suite_graph.suite);
+      ("monomorph", Suite_monomorph.suite);
       ("circuit", Suite_circuit.suite);
       ("transform", Suite_transform.suite);
       ("decompose", Suite_decompose.suite);
