@@ -89,6 +89,27 @@ let micro_tests () =
     | Qcp.Placer.Placed p -> Qcp.Placer.runtime p
     | Qcp.Placer.Unplaceable _ -> nan
   in
+  (* Bounded-search kernels: the lookahead sweep in isolation (fine tuning
+     off, so the time is dominated by candidate evaluation under
+     lower-bound ordering and incumbent cutoffs) and the fine-tuning
+     hill-climb in isolation (lookahead off, so every probe runs under the
+     current-best cutoff). *)
+  let lookahead_kernel () =
+    let options =
+      { (Qcp.Options.default ~threshold:100.0) with Qcp.Options.fine_tune_passes = 0 }
+    in
+    match Qcp.Placer.place options crotonic phaseest with
+    | Qcp.Placer.Placed p -> Qcp.Placer.runtime p
+    | Qcp.Placer.Unplaceable _ -> nan
+  in
+  let fine_tune_kernel () =
+    let options =
+      { (Qcp.Options.default ~threshold:100.0) with Qcp.Options.lookahead = false }
+    in
+    match Qcp.Placer.place options crotonic phaseest with
+    | Qcp.Placer.Placed p -> Qcp.Placer.runtime p
+    | Qcp.Placer.Unplaceable _ -> nan
+  in
   Test.make_grouped ~name:"qcp"
     [
       Test.make ~name:"table1/timing-eval" (Staged.stage table1_kernel);
@@ -105,6 +126,8 @@ let micro_tests () =
         (Staged.stage (score_kernel ~cache:true));
       Test.make ~name:"kernel/score-candidate-uncached"
         (Staged.stage (score_kernel ~cache:false));
+      Test.make ~name:"kernel/lookahead-pruned" (Staged.stage lookahead_kernel);
+      Test.make ~name:"kernel/fine-tune" (Staged.stage fine_tune_kernel);
     ]
 
 let json_escape name =

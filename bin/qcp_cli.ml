@@ -103,7 +103,8 @@ let threshold_arg =
 
 let options_term =
   let make threshold no_lookahead fine_tune no_override router no_cap
-      sequential limit commute balance no_cache parallel parallel_enum env =
+      sequential limit commute balance no_cache no_bounded parallel
+      parallel_enum env =
     let threshold =
       match threshold with
       | Some th -> th
@@ -123,6 +124,7 @@ let options_term =
       commute_prepass = commute;
       balance_boundaries = balance;
       score_cache = not no_cache;
+      bounded_search = not no_bounded;
       parallel_scoring = parallel;
       parallel_enumeration = parallel_enum;
     }
@@ -165,6 +167,13 @@ let options_term =
               "Disable scoring memoization (routed networks, router \
                structure, monomorphism sets).  Placements are identical \
                either way; this only exists for benchmarking.")
+    $ Arg.(
+        value & flag
+        & info [ "no-bounded-search" ]
+            ~doc:
+              "Disable incumbent pruning of candidate evaluations (timing \
+               cutoffs and lookahead lower-bound skips).  Placements are \
+               identical either way; this only exists for benchmarking.")
     $ Arg.(
         value & opt int 0
         & info [ "parallel" ] ~docv:"DOMAINS"
@@ -229,6 +238,15 @@ let place_run env circuit options_of_env auto verbose =
       s.Qcp.Placer.candidates_scored s.Qcp.Placer.networks_routed
       s.Qcp.Placer.route_cache_hits s.Qcp.Placer.route_cache_misses
       s.Qcp.Placer.scoring_seconds;
+    if s.Qcp.Placer.candidates_pruned > 0 then
+      Printf.printf
+        "pruning    : %d of %d evaluations cut short (%.0f%%): %d \
+         lower-bound skips, %d timing early exits\n"
+        s.Qcp.Placer.candidates_pruned s.Qcp.Placer.candidates_scored
+        (100.0
+        *. float_of_int s.Qcp.Placer.candidates_pruned
+        /. float_of_int (max 1 s.Qcp.Placer.candidates_scored))
+        s.Qcp.Placer.lower_bound_skips s.Qcp.Placer.timing_early_exits;
     if verbose then Format.printf "%a" Qcp.Placer.pp p;
     0
 

@@ -138,6 +138,61 @@ let asap_placed_into ?reuse_cap ~register ~time ~pair_code ~run_acc ~weights
   in
   List.iter step (Circuit.gates circuit)
 
+(* Private: aborts a bounded sweep the moment a clock exceeds the cutoff. *)
+exception Cutoff_exceeded
+
+(* The bounded twin of {!asap_placed_into}: every clock update is checked
+   against [limit].  Sound as an early refutation because the recurrence is
+   monotone -- a gate only ever *raises* the clocks it touches (durations
+   and weights are nonnegative, and a two-qubit finish is max of the two
+   clocks plus a nonnegative delay) -- so once any clock exceeds [limit]
+   the final makespan must too.  Kept as a separate loop so the unbounded
+   path pays no per-gate branch. *)
+let asap_placed_bounded ?reuse_cap ~limit ~register ~time ~pair_code ~run_acc
+    ~weights ~place circuit =
+  let step gate =
+    match gate with
+    | Gate.G1 (_, q) ->
+      let p = place q in
+      let finish = time.(p) +. (weights.single p *. Gate.duration gate) in
+      if finish > limit then raise Cutoff_exceeded;
+      time.(p) <- finish
+    | Gate.G2 (_, a, b) ->
+      let pa = place a and pb = place b in
+      let lo = min pa pb and hi = max pa pb in
+      let code = (lo * register) + hi in
+      let t = Gate.duration gate in
+      let effective =
+        if pair_code.(pa) = code && pair_code.(pb) = code then begin
+          match reuse_cap with
+          | None ->
+            run_acc.(pa) <- run_acc.(pa) +. t;
+            run_acc.(pb) <- run_acc.(pa);
+            t
+          | Some cap ->
+            let acc = run_acc.(pa) in
+            let eff = Float.min cap (acc +. t) -. Float.min cap acc in
+            run_acc.(pa) <- acc +. t;
+            run_acc.(pb) <- run_acc.(pa);
+            eff
+        end
+        else begin
+          pair_code.(pa) <- code;
+          pair_code.(pb) <- code;
+          run_acc.(pa) <- t;
+          run_acc.(pb) <- t;
+          capped reuse_cap t
+        end
+      in
+      let finish =
+        Float.max time.(pa) time.(pb) +. (weights.coupled pa pb *. effective)
+      in
+      if finish > limit then raise Cutoff_exceeded;
+      time.(pa) <- finish;
+      time.(pb) <- finish
+  in
+  List.iter step (Circuit.gates circuit)
+
 let sequential_placed_total ?reuse_cap ~ready ~weights ~place circuit =
   let gate_cost gate =
     match gate with
@@ -178,17 +233,29 @@ let stage_start scratch start =
   scratch.s_len <- register;
   Array.blit start 0 scratch.s_time 0 register
 
-let stage_advance ?(model = Asap) ?reuse_cap ~weights ~place scratch circuit =
+let stage_advance ?(model = Asap) ?reuse_cap ?cutoff ~weights ~place scratch
+    circuit =
   let register = scratch.s_len in
   check_placed ~register circuit;
   match model with
-  | Asap ->
+  | Asap -> (
     (* Fresh interaction-run state per stage, exactly like a separate
        [finish_times] call on the stage's circuit. *)
     Array.fill scratch.s_pair 0 register (-1);
     Array.fill scratch.s_acc 0 register 0.0;
-    asap_placed_into ?reuse_cap ~register ~time:scratch.s_time
-      ~pair_code:scratch.s_pair ~run_acc:scratch.s_acc ~weights ~place circuit
+    match cutoff with
+    | None ->
+      asap_placed_into ?reuse_cap ~register ~time:scratch.s_time
+        ~pair_code:scratch.s_pair ~run_acc:scratch.s_acc ~weights ~place
+        circuit;
+      true
+    | Some limit -> (
+      try
+        asap_placed_bounded ?reuse_cap ~limit ~register ~time:scratch.s_time
+          ~pair_code:scratch.s_pair ~run_acc:scratch.s_acc ~weights ~place
+          circuit;
+        true
+      with Cutoff_exceeded -> false))
   | Sequential ->
     let ready = ref 0.0 in
     for v = 0 to register - 1 do
@@ -197,7 +264,18 @@ let stage_advance ?(model = Asap) ?reuse_cap ~weights ~place scratch circuit =
     let total =
       sequential_placed_total ?reuse_cap ~ready:!ready ~weights ~place circuit
     in
-    Array.fill scratch.s_time 0 register total
+    (* The sequential total is a running sum of nonnegative level widths, so
+       comparing the final value is equivalent to aborting mid-fold. *)
+    (match cutoff with
+    | Some limit when total > limit -> false
+    | Some _ | None ->
+      Array.fill scratch.s_time 0 register total;
+      true)
+
+let stage_lift scratch v t =
+  if t > scratch.s_time.(v) then scratch.s_time.(v) <- t
+
+let stage_clocks scratch = Array.sub scratch.s_time 0 scratch.s_len
 
 let stage_makespan scratch =
   let best = ref 0.0 in

@@ -89,14 +89,38 @@ val stage_start : scratch -> float array -> unit
 val stage_advance :
   ?model:model ->
   ?reuse_cap:float ->
+  ?cutoff:float ->
   weights:weights ->
   place:(int -> int) ->
   scratch ->
   Circuit.t ->
-  unit
+  bool
 (** Advance the loaded clocks across one placed stage.  Interaction-run
     state (the [reuse_cap] accounting) is fresh per call, exactly as in a
-    separate {!finish_times} call per stage. *)
+    separate {!finish_times} call per stage.
+
+    Without [cutoff] the sweep always completes and returns [true].  With
+    [cutoff], the sweep aborts and returns [false] the moment any clock
+    strictly exceeds it.  This refutation is admissible because the
+    recurrence is monotone: durations and weights are nonnegative and a
+    two-qubit finish is the max of its operand clocks plus a nonnegative
+    delay, so clocks never decrease and the final makespan is at least any
+    intermediate clock.  Hence [false] proves the stage makespan would
+    strictly exceed [cutoff], while [true] leaves clocks bit-identical to
+    the unbounded sweep.  After [false] the scratch clocks are partially
+    advanced and unspecified; reload them with {!stage_start} before the
+    next evaluation. *)
 
 val stage_makespan : scratch -> float
 (** [max 0] of the loaded clocks. *)
+
+val stage_lift : scratch -> int -> float -> unit
+(** [stage_lift scratch v t] raises vertex [v]'s loaded clock to at least
+    [t] (no-op when it is already larger) -- e.g. to fold a per-vertex
+    lower bound on an elided stage into the start clocks before advancing
+    the next stage. *)
+
+val stage_clocks : scratch -> float array
+(** A fresh copy of the loaded clocks (length = the register size loaded by
+    {!stage_start}) — e.g. to restart later evaluations from a completed
+    stage's finish times. *)

@@ -12,6 +12,7 @@ type t = {
   commute_prepass : bool;
   balance_boundaries : bool;
   score_cache : bool;
+  bounded_search : bool;
   parallel_scoring : int;
   parallel_enumeration : int;
 }
@@ -29,6 +30,7 @@ let default ~threshold =
     commute_prepass = false;
     balance_boundaries = false;
     score_cache = true;
+    bounded_search = true;
     parallel_scoring = 0;
     parallel_enumeration = 0;
   }
@@ -46,6 +48,7 @@ let fast ~threshold =
     commute_prepass = false;
     balance_boundaries = false;
     score_cache = true;
+    bounded_search = true;
     parallel_scoring = 0;
     parallel_enumeration = 0;
   }

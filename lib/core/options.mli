@@ -45,6 +45,19 @@ type t = {
           across candidate scorings ({!Score_cache}).  Placement output is
           bit-identical either way; disabling only exists for benchmarking
           and debugging.  On by default. *)
+  bounded_search : bool;
+      (** Prune candidate evaluations against the best score found so far
+          (the incumbent): timing sweeps abort as soon as any physical
+          clock strictly exceeds it — sound because the ASAP recurrence is
+          monotone (the makespan is the max of nondecreasing clocks) — and
+          the depth-2 lookahead evaluates candidates in ascending order of
+          their stage-1 makespan (an admissible lower bound on the
+          two-stage score), skipping candidates whose bound already
+          exceeds the incumbent.  Placement output is bit-identical either
+          way: aborted evaluations are provably worse than the incumbent
+          and ties still resolve to the earliest candidate.  On by
+          default (CLI [--no-bounded-search] disables, for benchmarking
+          and debugging). *)
   parallel_scoring : int;
       (** Fan independent candidate scorings across this many domains in
           the greedy/lookahead candidate sweeps; [0] (the default) and [1]

@@ -16,6 +16,9 @@ type stats = {
   oracle_calls : int;
   enumerations : int;
   candidates_scored : int;
+  candidates_pruned : int;
+  lower_bound_skips : int;
+  timing_early_exits : int;
   networks_routed : int;
   route_cache_hits : int;
   route_cache_misses : int;
@@ -48,10 +51,22 @@ type ctx = {
   c_oracle : int ref;
   c_enumerations : int ref;
   c_scored : int Atomic.t;
+  c_pruned : int Atomic.t;
+  c_bound_skips : int Atomic.t;
+  c_early_exits : int Atomic.t;
   c_routed : int Atomic.t;
   c_cache : Score_cache.t;
   c_scratch : Timing.scratch; (* main-domain scoring buffers *)
   c_scoring_time : float ref; (* wall seconds spent scoring candidates *)
+  c_dist : int array array Lazy.t;
+      (* All-pairs BFS distances over the adjacency graph, for the
+         swap-displacement lower bound. *)
+  c_swap_step : float;
+      (* Cheapest possible cost of one SWAP along any usable interaction:
+         every maximal same-pair swap run costs at least one full (capped)
+         swap gate while moving a token at most one edge, so a token
+         displaced by graph distance [d] delays its destination clock by at
+         least [d *. c_swap_step]. *)
 }
 
 (* Accumulate the wall time of a candidate-scoring section. *)
@@ -63,23 +78,48 @@ let timed ctx f =
 
 let route_network ctx perm =
   Atomic.incr ctx.c_routed;
-  Score_cache.route ctx.c_cache perm ~route:(fun perm ->
-      let bisect ?edge_cost () =
-        Qcp_route.Bisect_router.route
-          ~leaf_override:ctx.c_options.Options.leaf_override ?edge_cost
-          ?memo:(Score_cache.bisect_memo ctx.c_cache) ctx.c_adjacency ~perm
-      in
-      match ctx.c_options.Options.router with
-      | Options.Bisect -> bisect ()
-      | Options.Bisect_weighted ->
-        bisect
+  let leaf_override = ctx.c_options.Options.leaf_override in
+  (* An unweighted bisection route is a pure function of the graph, the
+     leaf-override flag and the permutation, so both its subset structure
+     and its finished networks come from the cross-run per-graph registry;
+     the weighted variant's channel choice also depends on the edge costs,
+     so it keeps this run's private memo and route table. *)
+  let shared_bisect () =
+    Score_cache.shared_route ctx.c_cache ctx.c_adjacency ~leaf_override
+      ~route:(fun memo perm ->
+        Qcp_route.Bisect_router.route ~leaf_override ~memo ctx.c_adjacency
+          ~perm)
+      perm
+  in
+  let per_run route = Score_cache.route ctx.c_cache perm ~route in
+  let bisect_per_run () =
+    per_run (fun perm ->
+        Qcp_route.Bisect_router.route ~leaf_override
+          ?memo:(Score_cache.shared_bisect_memo ctx.c_cache ctx.c_adjacency)
+          ctx.c_adjacency ~perm)
+  in
+  match ctx.c_options.Options.router with
+  | Options.Bisect -> (
+    match shared_bisect () with
+    | Some entry -> entry
+    | None -> bisect_per_run ())
+  | Options.Bisect_weighted ->
+    per_run (fun perm ->
+        Qcp_route.Bisect_router.route ~leaf_override
           ~edge_cost:(fun u v -> Environment.coupling_delay ctx.c_env u v)
-          ()
-      | Options.Token -> Qcp_route.Token_router.route ctx.c_adjacency ~perm
-      | Options.Odd_even -> (
-        match Qcp_route.Oes_router.path_order ctx.c_adjacency with
-        | Some _ -> Qcp_route.Oes_router.route ctx.c_adjacency ~perm
-        | None -> bisect ()))
+          ?memo:(Score_cache.bisect_memo ctx.c_cache) ctx.c_adjacency ~perm)
+  | Options.Token ->
+    per_run (fun perm -> Qcp_route.Token_router.route ctx.c_adjacency ~perm)
+  | Options.Odd_even -> (
+    match Qcp_route.Oes_router.path_order ctx.c_adjacency with
+    | Some _ ->
+      per_run (fun perm -> Qcp_route.Oes_router.route ctx.c_adjacency ~perm)
+    | None -> (
+      (* The fallback is exactly the unweighted bisection, so it shares the
+         same cross-run entries. *)
+      match shared_bisect () with
+      | Some entry -> entry
+      | None -> bisect_per_run ()))
 
 let time_placed ctx start place circuit =
   Timing.finish_times_placed ~model:ctx.c_options.Options.model
@@ -121,7 +161,7 @@ let complete_placement ctx ~prev ~subcircuit mapping =
     (* Displaced inactive qubits move to the nearest free vertex. *)
     List.iter
       (fun q ->
-        let dist = Paths.bfs_dist ctx.c_adjacency previous.(q) in
+        let dist = (Lazy.force ctx.c_dist).(previous.(q)) in
         let best = ref (-1) in
         for v = 0 to ctx.c_m - 1 do
           if not taken.(v) then
@@ -145,12 +185,12 @@ let complete_placement ctx ~prev ~subcircuit mapping =
         | _ -> ())
       (Circuit.gates subcircuit);
     let by_workload =
-      List.sort (fun a b -> compare workload.(b) workload.(a)) inactive
+      List.sort (fun a b -> Float.compare workload.(b) workload.(a)) inactive
     in
     let free =
       List.filter (fun v -> not taken.(v)) (Qcp_util.Listx.range ctx.c_m)
       |> List.sort (fun a b ->
-             compare
+             Float.compare
                (Environment.single_delay ctx.c_env a)
                (Environment.single_delay ctx.c_env b))
     in
@@ -191,39 +231,162 @@ let score_candidate ctx ~phys_start ~prev ~subcircuit placement =
 
 (* Same recurrence as {!score_candidate} restricted to the makespan, run
    through reusable clock buffers so the argmin sweeps allocate nothing per
-   evaluation. *)
-let score_makespan ctx ~scratch ~phys_start ~prev ~subcircuit placement =
+   evaluation.  Under [Options.bounded_search] a finite [cutoff] is threaded
+   into the timing sweeps, which abort -- returning [infinity] here -- as
+   soon as any physical clock strictly exceeds it (sound because the ASAP
+   clocks are monotone nondecreasing; see {!Timing.stage_advance}).
+
+   When the candidate needs a (non-identity) connecting SWAP stage, a
+   bounded evaluation first times the subcircuit *alone* under the cutoff,
+   from the previous clocks lifted by the swap-displacement bound (each
+   displaced token delays its destination clock by at least its graph
+   distance times [c_swap_step]) -- a routing-free admissible lower bound:
+   the swap stage raises each start clock by at least the lift, and the
+   recurrence is monotone in its start clocks, so the real score is at
+   least this makespan.  An abort there refutes the candidate before the
+   router ever runs; candidates at or below the cutoff are never refuted
+   (their lifted clocks cannot exceed it), so the argmin tie-break is
+   unaffected.  Callers that already compared that bound against the
+   cutoff pass [~prebound:false] to skip the redundant sweep.  The result
+   is exact whenever it is [<= cutoff]. *)
+let score_makespan ?(cutoff = infinity) ?(prebound = true) ctx ~scratch
+    ~phys_start ~prev ~subcircuit placement =
   Atomic.incr ctx.c_scored;
-  let entry = connecting_stage ctx ~prev placement in
   let model = ctx.c_options.Options.model in
   let reuse_cap = ctx.c_options.Options.reuse_cap in
+  let place q = placement.(q) in
+  let bounded = ctx.c_options.Options.bounded_search && cutoff < infinity in
+  let copt = if bounded then Some cutoff else None in
+  let advance ?cutoff ~place circuit =
+    Timing.stage_advance ~model ?reuse_cap ?cutoff ~weights:ctx.c_weights
+      ~place scratch circuit
+  in
+  let refute () =
+    Atomic.incr ctx.c_early_exits;
+    infinity
+  in
+  let swap_free () =
+    Timing.stage_start scratch phys_start;
+    if advance ?cutoff:copt ~place subcircuit then Timing.stage_makespan scratch
+    else refute ()
+  in
+  match prev with
+  | None -> swap_free ()
+  | Some previous ->
+    let perm =
+      Perm.of_placements ~size:ctx.c_m ~before:previous ~after:placement
+    in
+    if Perm.is_identity perm then swap_free ()
+    else begin
+      let prebound_refuted =
+        bounded && prebound
+        && begin
+             Timing.stage_start scratch phys_start;
+             let dist = Lazy.force ctx.c_dist in
+             let lifted = ref 0.0 in
+             Array.iteri
+               (fun src dst ->
+                 if src <> dst then begin
+                   let d = dist.(src).(dst) in
+                   if d > 0 then begin
+                     let t =
+                       phys_start.(src)
+                       +. (float_of_int d *. ctx.c_swap_step)
+                     in
+                     Timing.stage_lift scratch dst t;
+                     if t > !lifted then lifted := t
+                   end
+                 end)
+               perm;
+             (* A lifted clock above the cutoff already refutes the
+                candidate even if no gate ever touches that vertex. *)
+             !lifted > cutoff || not (advance ~cutoff ~place subcircuit)
+           end
+      in
+      if prebound_refuted then refute ()
+      else begin
+        let entry = route_network ctx perm in
+        Timing.stage_start scratch phys_start;
+        if
+          advance ?cutoff:copt ~place:Timing.identity_place
+            entry.Score_cache.swap_circuit
+          && advance ?cutoff:copt ~place subcircuit
+        then Timing.stage_makespan scratch
+        else refute ()
+      end
+    end
+
+(* The routing-free admissible lower bound of {!score_makespan}'s
+   prebound, computed in full so it can order a lower-bound-first sweep:
+   the previous clocks lifted by each displaced token's swap-displacement
+   delay, advanced through the subcircuit alone. *)
+let candidate_bound ctx ~scratch ~phys_start ~prev ~subcircuit placement =
   Timing.stage_start scratch phys_start;
-  (match entry with
+  (match prev with
   | None -> ()
-  | Some entry ->
-    Timing.stage_advance ~model ?reuse_cap ~weights:ctx.c_weights
-      ~place:Timing.identity_place scratch entry.Score_cache.swap_circuit);
-  Timing.stage_advance ~model ?reuse_cap ~weights:ctx.c_weights
-    ~place:(fun q -> placement.(q)) scratch subcircuit;
+  | Some previous ->
+    let perm =
+      Perm.of_placements ~size:ctx.c_m ~before:previous ~after:placement
+    in
+    let dist = Lazy.force ctx.c_dist in
+    Array.iteri
+      (fun src dst ->
+        if src <> dst then begin
+          let d = dist.(src).(dst) in
+          if d > 0 then
+            Timing.stage_lift scratch dst
+              (phys_start.(src) +. (float_of_int d *. ctx.c_swap_step))
+        end)
+      perm);
+  let completed =
+    Timing.stage_advance ~model:ctx.c_options.Options.model
+      ?reuse_cap:ctx.c_options.Options.reuse_cap ~weights:ctx.c_weights
+      ~place:(fun q -> placement.(q))
+      scratch subcircuit
+  in
+  assert completed;
   Timing.stage_makespan scratch
 
-(* Evaluate [score scratch candidate] for every candidate, fanning the
-   independent evaluations across [Options.parallel_scoring] domains.  Work
-   is handed out through an atomic counter; each slot is a pure function of
-   its candidate, so the score array -- and hence the argmin below -- is
-   schedule-independent. *)
-let candidate_scores ctx score arr =
-  let total = Array.length arr in
+(* Monotone-min incumbent shared across scoring domains.  Makespans are
+   nonnegative, so the IEEE-754 sign bit is clear and the remaining 63 bits
+   order exactly like the float when compared as an *unsigned* integer;
+   flipping the top bit ([lxor min_int]) turns that into native signed int
+   order, giving an exact, allocation-free shared cell out of a single
+   [int Atomic.t].  The round-trip is lossless for every nonnegative float
+   including [infinity]. *)
+let score_bits f = Int64.to_int (Int64.bits_of_float f) lxor min_int
+
+let bits_score i =
+  Int64.float_of_bits (Int64.logand (Int64.of_int (i lxor min_int)) Int64.max_int)
+
+let incumbent_make init = Atomic.make (score_bits init)
+let incumbent_get cell = bits_score (Atomic.get cell)
+
+let rec incumbent_submit cell score =
+  let bits = score_bits score in
+  let seen = Atomic.get cell in
+  if bits < seen && not (Atomic.compare_and_set cell seen bits) then
+    incumbent_submit cell score
+
+(* Evaluate [eval scratch i] for every slot, fanning the independent
+   evaluations across [Options.parallel_scoring] domains.  Work is handed
+   out through an atomic counter; each slot writes only its own cell, so
+   the result array is schedule-independent up to the monotonicity argument
+   in {!candidate_scores}. *)
+let sweep_scores ctx total eval =
   let workers = min ctx.c_options.Options.parallel_scoring total in
-  if workers <= 1 then Array.map (score ctx.c_scratch) arr
+  let out = Array.make total infinity in
+  if workers <= 1 then
+    for i = 0 to total - 1 do
+      out.(i) <- eval ctx.c_scratch i
+    done
   else begin
-    let out = Array.make total infinity in
     let next = Atomic.make 0 in
     let work scratch =
       let rec loop () =
         let i = Atomic.fetch_and_add next 1 in
         if i < total then begin
-          out.(i) <- score scratch arr.(i);
+          out.(i) <- eval scratch i;
           loop ()
         end
       in
@@ -234,20 +397,46 @@ let candidate_scores ctx score arr =
           Domain.spawn (fun () -> work (Timing.make_scratch ())))
     in
     work ctx.c_scratch;
-    List.iter Domain.join helpers;
-    out
+    List.iter Domain.join helpers
+  end;
+  out
+
+(* Score every candidate.  Under [Options.bounded_search] the evaluations
+   share an incumbent (seeded with [cutoff]): each candidate runs with the
+   incumbent at its start time as timing cutoff, so losing evaluations
+   abort after a fraction of the sweep and report [infinity].  An aborted
+   score is strictly above some incumbent value, every incumbent value is
+   at least the sweep's true minimum, and any candidate *tying* the
+   minimum completes exactly (its clocks never exceed any incumbent) -- so
+   the argmin over the array, with its earliest-index tie-break, matches
+   the exhaustive sweep regardless of domain scheduling. *)
+let candidate_scores ?(cutoff = infinity) ctx score arr =
+  let total = Array.length arr in
+  if not ctx.c_options.Options.bounded_search then
+    sweep_scores ctx total (fun scratch i ->
+        score scratch ~cutoff:infinity arr.(i))
+  else begin
+    let incumbent = incumbent_make cutoff in
+    sweep_scores ctx total (fun scratch i ->
+        let s = score scratch ~cutoff:(incumbent_get incumbent) arr.(i) in
+        if s = infinity then Atomic.incr ctx.c_pruned
+        else incumbent_submit incumbent s;
+        s)
   end
 
-(* Earliest strict minimum -- the same tie-breaking as [Listx.min_by]. *)
-let pick_best ctx score candidates =
+(* Earliest strict minimum -- the same tie-breaking as [Listx.min_by].
+   Picks return the winner alongside its stage finish clocks when the sweep
+   already computed them exactly (so the pipeline can skip re-timing the
+   winner); [None] clocks mean the caller must replay. *)
+let pick_best ?cutoff ctx score candidates =
   match candidates with
   | [] -> None
   | _ ->
     let arr = Array.of_list candidates in
-    let scores = candidate_scores ctx score arr in
+    let scores = candidate_scores ?cutoff ctx score arr in
     let best = ref 0 in
     Array.iteri (fun i s -> if s < scores.(!best) then best := i) scores;
-    Some arr.(!best)
+    Some (arr.(!best), None)
 
 (* Hill-climbing fine tuning (paper Section 5.1, "fine tuning"): move each
    interacting qubit to every vertex (swapping occupants when needed), keep
@@ -264,16 +453,22 @@ let fine_tune ctx ~phys_start ~prev ~subcircuit placement =
       (fun (a, b) -> Graph.mem_edge ctx.c_adjacency candidate.(a) candidate.(b))
       pattern_edges
   in
-  let score candidate =
-    score_makespan ctx ~scratch:ctx.c_scratch ~phys_start ~prev ~subcircuit
-      candidate
+  let score ?cutoff candidate =
+    score_makespan ?cutoff ctx ~scratch:ctx.c_scratch ~phys_start ~prev
+      ~subcircuit candidate
   in
-  let current = ref (Array.copy placement) in
-  let current_score = ref (score !current) in
+  (* One scratch candidate array, refreshed by blit per probed move, and
+     every move scored under the current best as cutoff: a losing move's
+     timing sweep aborts early, and since acceptance needs a *strict*
+     improvement the accepted moves -- hence the tuned placement -- are
+     identical to the unbounded sweep. *)
+  let current = Array.copy placement in
+  let candidate = Array.make ctx.c_n 0 in
+  let current_score = ref (score current) in
   let occupant_of = Array.make ctx.c_m (-1) in
   let refresh_occupants () =
     Array.fill occupant_of 0 ctx.c_m (-1);
-    Array.iteri (fun q v -> occupant_of.(v) <- q) !current
+    Array.iteri (fun q v -> occupant_of.(v) <- q) current
   in
   let passes = ctx.c_options.Options.fine_tune_passes in
   let rec pass remaining =
@@ -284,16 +479,16 @@ let fine_tune ctx ~phys_start ~prev ~subcircuit placement =
         (fun q ->
           refresh_occupants ();
           for v = 0 to ctx.c_m - 1 do
-            if v <> !current.(q) then begin
-              let candidate = Array.copy !current in
+            if v <> current.(q) then begin
+              Array.blit current 0 candidate 0 ctx.c_n;
               (match occupant_of.(v) with
               | -1 -> ()
-              | q' -> candidate.(q') <- !current.(q));
+              | q' -> candidate.(q') <- current.(q));
               candidate.(q) <- v;
               if feasible candidate then begin
-                let s = score candidate in
+                let s = score ~cutoff:!current_score candidate in
                 if s < !current_score -. 1e-12 then begin
-                  current := candidate;
+                  Array.blit candidate 0 current 0 ctx.c_n;
                   current_score := s;
                   improved := true;
                   refresh_occupants ()
@@ -306,7 +501,7 @@ let fine_tune ctx ~phys_start ~prev ~subcircuit placement =
     end
   in
   pass passes;
-  !current
+  current
 
 let enumerate_mappings ctx ~subcircuit =
   incr ctx.c_enumerations;
@@ -321,49 +516,200 @@ let enumerate_candidates ctx ~prev ~subcircuit =
     (complete_placement ctx ~prev ~subcircuit)
     (enumerate_mappings ctx ~subcircuit)
 
-(* Best single-stage candidate by makespan. *)
-let pick_greedy ctx ~phys_start ~prev ~subcircuit candidates =
-  pick_best ctx
-    (fun scratch placement ->
-      score_makespan ctx ~scratch ~phys_start ~prev ~subcircuit placement)
-    candidates
+(* Best single-stage candidate by makespan.  Bounded and routing needed
+   (some previous placement exists): lower-bound-first search, mirroring
+   {!pick_lookahead} -- every candidate's {!candidate_bound} (no routing)
+   is computed first, candidates are evaluated in ascending order of that
+   bound, one whose bound exceeds the incumbent is skipped before the
+   router ever runs, and survivors evaluate under the incumbent as timing
+   cutoff.  Every candidate tying the true minimum is evaluated exactly
+   (its bound and clocks never exceed the incumbent), so the earliest-index
+   argmin -- hence the placement -- matches the exhaustive sweep. *)
+let pick_greedy ?(cutoff = infinity) ctx ~phys_start ~prev ~subcircuit
+    candidates =
+  if not (ctx.c_options.Options.bounded_search && prev <> None) then
+    pick_best ~cutoff ctx
+      (fun scratch ~cutoff placement ->
+        score_makespan ~cutoff ctx ~scratch ~phys_start ~prev ~subcircuit
+          placement)
+      candidates
+  else
+    match candidates with
+    | [] -> None
+    | _ ->
+      let arr = Array.of_list candidates in
+      let total = Array.length arr in
+      let bounds =
+        sweep_scores ctx total (fun scratch i ->
+            candidate_bound ctx ~scratch ~phys_start ~prev ~subcircuit arr.(i))
+      in
+      let order = Array.init total (fun i -> i) in
+      Array.sort
+        (fun a b ->
+          match Float.compare bounds.(a) bounds.(b) with
+          | 0 -> Int.compare a b
+          | c -> c)
+        order;
+      let scores = Array.make total infinity in
+      let clocks = Array.make total [||] in
+      let incumbent = incumbent_make cutoff in
+      let eval scratch k =
+        let i = order.(k) in
+        let limit = incumbent_get incumbent in
+        let s =
+          if bounds.(i) > limit then begin
+            Atomic.incr ctx.c_bound_skips;
+            infinity
+          end
+          else
+            score_makespan ~cutoff:limit ~prebound:false ctx ~scratch
+              ~phys_start ~prev ~subcircuit arr.(i)
+        in
+        if s = infinity then Atomic.incr ctx.c_pruned
+        else begin
+          incumbent_submit incumbent s;
+          (* A completed sweep leaves the exact finish clocks loaded
+             (bit-identical to the unbounded replay); keep the winner's so
+             the pipeline need not re-time it. *)
+          clocks.(i) <- Timing.stage_clocks scratch
+        end;
+        scores.(i) <- s;
+        s
+      in
+      ignore (sweep_scores ctx total eval : float array);
+      let best = ref 0 in
+      Array.iteri (fun i s -> if s < scores.(!best) then best := i) scores;
+      let finish =
+        if Array.length clocks.(!best) = 0 then None else Some clocks.(!best)
+      in
+      Some (arr.(!best), finish)
+
+(* The next-stage half of a depth-2 lookahead score, starting from the
+   current candidate's stage-1 [finish] clocks: the best completion of the
+   next subcircuit (including its connecting swaps) over [next_mappings].
+   Each completion is timed under the running inner minimum capped by
+   [cutoff] -- an aborted completion is strictly worse than one of those,
+   so the returned minimum is exact whenever it is [<= cutoff] and is
+   reported as [infinity] (provably above [cutoff]) otherwise. *)
+let deep_tail ctx ~scratch ~cutoff ~finish ~stage1 ~placement ~next_subcircuit
+    ~next_mappings =
+  let next_candidates =
+    List.map
+      (complete_placement ctx ~prev:(Some placement) ~subcircuit:next_subcircuit)
+      next_mappings
+  in
+  match next_candidates with
+  | [] -> stage1
+  | _ ->
+    let best = ref infinity in
+    List.iter
+      (fun next_placement ->
+        let s =
+          score_makespan ~cutoff:(Float.min !best cutoff) ctx ~scratch
+            ~phys_start:finish ~prev:(Some placement)
+            ~subcircuit:next_subcircuit next_placement
+        in
+        if s < !best then best := s)
+      next_candidates;
+    !best
 
 (* Depth-2 lookahead score (paper Section 5.3): the best achievable makespan
    after also placing the *next* subcircuit with its own connecting swaps.
    The next stage's raw monomorphisms are independent of the current
    candidate (the paper's "the sets M_{i,j} for different values i are
    equal" remark), so they are enumerated once and passed in; only their
-   completion over inactive qubits depends on the current placement. *)
-let deep_score ctx ~scratch ~phys_start ~prev ~subcircuit ~next_subcircuit
-    ~next_mappings placement =
-  let _, finish, makespan =
-    score_candidate ctx ~phys_start ~prev ~subcircuit placement
+   completion over inactive qubits depends on the current placement.
+   Exact whenever the result is [<= cutoff]; [infinity] otherwise. *)
+let deep_score ?(cutoff = infinity) ctx ~scratch ~phys_start ~prev ~subcircuit
+    ~next_subcircuit ~next_mappings placement =
+  let stage1 =
+    score_makespan ~cutoff ctx ~scratch ~phys_start ~prev ~subcircuit placement
   in
-  let next_candidates =
-    List.map
-      (complete_placement ctx ~prev:(Some placement) ~subcircuit:next_subcircuit)
-      next_mappings
-  in
-  let next_makespan next_placement =
-    score_makespan ctx ~scratch ~phys_start:finish ~prev:(Some placement)
-      ~subcircuit:next_subcircuit next_placement
-  in
-  match Qcp_util.Listx.min_by_key next_makespan next_candidates with
-  | None -> makespan
-  | Some (_, best) -> best
+  if stage1 = infinity then infinity
+  else
+    let finish = Timing.stage_clocks scratch in
+    deep_tail ctx ~scratch ~cutoff ~finish ~stage1 ~placement ~next_subcircuit
+      ~next_mappings
 
-let pick_lookahead ctx ~phys_start ~prev ~subcircuit ~next_subcircuit
-    ~next_mappings candidates =
-  pick_best ctx
-    (fun scratch placement ->
-      deep_score ctx ~scratch ~phys_start ~prev ~subcircuit ~next_subcircuit
-        ~next_mappings placement)
-    candidates
+(* Depth-2 lookahead selection.  Unbounded: exhaustively deep-score every
+   candidate.  Bounded (lower-bound-first search): because the clocks are
+   monotone, a candidate's stage-1 makespan is an admissible lower bound on
+   its two-stage score, so stage-1 makespans are computed exactly for every
+   candidate first (they also yield the stage-1 finish clocks, reused
+   below), candidates are then deep-scored in ascending order of that bound
+   (original index breaking ties), a candidate whose bound already exceeds
+   the incumbent is skipped outright, and survivors' next-stage completions
+   run under the incumbent as cutoff.  The final argmin is taken over the
+   full score array in original candidate order: every candidate tying the
+   true minimum is evaluated exactly (its bound never exceeds the incumbent
+   and its clocks never exceed the cutoff), so the earliest-index tie-break
+   -- and hence the placement -- is bit-identical to the exhaustive
+   sweep. *)
+let pick_lookahead ?(cutoff = infinity) ctx ~phys_start ~prev ~subcircuit
+    ~next_subcircuit ~next_mappings candidates =
+  if not ctx.c_options.Options.bounded_search then
+    pick_best ctx
+      (fun scratch ~cutoff:_ placement ->
+        deep_score ctx ~scratch ~phys_start ~prev ~subcircuit ~next_subcircuit
+          ~next_mappings placement)
+      candidates
+  else
+    match candidates with
+    | [] -> None
+    | _ ->
+      let arr = Array.of_list candidates in
+      let total = Array.length arr in
+      let clocks = Array.make total [||] in
+      let bounds =
+        sweep_scores ctx total (fun scratch i ->
+            let b =
+              score_makespan ctx ~scratch ~phys_start ~prev ~subcircuit arr.(i)
+            in
+            clocks.(i) <- Timing.stage_clocks scratch;
+            b)
+      in
+      let order = Array.init total (fun i -> i) in
+      Array.sort
+        (fun a b ->
+          match Float.compare bounds.(a) bounds.(b) with
+          | 0 -> Int.compare a b
+          | c -> c)
+        order;
+      let scores = Array.make total infinity in
+      let incumbent = incumbent_make cutoff in
+      let eval scratch k =
+        let i = order.(k) in
+        let limit = incumbent_get incumbent in
+        let s =
+          if bounds.(i) > limit then begin
+            Atomic.incr ctx.c_bound_skips;
+            infinity
+          end
+          else
+            deep_tail ctx ~scratch ~cutoff:limit ~finish:clocks.(i)
+              ~stage1:bounds.(i) ~placement:arr.(i) ~next_subcircuit
+              ~next_mappings
+        in
+        if s = infinity then Atomic.incr ctx.c_pruned
+        else incumbent_submit incumbent s;
+        scores.(i) <- s;
+        s
+      in
+      ignore (sweep_scores ctx total eval : float array);
+      let best = ref 0 in
+      Array.iteri (fun i s -> if s < scores.(!best) then best := i) scores;
+      (* The bound phase timed every candidate's own stage exactly, so the
+         winner's finish clocks are already in hand. *)
+      Some (arr.(!best), Some clocks.(!best))
 
 (* The main stage loop: place each subcircuit in order, connecting
    consecutive placements with SWAP networks.  Returns the stage list and
-   the final makespan. *)
-let run_pipeline ctx subcircuits =
+   the final makespan.  A finite [cutoff] (used by the boundary-refinement
+   trials) seeds every stage's incumbent and aborts the whole pipeline as
+   soon as the running makespan provably exceeds it: clocks are monotone
+   across stages, so a stage makespan above the cutoff refutes the final
+   one. *)
+let run_pipeline ?(cutoff = infinity) ctx subcircuits =
   let options = ctx.c_options in
   let subs = Array.of_list subcircuits in
   let count = Array.length subs in
@@ -384,18 +730,18 @@ let run_pipeline ctx subcircuits =
          timed ctx (fun () ->
              match next_mappings with
              | Some next_mappings ->
-               pick_lookahead ctx ~phys_start:!phys_start ~prev:!prev
+               pick_lookahead ~cutoff ctx ~phys_start:!phys_start ~prev:!prev
                  ~subcircuit ~next_subcircuit:subs.(i + 1) ~next_mappings
                  candidates
              | None ->
-               pick_greedy ctx ~phys_start:!phys_start ~prev:!prev ~subcircuit
-                 candidates)
+               pick_greedy ~cutoff ctx ~phys_start:!phys_start ~prev:!prev
+                 ~subcircuit candidates)
        in
        match chosen with
        | None ->
          failure := Some "no monomorphism found for an alignable subcircuit";
          raise Exit
-       | Some placement ->
+       | Some (placement, picked_finish) ->
          let tuned =
            timed ctx (fun () ->
                if options.Options.fine_tune_passes > 0 then begin
@@ -405,25 +751,44 @@ let run_pipeline ctx subcircuits =
                  in
                  (* Fine tuning optimizes the current stage only; under
                     lookahead, keep it only if it does not undo the two-stage
-                    choice. *)
+                    choice.  The baseline is judged exactly, then bounds the
+                    challenger: ties keep the tuned candidate, and an
+                    aborted challenger is strictly worse, so the decision
+                    matches the unbounded comparison. *)
                  match next_mappings with
                  | Some next_mappings when candidate <> placement ->
-                   let judge =
-                     deep_score ctx ~scratch:ctx.c_scratch
+                   let judge ?cutoff p =
+                     deep_score ?cutoff ctx ~scratch:ctx.c_scratch
                        ~phys_start:!phys_start ~prev:!prev ~subcircuit
-                       ~next_subcircuit:subs.(i + 1) ~next_mappings
+                       ~next_subcircuit:subs.(i + 1) ~next_mappings p
                    in
-                   if judge candidate <= judge placement then candidate
+                   let baseline = judge placement in
+                   if judge ~cutoff:baseline candidate <= baseline then
+                     candidate
                    else placement
                  | Some _ | None -> candidate
                end
                else placement)
          in
-         let network, finish, _ =
+         let network, finish, makespan =
            timed ctx (fun () ->
-               score_candidate ctx ~phys_start:!phys_start ~prev:!prev
-                 ~subcircuit tuned)
+               match picked_finish with
+               | Some finish when tuned = placement ->
+                 (* The pick already timed this exact placement: the saved
+                    clocks are bit-identical to a fresh replay, so only the
+                    connecting network is fetched (a route-cache hit). *)
+                 let entry = connecting_stage ctx ~prev:!prev tuned in
+                 ( Option.map (fun e -> e.Score_cache.network) entry,
+                   finish,
+                   Array.fold_left Float.max 0.0 finish )
+               | _ ->
+                 score_candidate ctx ~phys_start:!phys_start ~prev:!prev
+                   ~subcircuit tuned)
          in
+         if options.Options.bounded_search && makespan > cutoff then begin
+           failure := Some "makespan exceeds the evaluation cutoff";
+           raise Exit
+         end;
          (match network with
          | Some net when net <> [] -> stages := Permute net :: !stages
          | Some _ | None -> ());
@@ -439,8 +804,11 @@ let run_pipeline ctx subcircuits =
 (* Boundary refinement (paper "further research"): the greedy split makes
    each computation stage maximal; donating a few trailing gates to the next
    stage can shrink the following swap stage.  Trial donations are evaluated
-   with a cheap greedy pipeline and kept when they strictly improve the
-   makespan. *)
+   with a cheap greedy pipeline -- run with the incumbent makespan as
+   cutoff, so a losing donation aborts as soon as any stage provably
+   exceeds it -- and kept when they strictly improve the makespan.  The
+   subcircuit sequence is kept as an array so a donation is O(stages), not
+   the O(stages^2) of repeated [List.nth_opt]/[List.mapi] bookkeeping. *)
 let balance_boundaries ctx subcircuits =
   let cheap_ctx =
     {
@@ -453,56 +821,62 @@ let balance_boundaries ctx subcircuits =
         };
     }
   in
-  let evaluate subs =
-    match run_pipeline cheap_ctx subs with
+  let evaluate ?cutoff subs =
+    match run_pipeline ?cutoff cheap_ctx (Array.to_list subs) with
     | Ok (_, makespan) -> makespan
     | Error _ -> Float.infinity
   in
   let donate subs boundary =
     (* Move the last gate of stage [boundary] to the head of the next. *)
-    match (List.nth_opt subs boundary, List.nth_opt subs (boundary + 1)) with
-    | Some giver, Some taker -> (
-      match List.rev (Circuit.gates giver) with
-      | [] -> None
-      | gate :: rest_rev ->
-        let taker' =
-          Circuit.make ~qubits:ctx.c_n (gate :: Circuit.gates taker)
+    match List.rev (Circuit.gates subs.(boundary)) with
+    | [] -> None
+    | gate :: rest_rev ->
+      let taker' =
+        Circuit.make ~qubits:ctx.c_n
+          (gate :: Circuit.gates subs.(boundary + 1))
+      in
+      if
+        Monomorph.exists
+          ~pattern:(Score_cache.interaction_graph ctx.c_cache taker')
+          ~target:ctx.c_adjacency
+      then begin
+        let giver' = Circuit.make ~qubits:ctx.c_n (List.rev rest_rev) in
+        let updated =
+          if Circuit.gate_count giver' = 0 then begin
+            (* The donor stage emptied out: drop it. *)
+            let shrunk = Array.make (Array.length subs - 1) taker' in
+            Array.blit subs 0 shrunk 0 boundary;
+            Array.blit subs (boundary + 2) shrunk (boundary + 1)
+              (Array.length subs - boundary - 2);
+            shrunk
+          end
+          else begin
+            let copy = Array.copy subs in
+            copy.(boundary) <- giver';
+            copy.(boundary + 1) <- taker';
+            copy
+          end
         in
-        if
-          Monomorph.exists
-            ~pattern:(Score_cache.interaction_graph ctx.c_cache taker')
-            ~target:ctx.c_adjacency
-        then begin
-          let giver' = Circuit.make ~qubits:ctx.c_n (List.rev rest_rev) in
-          let updated =
-            List.concat
-              (List.mapi
-                 (fun i sub ->
-                   if i = boundary then
-                     if Circuit.gate_count giver' = 0 then [] else [ giver' ]
-                   else if i = boundary + 1 then [ taker' ]
-                   else [ sub ])
-                 subs)
-          in
-          Some updated
-        end
-        else None)
-    | _, _ -> None
+        Some updated
+      end
+      else None
   in
   let max_donations_per_boundary = 3 in
   let rec refine subs score boundary budget =
-    if boundary + 1 >= List.length subs then subs
-    else if budget = 0 then refine subs score (boundary + 1) max_donations_per_boundary
+    if boundary + 1 >= Array.length subs then subs
+    else if budget = 0 then
+      refine subs score (boundary + 1) max_donations_per_boundary
     else
       match donate subs boundary with
       | None -> refine subs score (boundary + 1) max_donations_per_boundary
       | Some candidate ->
-        let candidate_score = evaluate candidate in
+        let candidate_score = evaluate ~cutoff:score candidate in
         if candidate_score < score -. 1e-9 then
           refine candidate candidate_score boundary (budget - 1)
         else refine subs score (boundary + 1) max_donations_per_boundary
   in
-  refine subcircuits (evaluate subcircuits) 0 max_donations_per_boundary
+  let subs = Array.of_list subcircuits in
+  Array.to_list (refine subs (evaluate subs) 0 max_donations_per_boundary)
 
 let place options env circuit =
   let circuit =
@@ -531,12 +905,28 @@ let place options env circuit =
           c_oracle = ref 0;
           c_enumerations = ref 0;
           c_scored = Atomic.make 0;
+          c_pruned = Atomic.make 0;
+          c_bound_skips = Atomic.make 0;
+          c_early_exits = Atomic.make 0;
           c_routed = Atomic.make 0;
           c_cache =
             Score_cache.create ~enabled:options.Options.score_cache
               ~register:m ();
           c_scratch = Timing.make_scratch ();
           c_scoring_time = ref 0.0;
+          c_dist =
+            lazy (Array.init m (fun v -> Paths.bfs_dist adjacency v));
+          c_swap_step =
+            (let weights = Environment.weights env in
+             let capped_swap =
+               match options.Options.reuse_cap with
+               | None -> 3.0
+               | Some cap -> Float.min cap 3.0
+             in
+             List.fold_left
+               (fun acc (u, v) ->
+                 Float.min acc (weights.Timing.coupled u v *. capped_swap))
+               infinity (Graph.edges adjacency));
         }
       in
       match Workspace.split ~oracle_calls:ctx.c_oracle ~adjacency circuit with
@@ -562,6 +952,9 @@ let place options env circuit =
                   oracle_calls = !(ctx.c_oracle);
                   enumerations = !(ctx.c_enumerations);
                   candidates_scored = Atomic.get ctx.c_scored;
+                  candidates_pruned = Atomic.get ctx.c_pruned;
+                  lower_bound_skips = Atomic.get ctx.c_bound_skips;
+                  timing_early_exits = Atomic.get ctx.c_early_exits;
                   networks_routed = Atomic.get ctx.c_routed;
                   route_cache_hits = Score_cache.hits ctx.c_cache;
                   route_cache_misses = Score_cache.misses ctx.c_cache;
@@ -637,6 +1030,14 @@ let pp ppf program =
      routed), %.4f s scoring@."
     s.candidates_scored s.networks_routed s.route_cache_hits
     s.route_cache_misses s.scoring_seconds;
+  if s.candidates_pruned > 0 || s.timing_early_exits > 0 then
+    Format.fprintf ppf
+      "pruning: %d candidates pruned of %d scored (%.0f%%), %d lower-bound \
+       skips, %d timing early exits@."
+      s.candidates_pruned s.candidates_scored
+      (100.0 *. float_of_int s.candidates_pruned
+      /. float_of_int (max 1 s.candidates_scored))
+      s.lower_bound_skips s.timing_early_exits;
   List.iteri
     (fun i stage ->
       match stage with

@@ -22,7 +22,23 @@ type stats = {
   enumerations : int;
       (** Monomorphism enumeration batches (one per candidate set). *)
   candidates_scored : int;
-      (** Placement candidates evaluated through the timing model. *)
+      (** Placement candidates evaluated through the timing model
+          (including evaluations aborted by the bounded-search cutoff). *)
+  candidates_pruned : int;
+      (** Candidate evaluations refuted before completing under
+          {!Options.t.bounded_search}: lower-bound skips plus evaluations
+          whose timing sweep aborted against the incumbent.  The pruned /
+          scored ratio measures how much of the exhaustive argmin the
+          bounds avoided.  Under parallel scoring the exact split is
+          schedule-dependent (the chosen placement is not). *)
+  lower_bound_skips : int;
+      (** Lookahead candidates skipped outright because their stage-1
+          makespan (an admissible lower bound on the two-stage score)
+          already exceeded the incumbent. *)
+  timing_early_exits : int;
+      (** Timing sweeps aborted mid-circuit by the incumbent cutoff
+          (includes next-stage completions inside lookahead and fine-tune
+          probes). *)
   networks_routed : int;
       (** SWAP routing requests (including lookahead trials).  Counted per
           request, so the value matches the number of networks constructed

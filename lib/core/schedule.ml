@@ -121,7 +121,10 @@ let of_program program =
   in
   let ordered =
     List.sort
-      (fun a b -> compare (a.start, a.vertices) (b.start, b.vertices))
+      (fun a b ->
+        match Float.compare a.start b.start with
+        | 0 -> List.compare Int.compare a.vertices b.vertices
+        | c -> c)
       (List.rev !events)
   in
   { env = program.Placer.env; all_events = ordered; total }
@@ -154,7 +157,7 @@ let is_consistent t =
         scan rest
       | [ _ ] | [] -> ()
     in
-    scan (List.sort (fun a b -> compare a.start b.start) mine)
+    scan (List.sort (fun a b -> Float.compare a.start b.start) mine)
   done;
   !ok
 

@@ -59,6 +59,76 @@ let bisect_memo t = if t.enabled then Some t.bisect_memo else None
 let entry_of t network =
   { network; swap_circuit = Swap_network.to_circuit ~qubits:t.register network }
 
+(* Everything the unweighted router produces is a pure function of the
+   adjacency graph (plus the leaf-override flag and the permutation), so it
+   is shared across placement runs through a weak-keyed registry:
+   {!Qcp_env.Environment.connected_adjacency} hands back the same physical
+   graph per environment and threshold, and the ephemeron key lets the
+   cached state die with its graph.  Weighted routes keep the per-run memo
+   above — their channel choice depends on the caller's edge-cost oracle,
+   which the registry key cannot see. *)
+type shared = {
+  sh_memo : Bisect_router.memo;
+  sh_register : int; (* the register width the cached circuits were built for *)
+  sh_lock : Mutex.t;
+  sh_plain : route_entry Perm_tbl.t; (* leaf_override = false *)
+  sh_leaf : route_entry Perm_tbl.t; (* leaf_override = true *)
+}
+
+module Graph_registry = Ephemeron.K1.Make (struct
+  type t = Graph.t
+
+  let equal = ( == )
+
+  let hash = Hashtbl.hash
+end)
+
+let shared_registry = Graph_registry.create 8
+
+let shared_registry_lock = Mutex.create ()
+
+let shared_for t graph =
+  Mutex.protect shared_registry_lock (fun () ->
+      match Graph_registry.find_opt shared_registry graph with
+      | Some sh -> sh
+      | None ->
+        let sh =
+          {
+            sh_memo = Bisect_router.make_memo ();
+            sh_register = t.register;
+            sh_lock = Mutex.create ();
+            sh_plain = Perm_tbl.create 64;
+            sh_leaf = Perm_tbl.create 64;
+          }
+        in
+        Graph_registry.add shared_registry graph sh;
+        sh)
+
+let shared_bisect_memo t graph =
+  if not t.enabled then None else Some (shared_for t graph).sh_memo
+
+let shared_route t graph ~leaf_override ~route perm =
+  if not t.enabled then None
+  else
+    let sh = shared_for t graph in
+    if sh.sh_register <> t.register then None
+    else begin
+      let table = if leaf_override then sh.sh_leaf else sh.sh_plain in
+      match Mutex.protect sh.sh_lock (fun () -> Perm_tbl.find_opt table perm) with
+      | Some entry ->
+        Atomic.incr t.hits;
+        Some entry
+      | None ->
+        Atomic.incr t.misses;
+        (* Routing runs outside the lock, as in [route] above: concurrent
+           racers compute the same deterministic entry. *)
+        let entry = entry_of t (route sh.sh_memo perm) in
+        Mutex.protect sh.sh_lock (fun () ->
+            if not (Perm_tbl.mem table perm) then
+              Perm_tbl.add table (Array.copy perm) entry);
+        Some entry
+    end
+
 let route t ~route perm =
   if not t.enabled then begin
     Atomic.incr t.misses;

@@ -39,7 +39,33 @@ val route :
 (** The routed network for a permutation, from cache or by calling [route]. *)
 
 val bisect_memo : t -> Qcp_route.Bisect_router.memo option
-(** The shared router memo ([None] when the cache is disabled). *)
+(** This run's private router memo ([None] when the cache is disabled) —
+    for routes whose subset structure depends on more than the graph
+    (e.g. a weighted channel choice). *)
+
+val shared_bisect_memo :
+  t -> Qcp_graph.Graph.t -> Qcp_route.Bisect_router.memo option
+(** The cross-run router memo for [graph] ([None] when the cache is
+    disabled), from a weak-keyed per-graph registry.  Split structure is a
+    deterministic function of the graph alone, so sharing it across
+    placement runs cannot change any result; entries are dropped by the GC
+    together with their graph. *)
+
+val shared_route :
+  t ->
+  Qcp_graph.Graph.t ->
+  leaf_override:bool ->
+  route:(Qcp_route.Bisect_router.memo -> Qcp_route.Perm.t -> Qcp_route.Swap_network.t) ->
+  Qcp_route.Perm.t ->
+  route_entry option
+(** The routed network for a permutation from the cross-run per-graph
+    registry, or by calling [route] with the registry's memo and storing
+    the result.  Only for routes that are a pure function of
+    [(graph, leaf_override, perm)] — i.e. the unweighted bisection router —
+    so sharing across placement runs cannot change any result.  Returns
+    [None] (caller falls back to the per-run {!route} table) when the cache
+    is disabled or the registry entry was built for a different register
+    width.  Hits and misses count into this cache's counters as usual. *)
 
 val interaction_graph : t -> Qcp_circuit.Circuit.t -> Qcp_graph.Graph.t
 (** Memoized {!Qcp_circuit.Circuit.interaction_graph} (physical identity

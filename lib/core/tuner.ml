@@ -9,7 +9,7 @@ let candidate_thresholds env =
       if Float.is_finite d then values := d :: !values
     done
   done;
-  List.sort_uniq compare !values |> List.map (fun d -> d +. 1e-9)
+  List.sort_uniq Float.compare !values |> List.map (fun d -> d +. 1e-9)
 
 let sweep ?(options = fun ~threshold -> Options.default ~threshold) env circuit =
   List.map

@@ -6,6 +6,14 @@ type t = {
   nuclei : string array;
   delay : float array array;
   decoherence : float array; (* T2 per nucleus, in delay units *)
+  mutable adj_cache : (float * Qcp_graph.Graph.t option) list;
+      (* Memoized [connected_adjacency] per threshold (newest first, small
+         cap).  The graph depends only on [delay], which never changes, so
+         entries stay valid for the record's lifetime; returning the same
+         physical graph also lets downstream per-graph memos (the bisection
+         router's subset structure) survive across placement runs.  Updates
+         are unsynchronized: a racing reader either sees the entry or
+         recomputes an equal graph. *)
 }
 
 let make ?t2 ~name ~nuclei ~delay () =
@@ -33,7 +41,7 @@ let make ?t2 ~name ~nuclei ~delay () =
       Array.copy arr
   in
   { env_name = name; nuclei = Array.copy nuclei; delay = Array.map Array.copy delay;
-    decoherence }
+    decoherence; adj_cache = [] }
 
 let of_couplings ?t2 ~name ~nuclei ~single ~couplings ?(default = Float.infinity) () =
   let m = Array.length nuclei in
@@ -123,7 +131,7 @@ let closure_edges t base =
     !added
   end
 
-let connected_adjacency t ~threshold =
+let connected_adjacency_uncached t ~threshold =
   let base = adjacency t ~threshold in
   if Graph.is_empty base then None
   else if Paths.is_connected base then Some base
@@ -133,6 +141,19 @@ let connected_adjacency t ~threshold =
        any threshold: such instances are unplaceable. *)
     if Paths.is_connected closed then Some closed else None
   end
+
+let adj_cache_cap = 4
+
+let connected_adjacency t ~threshold =
+  match
+    List.find_opt (fun (th, _) -> Float.equal th threshold) t.adj_cache
+  with
+  | Some (_, cached) -> cached
+  | None ->
+    let graph = connected_adjacency_uncached t ~threshold in
+    t.adj_cache <-
+      Qcp_util.Listx.take adj_cache_cap ((threshold, graph) :: t.adj_cache);
+    graph
 
 let min_threshold_connected t =
   let base = Graph.of_edges (size t) [] in

@@ -71,7 +71,11 @@ val connected_adjacency : t -> threshold:float -> Qcp_graph.Graph.t option
     This is a documented fallback — the paper also reports results in the
     too-small-threshold regime, flagging disconnection as an indication that
     the threshold is too low; the extra edges carry their true (slow) delays
-    in the timing model. *)
+    in the timing model.
+
+    Memoized per threshold: repeated calls return the same physical graph,
+    so per-graph derived structure (e.g. the bisection router's subset
+    memo) stays warm across placement runs over one environment. *)
 
 val min_threshold_connected : t -> float
 (** The smallest threshold whose adjacency graph is connected (paper: "the

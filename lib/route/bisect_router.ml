@@ -131,6 +131,9 @@ let route ?(leaf_override = true) ?edge_cost ?memo g ~perm =
   let active = Array.make n true in
   let active_count = ref n in
   let prepass_levels = ref [] in
+  (* Scratch "touched this level" marks, shared by the pre-pass and every
+     phase iteration: cleared with a fill instead of a fresh allocation. *)
+  let used = Array.make n false in
   if leaf_override then begin
     let progress = ref true in
     while !progress && !active_count > 2 do
@@ -140,7 +143,7 @@ let route ?(leaf_override = true) ?edge_cost ?memo g ~perm =
           (fun acc u -> if active.(u) then acc + 1 else acc)
           0 (Graph.neighbors g v)
       in
-      let used = Array.make n false in
+      Array.fill used 0 n false;
       let level = ref [] in
       let freezes = ref [] in
       for v = 0 to n - 1 do
@@ -183,34 +186,40 @@ let route ?(leaf_override = true) ?edge_cost ?memo g ~perm =
     let in_sa = info.si_in_a in
     let in_sb = info.si_in_b in
     let u1, u2 = info.si_channel in
-    let misplaced () = List.exists (fun v -> in_sb.(dest_of v)) info.si_sa in
+    (* Every closure the loop needs is built once per phase, not once per
+       iteration: the inner loop runs O(half size) times per split and was
+       dominated by its own allocations. *)
+    let wrong_side_a v = in_sb.(dest_of v) in
+    let in_sb_dest d = in_sb.(d) in
+    let in_sa_dest d = in_sa.(d) in
     let out = ref [] in
-    let guard = ref (0, info.si_guard_cap) in
-    while misplaced () do
-      let iter, cap = !guard in
-      if iter > cap then raise (Routing_failure "phase did not converge");
-      guard := (iter + 1, cap);
-      let used = Array.make n false in
-      let level = ref [] in
-      let take u v =
-        used.(u) <- true;
-        used.(v) <- true;
-        level := (u, v) :: !level
-      in
+    let level = ref [] in
+    let take u v =
+      used.(u) <- true;
+      used.(v) <- true;
+      level := (u, v) :: !level
+    in
+    let sweep order parent inside_other u_root =
+      List.iter
+        (fun v ->
+          if v <> u_root && (not used.(v)) && inside_other (dest_of v) then begin
+            let p = parent.(v) in
+            if p >= 0 && (not used.(p)) && not (inside_other (dest_of p)) then
+              take v p
+          end)
+        order
+    in
+    let iters = ref 0 in
+    let cap = info.si_guard_cap in
+    while List.exists wrong_side_a info.si_sa do
+      if !iters > cap then raise (Routing_failure "phase did not converge");
+      incr iters;
+      Array.fill used 0 n false;
+      level := [];
       (* Channel swap first. *)
       if in_sb.(dest_of u1) && in_sa.(dest_of u2) then take u1 u2;
-      let sweep order parent inside_other u_root =
-        List.iter
-          (fun v ->
-            if v <> u_root && (not used.(v)) && inside_other (dest_of v) then begin
-              let p = parent.(v) in
-              if p >= 0 && (not used.(p)) && not (inside_other (dest_of p)) then
-                take v p
-            end)
-          order
-      in
-      sweep info.si_order_a info.si_parent_a (fun d -> in_sb.(d)) u1;
-      sweep info.si_order_b info.si_parent_b (fun d -> in_sa.(d)) u2;
+      sweep info.si_order_a info.si_parent_a in_sb_dest u1;
+      sweep info.si_order_b info.si_parent_b in_sa_dest u2;
       if !level = [] then raise (Routing_failure "phase produced an empty level");
       apply_level !level;
       out := !level :: !out

@@ -44,24 +44,31 @@ let pp ppf t =
     t
 
 let compress t =
-  let swaps = List.concat t in
-  match swaps with
-  | [] -> []
-  | _ ->
-    let top =
-      List.fold_left (fun acc (u, v) -> max acc (max u v)) 0 swaps
-    in
+  (* One counting pass in place of [List.concat] + [List.length]: the
+     bucketing below visits swaps in the same order the concatenation
+     would, so the result is unchanged. *)
+  let count = ref 0 in
+  let top = ref 0 in
+  List.iter
+    (List.iter (fun (u, v) ->
+         incr count;
+         if u > !top then top := u;
+         if v > !top then top := v))
+    t;
+  if !count = 0 then []
+  else begin
     (* ready.(v) is the earliest level where vertex v is free; assigned
        levels are contiguous, so plain arrays replace the hashtables. *)
-    let ready = Array.make (top + 1) 0 in
-    let buckets = Array.make (List.length swaps) [] in
+    let ready = Array.make (!top + 1) 0 in
+    let buckets = Array.make !count [] in
     let max_level = ref (-1) in
     List.iter
-      (fun (u, v) ->
-        let level = max ready.(u) ready.(v) in
-        ready.(u) <- level + 1;
-        ready.(v) <- level + 1;
-        if level > !max_level then max_level := level;
-        buckets.(level) <- (u, v) :: buckets.(level))
-      swaps;
+      (List.iter (fun ((u, v) as swap) ->
+           let level = max ready.(u) ready.(v) in
+           ready.(u) <- level + 1;
+           ready.(v) <- level + 1;
+           if level > !max_level then max_level := level;
+           buckets.(level) <- swap :: buckets.(level)))
+      t;
     List.init (!max_level + 1) (fun i -> List.rev buckets.(i))
+  end

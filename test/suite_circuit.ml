@@ -206,6 +206,59 @@ let test_timing_sequential () =
   Helpers.check_close "asap overlap" 11.0
     (Timing.runtime ~weights:uniform_weights ~place:Timing.identity_place c)
 
+let test_timing_bounded_stage_advance () =
+  (* A bounded sweep that completes must leave clocks bit-identical to the
+     unbounded sweep; one whose cutoff lies below the makespan must abort. *)
+  let place = function 0 -> 0 | 1 -> 2 | 2 -> 1 | _ -> assert false in
+  let start = [| 3.0; 0.0; 7.0 |] in
+  let advance ?cutoff ?model () =
+    let scratch = Timing.make_scratch () in
+    Timing.stage_start scratch start;
+    let completed =
+      Timing.stage_advance ?model ?cutoff ~reuse_cap:3.0
+        ~weights:acetyl_weights ~place scratch Catalog.qec3_encode
+    in
+    (completed, Timing.stage_clocks scratch)
+  in
+  let _, reference = advance () in
+  let makespan = Array.fold_left Float.max 0.0 reference in
+  let check_identical label cutoff =
+    let completed, clocks = advance ~cutoff () in
+    Alcotest.(check bool) (label ^ " completes") true completed;
+    Array.iteri
+      (fun v t ->
+        Alcotest.(check (float 0.0))
+          (Printf.sprintf "%s clock %d bit-identical" label v)
+          reference.(v) t)
+      clocks
+  in
+  check_identical "slack cutoff" (makespan +. 1.0);
+  (* The abort criterion is *strictly* exceeding the cutoff, so a cutoff
+     equal to the makespan still completes -- the tie-break invariant the
+     placer's incumbent pruning relies on. *)
+  check_identical "exact cutoff" makespan;
+  let completed, _ = advance ~cutoff:(makespan -. 1.0) () in
+  Alcotest.(check bool) "tight cutoff aborts" false completed;
+  let completed, _ = advance ~cutoff:0.0 () in
+  Alcotest.(check bool) "zero cutoff aborts" false completed;
+  (* Same contract under the sequential-levels model. *)
+  let _, seq_reference = advance ~model:Timing.Sequential () in
+  let seq_makespan = Array.fold_left Float.max 0.0 seq_reference in
+  let completed, seq_clocks =
+    advance ~model:Timing.Sequential ~cutoff:seq_makespan ()
+  in
+  Alcotest.(check bool) "sequential exact cutoff completes" true completed;
+  Array.iteri
+    (fun v t ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "sequential clock %d bit-identical" v)
+        seq_reference.(v) t)
+    seq_clocks;
+  let completed, _ =
+    advance ~model:Timing.Sequential ~cutoff:(seq_makespan -. 1.0) ()
+  in
+  Alcotest.(check bool) "sequential tight cutoff aborts" false completed
+
 let test_random_circuit_counts () =
   let rng = Qcp_util.Rng.create 1 in
   let c, stages = Random_circuit.hidden_stages rng ~n:8 in
@@ -359,6 +412,8 @@ let suite =
     Alcotest.test_case "timing reuse cap across 1q gates" `Quick
       test_timing_reuse_cap_survives_local_gates;
     Alcotest.test_case "timing sequential model" `Quick test_timing_sequential;
+    Alcotest.test_case "timing bounded stage advance" `Quick
+      test_timing_bounded_stage_advance;
     Alcotest.test_case "random circuit counts" `Quick test_random_circuit_counts;
     Alcotest.test_case "random circuit Table-4 row" `Quick test_random_circuit_table4_row16;
     Alcotest.test_case "qc format roundtrip" `Quick test_qc_format_roundtrip;

@@ -1,25 +1,51 @@
 (* Property tests for the incremental scoring engine (Score_cache +
-   parallel candidate evaluation): memoization and domain fan-out are pure
-   performance features, so every placement decision -- the stage list, the
-   end-to-end runtime, the swap counts -- must be bit-identical with them on
-   or off. *)
+   parallel candidate evaluation + bounded search): memoization, domain
+   fan-out and incumbent pruning are pure performance features, so every
+   placement decision -- the stage list, the end-to-end runtime, the swap
+   counts -- must be bit-identical with them on or off. *)
 
 module Placer = Qcp.Placer
 module Options = Qcp.Options
 module Environment = Qcp_env.Environment
 
-(* The reference configuration disables everything; the others must match
-   it exactly. *)
+(* The reference configuration disables everything: no cache, no parallel
+   domains, no bounded search. *)
+let reference_options options =
+  {
+    options with
+    Options.score_cache = false;
+    parallel_scoring = 0;
+    parallel_enumeration = 0;
+    bounded_search = false;
+  }
+
+(* Every variant must produce a bit-identical placement.  Counter equality
+   is checked separately: bounded search legitimately reshapes the
+   search-effort counters (pruned evaluations skip routing requests and
+   abort balance trials early), and parallel pruning makes the exact split
+   schedule-dependent, so full counter equality only holds between
+   sequential variants with the same [bounded_search] setting. *)
 let variants options =
+  let base = reference_options options in
   [
-    ( "cache-off",
-      { options with Options.score_cache = false; parallel_scoring = 0 } );
-    ( "cache-on",
-      { options with Options.score_cache = true; parallel_scoring = 0 } );
-    ( "cache-on-parallel",
-      { options with Options.score_cache = true; parallel_scoring = 4 } );
-    ( "parallel-enum",
-      { options with Options.score_cache = true; parallel_enumeration = 3 } );
+    ("unbounded-cache-on", { base with Options.score_cache = true });
+    ("bounded-cache-off", { base with Options.bounded_search = true });
+    ( "bounded-cache-on",
+      { base with Options.bounded_search = true; score_cache = true } );
+    ( "bounded-parallel",
+      {
+        base with
+        Options.bounded_search = true;
+        score_cache = true;
+        parallel_scoring = 4;
+      } );
+    ( "bounded-parallel-enum",
+      {
+        base with
+        Options.bounded_search = true;
+        score_cache = true;
+        parallel_enumeration = 3;
+      } );
   ]
 
 let check_identical ~seed reference (name, outcome) =
@@ -42,19 +68,37 @@ let check_identical ~seed reference (name, outcome) =
       (Placer.swap_stage_count b);
     Alcotest.(check int) (tag "swap depth") (Placer.swap_depth_total a)
       (Placer.swap_depth_total b);
-    (* Scoring work is counted per request, so the search-effort counters
-       also agree; only the hit/miss split may differ. *)
+    (* The route cache is transparent bookkeeping in every variant. *)
+    let sb = b.Placer.stats in
+    Alcotest.(check int)
+      (tag "hits + misses = requests")
+      sb.Placer.networks_routed
+      (sb.Placer.route_cache_hits + sb.Placer.route_cache_misses)
+
+(* Scoring work is counted per request, so two sequential variants with the
+   same [bounded_search] setting agree on every search-effort counter; only
+   the cache hit/miss split may differ. *)
+let check_counters ~seed name_a a name_b b =
+  let tag what =
+    Printf.sprintf "seed %d, %s vs %s: %s" seed name_a name_b what
+  in
+  match (a, b) with
+  | Placer.Placed a, Placer.Placed b ->
     let sa = a.Placer.stats and sb = b.Placer.stats in
     Alcotest.(check int) (tag "oracle calls") sa.Placer.oracle_calls
       sb.Placer.oracle_calls;
     Alcotest.(check int) (tag "candidates scored") sa.Placer.candidates_scored
       sb.Placer.candidates_scored;
+    Alcotest.(check int) (tag "candidates pruned") sa.Placer.candidates_pruned
+      sb.Placer.candidates_pruned;
+    Alcotest.(check int) (tag "lower-bound skips") sa.Placer.lower_bound_skips
+      sb.Placer.lower_bound_skips;
+    Alcotest.(check int) (tag "timing early exits")
+      sa.Placer.timing_early_exits sb.Placer.timing_early_exits;
     Alcotest.(check int) (tag "routing requests") sa.Placer.networks_routed
-      sb.Placer.networks_routed;
-    Alcotest.(check int)
-      (tag "hits + misses = requests")
       sb.Placer.networks_routed
-      (sb.Placer.route_cache_hits + sb.Placer.route_cache_misses)
+  | Placer.Unplaceable _, Placer.Unplaceable _ -> ()
+  | _ -> Alcotest.fail (tag "placeability disagrees")
 
 let options_for ~seed threshold =
   (* Alternate option profiles so the sweep exercises lookahead + fine
@@ -72,21 +116,39 @@ let test_engine_identical () =
     let threshold = Qcp_env.Random_env.interesting_threshold rng env in
     let circuit, _ = Qcp_circuit.Random_circuit.hidden_stages rng ~n in
     let options = options_for ~seed threshold in
-    match
+    let reference = Placer.place (reference_options options) env circuit in
+    let outcomes =
       List.map
         (fun (name, o) -> (name, Placer.place o env circuit))
         (variants options)
-    with
-    | (_, reference) :: others ->
-      List.iter (check_identical ~seed reference) others;
-      (* The reference variant never touches the cache. *)
-      (match reference with
-      | Placer.Placed p ->
-        Alcotest.(check int)
-          (Printf.sprintf "seed %d: cache-off has no hits" seed)
-          0 p.Placer.stats.Placer.route_cache_hits
-      | Placer.Unplaceable _ -> ())
-    | [] -> assert false
+    in
+    List.iter (check_identical ~seed reference) outcomes;
+    let outcome name = List.assoc name outcomes in
+    (* Memoization alone never changes the per-request counters... *)
+    check_counters ~seed "reference" reference "unbounded-cache-on"
+      (outcome "unbounded-cache-on");
+    (* ...and neither does memoization under bounded search. *)
+    check_counters ~seed "bounded-cache-off"
+      (outcome "bounded-cache-off")
+      "bounded-cache-on"
+      (outcome "bounded-cache-on");
+    (* The reference and unbounded variants never prune. *)
+    List.iter
+      (fun (name, o) ->
+        match o with
+        | Placer.Placed p ->
+          Alcotest.(check int)
+            (Printf.sprintf "seed %d, %s: no pruning when unbounded" seed name)
+            0 p.Placer.stats.Placer.candidates_pruned
+        | Placer.Unplaceable _ -> ())
+      (("reference", reference) :: [ ("unbounded-cache-on", outcome "unbounded-cache-on") ]);
+    (* The reference variant never touches the cache. *)
+    match reference with
+    | Placer.Placed p ->
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d: cache-off has no hits" seed)
+        0 p.Placer.stats.Placer.route_cache_hits
+    | Placer.Unplaceable _ -> ()
   done
 
 let test_cache_actually_hits () =
@@ -102,10 +164,28 @@ let test_cache_actually_hits () =
     Alcotest.(check int) "split sums" s.Placer.networks_routed
       (s.Placer.route_cache_hits + s.Placer.route_cache_misses)
 
+let test_bounded_actually_prunes () =
+  (* Same workload: with the defaults (bounded search on) a meaningful share
+     of candidate evaluations must be refuted before completing. *)
+  let env = Qcp_env.Molecules.trans_crotonic_acid in
+  let circuit = Qcp_circuit.Catalog.phase_estimation 4 in
+  match Placer.place (Options.default ~threshold:100.0) env circuit with
+  | Placer.Unplaceable msg -> Alcotest.fail msg
+  | Placer.Placed p ->
+    let s = p.Placer.stats in
+    Alcotest.(check bool) "prunes candidates" true
+      (s.Placer.candidates_pruned > 0);
+    Alcotest.(check bool) "timing sweeps abort" true
+      (s.Placer.timing_early_exits > 0);
+    Alcotest.(check bool) "lookahead skips bounds" true
+      (s.Placer.lower_bound_skips > 0)
+
 let suite =
   [
     Alcotest.test_case "engine variants identical over 50 seeds" `Quick
       test_engine_identical;
     Alcotest.test_case "route cache hits on table3 workload" `Quick
       test_cache_actually_hits;
+    Alcotest.test_case "bounded search prunes on table3 workload" `Quick
+      test_bounded_actually_prunes;
   ]
