@@ -110,6 +110,33 @@ let micro_tests () =
     | Qcp.Placer.Placed p -> Qcp.Placer.runtime p
     | Qcp.Placer.Unplaceable _ -> nan
   in
+  (* The task pool's dispatch cost in isolation: a parallel region over
+     trivial slots is all recruitment, index claiming and join. *)
+  let pool = Qcp_util.Task_pool.get () in
+  let pool_sink = Array.make 256 0 in
+  let pool_overhead_kernel () =
+    Qcp_util.Task_pool.parallel_for pool ~jobs:2
+      ~body:(fun ~worker:_ i -> pool_sink.(i) <- i)
+      256
+  in
+  (* The Table 3 placement with the candidate sweep fanned out over the
+     pool; compare against table3/place-phaseest-crotonic (jobs = 0). *)
+  let score_parallel_kernel () =
+    let options =
+      { (Qcp.Options.default ~threshold:100.0) with Qcp.Options.jobs = 4 }
+    in
+    match Qcp.Placer.place options crotonic phaseest with
+    | Qcp.Placer.Placed p -> Qcp.Placer.runtime p
+    | Qcp.Placer.Unplaceable _ -> nan
+  in
+  (* The batch placement path end to end: Tables 2-4 through
+     [Placer.place_batch] with a trimmed enumeration budget.  The jobs
+     value follows QCP_JOBS so the committed baseline stays sequential. *)
+  let tables234_kernel () =
+    Experiments.tables234 ~monomorphism_limit:24
+      ~jobs:(Qcp_util.Task_pool.env_jobs ())
+      ()
+  in
   Test.make_grouped ~name:"qcp"
     [
       Test.make ~name:"table1/timing-eval" (Staged.stage table1_kernel);
@@ -128,6 +155,9 @@ let micro_tests () =
         (Staged.stage (score_kernel ~cache:false));
       Test.make ~name:"kernel/lookahead-pruned" (Staged.stage lookahead_kernel);
       Test.make ~name:"kernel/fine-tune" (Staged.stage fine_tune_kernel);
+      Test.make ~name:"kernel/pool-overhead" (Staged.stage pool_overhead_kernel);
+      Test.make ~name:"kernel/score-parallel" (Staged.stage score_parallel_kernel);
+      Test.make ~name:"batch/tables234" (Staged.stage tables234_kernel);
     ]
 
 let json_escape name =

@@ -103,12 +103,23 @@ let threshold_arg =
 
 let options_term =
   let make threshold no_lookahead fine_tune no_override router no_cap
-      sequential limit commute balance no_cache no_bounded parallel
+      sequential limit commute balance no_cache no_bounded jobs parallel
       parallel_enum env =
     let threshold =
       match threshold with
       | Some th -> th
       | None -> Environment.min_threshold_connected env
+    in
+    (* --jobs wins; the deprecated --parallel/--parallel-enum aliases fall
+       back to the larger of the two; with neither, QCP_JOBS (the
+       Options.default initializer) decides. *)
+    let jobs =
+      match jobs with
+      | Some j -> j
+      | None -> (
+        match max parallel parallel_enum with
+        | 0 -> Qcp_util.Task_pool.env_jobs ()
+        | j -> j)
     in
     {
       (Qcp.Options.default ~threshold) with
@@ -125,8 +136,7 @@ let options_term =
       balance_boundaries = balance;
       score_cache = not no_cache;
       bounded_search = not no_bounded;
-      parallel_scoring = parallel;
-      parallel_enumeration = parallel_enum;
+      jobs;
     }
   in
   Term.(
@@ -175,19 +185,21 @@ let options_term =
                cutoffs and lookahead lower-bound skips).  Placements are \
                identical either way; this only exists for benchmarking.")
     $ Arg.(
+        value & opt (some int) None
+        & info [ "j"; "jobs" ] ~docv:"N" ~env:(Cmd.Env.info "QCP_JOBS")
+            ~doc:
+              "Run every parallel layer (candidate scoring, monomorphism \
+               enumeration, subtree routing) on this many domains of the \
+               shared pool (0 or 1 = sequential).  Placements are identical \
+               at any value.  Defaults to $(b,QCP_JOBS), else 0.")
+    $ Arg.(
         value & opt int 0
         & info [ "parallel" ] ~docv:"DOMAINS"
-            ~doc:
-              "Score independent placement candidates on this many domains \
-               (0 or 1 = sequential).  The chosen placement is identical to \
-               sequential scoring.")
+            ~doc:"Deprecated alias for $(b,--jobs).")
     $ Arg.(
         value & opt int 0
         & info [ "parallel-enum" ] ~docv:"DOMAINS"
-            ~doc:
-              "Fan the monomorphism enumeration over this many domains (0 \
-               or 1 = sequential).  The enumerated mapping list, and hence \
-               the placement, is identical to sequential enumeration."))
+            ~doc:"Deprecated alias for $(b,--jobs)."))
 
 (* ------------------------------------------------------------------ *)
 (* place                                                               *)
@@ -410,14 +422,18 @@ let gen_cmd =
 (* report                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let report_run target full =
+let report_run target full jobs =
   let module E = Qcp_report.Experiments in
+  let jobs =
+    match jobs with Some j -> j | None -> Qcp_util.Task_pool.env_jobs ()
+  in
   let text =
     match target with
     | "table1" -> E.table1 ()
-    | "table2" -> E.table2 ()
-    | "table3" -> E.table3 ()
-    | "table4" -> E.table4 ~full ()
+    | "table2" -> E.table2 ~jobs ()
+    | "table3" -> E.table3 ~jobs ()
+    | "table4" -> E.table4 ~full ~jobs ()
+    | "tables234" -> E.tables234 ~jobs ()
     | "figure1" -> E.figure1 ()
     | "figure2" -> E.figure2 ()
     | "figure3" -> E.figure3 ()
@@ -437,12 +453,23 @@ let report_cmd =
       value
       & pos 0 string "all"
       & info [] ~docv:"TARGET"
-          ~doc:"table1..table4, figure1..figure4, npc, ablation, fidelity or all.")
+          ~doc:
+            "table1..table4, tables234, figure1..figure4, npc, ablation, \
+             fidelity or all.")
   in
   let full =
     Arg.(value & flag & info [ "full" ] ~doc:"Full Table-4 sweep (N up to 1024).")
   in
-  let term = Term.(const report_run $ target $ full) in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N" ~env:(Cmd.Env.info "QCP_JOBS")
+          ~doc:
+            "Regenerate table placements concurrently on this many domains \
+             (tables 2-4).  The rendered tables are identical at any value.")
+  in
+  let term = Term.(const report_run $ target $ full $ jobs) in
   Cmd.v
     (Cmd.info "report" ~doc:"Regenerate the paper's tables and figures.")
     term

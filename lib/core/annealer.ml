@@ -1,12 +1,13 @@
 module Circuit = Qcp_circuit.Circuit
 module Environment = Qcp_env.Environment
 
-let solve ?(iterations = 20_000) ?(seed = 1) ?(start_temperature = 0.2)
-    ?(end_temperature = 0.001) ?model ?reuse_cap env circuit =
+(* One annealing run over an explicit generator state; [solve] and every
+   restart of [solve_restarts] share this loop, so restart results are the
+   same function of their RNG stream no matter which domain runs them. *)
+let anneal ~iterations ~start_temperature ~end_temperature ?model ?reuse_cap
+    env circuit rng =
   let n = Circuit.qubits circuit in
   let m = Environment.size env in
-  if n > m then invalid_arg "Annealer.solve: circuit larger than environment";
-  let rng = Qcp_util.Rng.create seed in
   let cost placement = Baselines.evaluate ?model ?reuse_cap env circuit ~placement in
   let current = Baselines.random_placement rng env circuit in
   let occupant = Array.make m (-1) in
@@ -55,3 +56,50 @@ let solve ?(iterations = 20_000) ?(seed = 1) ?(start_temperature = 0.2)
     temperature := Float.max (end_temperature *. scale) (!temperature *. cooling)
   done;
   (!best, !best_cost)
+
+let check_size env circuit name =
+  if Circuit.qubits circuit > Environment.size env then
+    invalid_arg (name ^ ": circuit larger than environment")
+
+let solve ?(iterations = 20_000) ?(seed = 1) ?(start_temperature = 0.2)
+    ?(end_temperature = 0.001) ?model ?reuse_cap env circuit =
+  check_size env circuit "Annealer.solve";
+  anneal ~iterations ~start_temperature ~end_temperature ?model ?reuse_cap env
+    circuit
+    (Qcp_util.Rng.create seed)
+
+let solve_restarts ?(restarts = 4) ?(jobs = 0) ?(iterations = 20_000)
+    ?(seed = 1) ?(start_temperature = 0.2) ?(end_temperature = 0.001) ?model
+    ?reuse_cap env circuit =
+  if restarts <= 0 then invalid_arg "Annealer.solve_restarts: restarts <= 0";
+  check_size env circuit "Annealer.solve_restarts";
+  (* Derive every restart's generator from the master stream *on the
+     caller, in restart order* — the streams (hence the results) are a pure
+     function of [seed] and [restarts], independent of which domain runs
+     which restart. *)
+  let master = Qcp_util.Rng.create seed in
+  let rngs = Array.make restarts master in
+  for i = 0 to restarts - 1 do
+    rngs.(i) <- Qcp_util.Rng.split master
+  done;
+  let slots = Array.make restarts None in
+  Qcp_util.Task_pool.parallel_for
+    (Qcp_util.Task_pool.get ())
+    ~jobs:(min jobs restarts)
+    ~body:(fun ~worker:_ i ->
+      slots.(i) <-
+        Some
+          (anneal ~iterations ~start_temperature ~end_temperature ?model
+             ?reuse_cap env circuit rngs.(i)))
+    restarts;
+  (* Earliest strict minimum over restart costs — the same tie-break as the
+     placer's candidate argmin, so the winner never depends on scheduling. *)
+  let best = ref None in
+  Array.iter
+    (fun slot ->
+      let ((_, cost) as result) = Option.get slot in
+      match !best with
+      | Some (_, best_cost) when cost >= best_cost -> ()
+      | _ -> best := Some result)
+    slots;
+  Option.get !best

@@ -13,8 +13,7 @@ type t = {
   balance_boundaries : bool;
   score_cache : bool;
   bounded_search : bool;
-  parallel_scoring : int;
-  parallel_enumeration : int;
+  jobs : int;
 }
 
 let default ~threshold =
@@ -31,8 +30,7 @@ let default ~threshold =
     balance_boundaries = false;
     score_cache = true;
     bounded_search = true;
-    parallel_scoring = 0;
-    parallel_enumeration = 0;
+    jobs = Qcp_util.Task_pool.env_jobs ();
   }
 
 let fast ~threshold =
@@ -49,6 +47,5 @@ let fast ~threshold =
     balance_boundaries = false;
     score_cache = true;
     bounded_search = true;
-    parallel_scoring = 0;
-    parallel_enumeration = 0;
+    jobs = Qcp_util.Task_pool.env_jobs ();
   }

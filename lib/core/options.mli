@@ -58,23 +58,19 @@ type t = {
           and ties still resolve to the earliest candidate.  On by
           default (CLI [--no-bounded-search] disables, for benchmarking
           and debugging). *)
-  parallel_scoring : int;
-      (** Fan independent candidate scorings across this many domains in
-          the greedy/lookahead candidate sweeps; [0] (the default) and [1]
-          score sequentially.  The chosen placement is bit-identical to
-          sequential scoring — ties still resolve to the earliest
-          candidate.  Worthwhile only when individual scorings are
-          expensive (large registers, deep lookahead); at the paper's
-          problem sizes domain spawn and minor-GC coordination outweigh the
-          parallelism, so the default stays sequential. *)
-  parallel_enumeration : int;
-      (** Fan the per-subcircuit monomorphism enumeration across this many
-          domains, partitioned by the first ordered pattern vertex's
-          candidate images; [0] (the default) and [1] enumerate
-          sequentially.  The merged list — mappings and their order — is
-          identical to sequential enumeration, so placements are unchanged.
-          Worthwhile only when [monomorphism_limit] is large and the
-          adjacency graph is dense enough for deep subtrees. *)
+  jobs : int;
+      (** Domain budget for every parallel layer of a placement run —
+          candidate-scoring sweeps, monomorphism enumeration fan-out and
+          bisection-router subtree routing all share the persistent
+          {!Qcp_util.Task_pool}; [0] (the baseline default) and [1] run
+          sequentially.  Placements are bit-identical at any [jobs] value:
+          sweeps keep the earliest-tie argmin, enumeration merges partition
+          results in candidate order, and subtree routes are pure value
+          combinations.  Replaces the former [parallel_scoring] and
+          [parallel_enumeration] fields (CLI [--parallel]/[--parallel-enum]
+          remain as deprecated aliases for [--jobs]).  [default] and [fast]
+          initialize this from the [QCP_JOBS] environment variable
+          ({!Qcp_util.Task_pool.env_jobs}), 0 when unset. *)
 }
 
 val default : threshold:float -> t

@@ -84,11 +84,12 @@ let route_network ctx perm =
      and its finished networks come from the cross-run per-graph registry;
      the weighted variant's channel choice also depends on the edge costs,
      so it keeps this run's private memo and route table. *)
+  let jobs = ctx.c_options.Options.jobs in
   let shared_bisect () =
     Score_cache.shared_route ctx.c_cache ctx.c_adjacency ~leaf_override
       ~route:(fun memo perm ->
-        Qcp_route.Bisect_router.route ~leaf_override ~memo ctx.c_adjacency
-          ~perm)
+        Qcp_route.Bisect_router.route ~leaf_override ~memo ~jobs
+          ctx.c_adjacency ~perm)
       perm
   in
   let per_run route = Score_cache.route ctx.c_cache perm ~route in
@@ -96,7 +97,7 @@ let route_network ctx perm =
     per_run (fun perm ->
         Qcp_route.Bisect_router.route ~leaf_override
           ?memo:(Score_cache.shared_bisect_memo ctx.c_cache ctx.c_adjacency)
-          ctx.c_adjacency ~perm)
+          ~jobs ctx.c_adjacency ~perm)
   in
   match ctx.c_options.Options.router with
   | Options.Bisect -> (
@@ -107,7 +108,8 @@ let route_network ctx perm =
     per_run (fun perm ->
         Qcp_route.Bisect_router.route ~leaf_override
           ~edge_cost:(fun u v -> Environment.coupling_delay ctx.c_env u v)
-          ?memo:(Score_cache.bisect_memo ctx.c_cache) ctx.c_adjacency ~perm)
+          ?memo:(Score_cache.bisect_memo ctx.c_cache) ~jobs ctx.c_adjacency
+          ~perm)
   | Options.Token ->
     per_run (fun perm -> Qcp_route.Token_router.route ctx.c_adjacency ~perm)
   | Options.Odd_even -> (
@@ -368,37 +370,30 @@ let rec incumbent_submit cell score =
   if bits < seen && not (Atomic.compare_and_set cell seen bits) then
     incumbent_submit cell score
 
+(* One timing scratch per domain: pool helpers are persistent, so each
+   lazily allocates a scratch on first sweep and reuses it for every
+   subsequent placement.  A domain runs one sweep slot at a time and each
+   slot's scratch use is self-contained, so sharing per-domain is safe. *)
+let domain_scratch = Domain.DLS.new_key Timing.make_scratch
+
 (* Evaluate [eval scratch i] for every slot, fanning the independent
-   evaluations across [Options.parallel_scoring] domains.  Work is handed
-   out through an atomic counter; each slot writes only its own cell, so
-   the result array is schedule-independent up to the monotonicity argument
-   in {!candidate_scores}. *)
+   evaluations across [Options.jobs] domains of the shared
+   {!Qcp_util.Task_pool}.  Each slot writes only its own cell, so the
+   result array is schedule-independent up to the monotonicity argument in
+   {!candidate_scores}. *)
 let sweep_scores ctx total eval =
-  let workers = min ctx.c_options.Options.parallel_scoring total in
+  let jobs = min ctx.c_options.Options.jobs total in
   let out = Array.make total infinity in
-  if workers <= 1 then
+  if jobs <= 1 then
     for i = 0 to total - 1 do
       out.(i) <- eval ctx.c_scratch i
     done
-  else begin
-    let next = Atomic.make 0 in
-    let work scratch =
-      let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < total then begin
-          out.(i) <- eval scratch i;
-          loop ()
-        end
-      in
-      loop ()
-    in
-    let helpers =
-      List.init (workers - 1) (fun _ ->
-          Domain.spawn (fun () -> work (Timing.make_scratch ())))
-    in
-    work ctx.c_scratch;
-    List.iter Domain.join helpers
-  end;
+  else
+    Qcp_util.Task_pool.parallel_for
+      (Qcp_util.Task_pool.get ())
+      ~jobs
+      ~body:(fun ~worker:_ i -> out.(i) <- eval (Domain.DLS.get domain_scratch) i)
+      total;
   out
 
 (* Score every candidate.  Under [Options.bounded_search] the evaluations
@@ -508,8 +503,7 @@ let enumerate_mappings ctx ~subcircuit =
   Score_cache.mappings ctx.c_cache subcircuit ~enumerate:(fun subcircuit ->
       let pattern = Score_cache.interaction_graph ctx.c_cache subcircuit in
       Monomorph.enumerate ~limit:ctx.c_options.Options.monomorphism_limit
-        ~domains:(max 1 ctx.c_options.Options.parallel_enumeration)
-        ~pattern ~target:ctx.c_adjacency ())
+        ~jobs:ctx.c_options.Options.jobs ~pattern ~target:ctx.c_adjacency ())
 
 let enumerate_candidates ctx ~prev ~subcircuit =
   List.map
@@ -961,6 +955,32 @@ let place options env circuit =
                   scoring_seconds = !(ctx.c_scoring_time);
                 };
             }))
+
+(* Jobs run as pool tasks, so their internal parallel layers (scoring
+   sweeps, enumeration, subtree routing) serialize via the pool's nested-use
+   guard; each job is exactly the sequential engine.  Cross-run state is
+   shared where PR 4 already made it thread-safe: jobs with equal
+   environment and threshold resolve to the same physical adjacency graph
+   ({!Environment.connected_adjacency}, mutex-protected) and therefore to
+   the same {!Score_cache} per-graph registry entry (mutex-protected route
+   tables and bisection memo). *)
+let place_batch ?(jobs = 0) specs =
+  let arr = Array.of_list specs in
+  let total = Array.length arr in
+  if jobs <= 1 || total <= 1 then
+    List.map (fun (options, env, circuit) -> place options env circuit) specs
+  else begin
+    let out = Array.make total None in
+    Qcp_util.Task_pool.parallel_for
+      (Qcp_util.Task_pool.get ())
+      ~jobs
+      ~body:(fun ~worker:_ i ->
+        let options, env, circuit = arr.(i) in
+        out.(i) <- Some (place options env circuit))
+      total;
+    Array.to_list
+      (Array.map (function Some o -> o | None -> assert false) out)
+  end
 
 let stage_circuits program =
   let m = Environment.size program.env in

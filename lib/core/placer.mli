@@ -74,6 +74,23 @@ type outcome =
 val place :
   Options.t -> Qcp_env.Environment.t -> Qcp_circuit.Circuit.t -> outcome
 
+val place_batch :
+  ?jobs:int ->
+  (Options.t * Qcp_env.Environment.t * Qcp_circuit.Circuit.t) list ->
+  outcome list
+(** [place_batch ~jobs specs] places every [(options, env, circuit)] job,
+    mapping the jobs over the shared {!Qcp_util.Task_pool} with at most
+    [jobs] domains ([0], the default, runs sequentially).  Outcomes are
+    returned in input order and are bit-identical to calling {!place} on
+    each spec in turn: concurrent jobs serialize their own inner parallel
+    layers through the pool's nested-use guard, and the only cross-job
+    state — the per-threshold adjacency memo and the per-graph route/memo
+    registry of {!Score_cache} — is mutex-protected and deterministic.
+    Jobs sharing an environment and threshold share one physical adjacency
+    graph and hence one cross-run route registry entry, so batch runs reuse
+    routed SWAP networks across jobs exactly like repeated sequential
+    {!place} calls do. *)
+
 val runtime : program -> float
 (** End-to-end runtime in delay units (1/10000 s), computed by replaying all
     stages through the timing model in the physical frame. *)

@@ -11,9 +11,11 @@ type t = {
          cap).  The graph depends only on [delay], which never changes, so
          entries stay valid for the record's lifetime; returning the same
          physical graph also lets downstream per-graph memos (the bisection
-         router's subset structure) survive across placement runs.  Updates
-         are unsynchronized: a racing reader either sees the entry or
-         recomputes an equal graph. *)
+         router's subset structure) survive across placement runs.  Guarded
+         by [adj_lock] so concurrent [Placer.place_batch] jobs agree on one
+         physical graph per threshold — that identity is what keys the
+         cross-run route registry they share. *)
+  adj_lock : Mutex.t;
 }
 
 let make ?t2 ~name ~nuclei ~delay () =
@@ -41,7 +43,7 @@ let make ?t2 ~name ~nuclei ~delay () =
       Array.copy arr
   in
   { env_name = name; nuclei = Array.copy nuclei; delay = Array.map Array.copy delay;
-    decoherence; adj_cache = [] }
+    decoherence; adj_cache = []; adj_lock = Mutex.create () }
 
 let of_couplings ?t2 ~name ~nuclei ~single ~couplings ?(default = Float.infinity) () =
   let m = Array.length nuclei in
@@ -145,15 +147,20 @@ let connected_adjacency_uncached t ~threshold =
 let adj_cache_cap = 4
 
 let connected_adjacency t ~threshold =
-  match
-    List.find_opt (fun (th, _) -> Float.equal th threshold) t.adj_cache
-  with
-  | Some (_, cached) -> cached
-  | None ->
-    let graph = connected_adjacency_uncached t ~threshold in
-    t.adj_cache <-
-      Qcp_util.Listx.take adj_cache_cap ((threshold, graph) :: t.adj_cache);
-    graph
+  (* The whole lookup-or-compute runs under the lock: the compute is cheap
+     (one BFS plus an MST closure on at most a few dozen nuclei) and
+     holding the lock across it guarantees every concurrent caller gets the
+     same physical graph, which downstream per-graph registries key on. *)
+  Mutex.protect t.adj_lock (fun () ->
+      match
+        List.find_opt (fun (th, _) -> Float.equal th threshold) t.adj_cache
+      with
+      | Some (_, cached) -> cached
+      | None ->
+        let graph = connected_adjacency_uncached t ~threshold in
+        t.adj_cache <-
+          Qcp_util.Listx.take adj_cache_cap ((threshold, graph) :: t.adj_cache);
+        graph)
 
 let min_threshold_connected t =
   let base = Graph.of_edges (size t) [] in

@@ -11,12 +11,14 @@ type t = {
   words : int; (* length of each mask *)
   degrees : int array; (* degrees.(v) = Array.length adj.(v) *)
   edge_list : (int * int) list; (* u < v, sorted, deduplicated *)
-  mutable nbr_degrees : int array array option;
+  nbr_degrees : int array array option Atomic.t;
       (* memoized neighbor-degree signatures (sorted descending), computed
-         on first demand; graphs are immutable so the memo never stales *)
-  mutable deg_suffix : int array option;
+         on first demand; graphs are immutable so the memo never stales.
+         Atomic so a table built on one domain publishes safely to others
+         (racing domains compute equal tables; last write wins) *)
+  deg_suffix : int array option Atomic.t;
       (* memoized degree suffix counts: deg_suffix.(d) = #vertices with
-         degree >= d, for d in [0, max_degree + 1] *)
+         degree >= d, for d in [0, max_degree + 1]; atomic as above *)
 }
 
 let word_bits = 63 (* per OCaml native int *)
@@ -146,8 +148,8 @@ let of_edges size pairs =
     words = max 1 (mask_words size);
     degrees = counts;
     edge_list;
-    nbr_degrees = None;
-    deg_suffix = None;
+    nbr_degrees = Atomic.make None;
+    deg_suffix = Atomic.make None;
   }
 
 let n t = t.size
@@ -176,7 +178,7 @@ let max_degree t =
   Array.fold_left (fun acc d -> max acc d) 0 t.degrees
 
 let neighbor_degrees t =
-  match t.nbr_degrees with
+  match Atomic.get t.nbr_degrees with
   | Some table -> table
   | None ->
     let table =
@@ -187,11 +189,11 @@ let neighbor_degrees t =
           s)
         t.adj
     in
-    t.nbr_degrees <- Some table;
+    Atomic.set t.nbr_degrees (Some table);
     table
 
 let degree_suffix t =
-  match t.deg_suffix with
+  match Atomic.get t.deg_suffix with
   | Some s -> s
   | None ->
     let maxd = max_degree t in
@@ -200,7 +202,7 @@ let degree_suffix t =
     for d = maxd - 1 downto 0 do
       s.(d) <- s.(d) + s.(d + 1)
     done;
-    t.deg_suffix <- Some s;
+    Atomic.set t.deg_suffix (Some s);
     s
 
 let mem_edge t u v =

@@ -259,53 +259,53 @@ let run_sequential e limit =
    with Limit_reached -> ());
   List.rev st.results
 
-(* Domain fan-out over the first ordered vertex's candidate images: each
-   domain owns a disjoint slice of first-vertex choices and enumerates its
-   subtrees completely (capped at [limit]); slot-per-candidate collection
-   plus an ascending merge reproduces the sequential result list exactly,
-   truncated to [limit]. *)
-let run_parallel e limit domains =
+(* Pool fan-out over the first ordered vertex's candidate images: each
+   first-vertex choice is one pool slot enumerated completely (capped at
+   [limit]); slot-per-candidate collection plus an ascending merge
+   reproduces the sequential result list exactly, truncated to [limit].
+   Search state is per participating worker — the pool guarantees a worker
+   id never runs two slots concurrently — allocated lazily on the worker's
+   first slot and reset between slots (a previous slot that hit the limit
+   left [mapping] and [used] mid-search). *)
+let run_parallel e limit jobs =
   let v0 = e.order.(0) in
   let firsts = ref [] in
   for c = e.nt - 1 downto 0 do
     if compatible e v0 c then firsts := c :: !firsts
   done;
   let firsts = Array.of_list !firsts in
-  let slots = Array.make (Array.length firsts) [] in
-  let next = Atomic.make 0 in
-  let work () =
-    let st = make_state e limit in
-    let rec loop () =
-      let i = Atomic.fetch_and_add next 1 in
-      if i < Array.length firsts then begin
-        let c = firsts.(i) in
-        (* Full reset: a previous slot that hit the limit left [mapping] and
-           [used] mid-search. *)
-        clear_state st;
-        st.mapping.(v0) <- c;
-        (try
-           if small e then extend_small e st 1 (1 lsl c)
-           else begin
-             Graph.mask_set st.used c;
-             extend e st 1
-           end
-         with Limit_reached -> ());
-        slots.(i) <- List.rev st.results;
-        loop ()
-      end
-    in
-    loop ()
-  in
-  let helpers =
-    List.init
-      (max 0 (min domains (Array.length firsts) - 1))
-      (fun _ -> Domain.spawn work)
-  in
-  work ();
-  List.iter Domain.join helpers;
+  let total = Array.length firsts in
+  let slots = Array.make total [] in
+  let jobs = min jobs total in
+  let states = Array.make (max 1 jobs) None in
+  Qcp_util.Task_pool.parallel_for
+    (Qcp_util.Task_pool.get ())
+    ~jobs
+    ~body:(fun ~worker i ->
+      let st =
+        match states.(worker) with
+        | Some st ->
+          clear_state st;
+          st
+        | None ->
+          let st = make_state e limit in
+          states.(worker) <- Some st;
+          st
+      in
+      let c = firsts.(i) in
+      st.mapping.(v0) <- c;
+      (try
+         if small e then extend_small e st 1 (1 lsl c)
+         else begin
+           Graph.mask_set st.used c;
+           extend e st 1
+         end
+       with Limit_reached -> ());
+      slots.(i) <- List.rev st.results)
+    total;
   Qcp_util.Listx.take limit (List.concat (Array.to_list slots))
 
-let enumerate ?(limit = 100) ?(domains = 1) ~pattern ~target () =
+let enumerate ?(limit = 100) ?(jobs = 1) ~pattern ~target () =
   if limit <= 0 then []
   else begin
     let order = ordering pattern in
@@ -313,8 +313,8 @@ let enumerate ?(limit = 100) ?(domains = 1) ~pattern ~target () =
     else if not (degree_sequence_ok pattern target) then []
     else begin
       let e = make_engine ~pattern ~target ~order in
-      if domains > 1 && limit > 1 && Array.length order > 0 then
-        run_parallel e limit domains
+      if jobs > 1 && limit > 1 && Array.length order > 0 then
+        run_parallel e limit jobs
       else run_sequential e limit
     end
   end

@@ -21,7 +21,7 @@
 
 val enumerate :
   ?limit:int ->
-  ?domains:int ->
+  ?jobs:int ->
   pattern:Graph.t ->
   target:Graph.t ->
   unit ->
@@ -30,10 +30,11 @@ val enumerate :
     vertex index to target vertex index, [-1] for isolated pattern vertices.
     Results are in deterministic search order.
 
-    [domains] (default 1) > 1 fans the search out over first-vertex choices
-    across that many OCaml domains; slices are merged back in first-image
-    order, so the result list is bit-identical to the sequential one.  Only
-    worthwhile when [limit] is large and subtrees are expensive. *)
+    [jobs] (default 1) > 1 fans the search out over first-vertex choices
+    across that many domains of the shared {!Qcp_util.Task_pool}; slices
+    are merged back in first-image order, so the result list is
+    bit-identical to the sequential one.  Only worthwhile when [limit] is
+    large and subtrees are expensive. *)
 
 val exists : pattern:Graph.t -> target:Graph.t -> bool
 (** Whether at least one monomorphism exists. *)

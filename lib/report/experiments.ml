@@ -73,7 +73,12 @@ let table2_rows =
     ("pseudo-cat state preparation", Catalog.cat_state 10, Molecules.histidine, Some 1000.0);
   ]
 
-let table2 () =
+(* Tables 2-4 run their placements through [Placer.place_batch]: the job
+   list is built in row order, mapped over the pool, and the rendering
+   consumes the outcomes in the same order — so the rendered text is
+   byte-identical at any [jobs] value (outcomes are bit-identical and the
+   formatting is order-preserving). *)
+let table2 ?(jobs = Qcp_util.Task_pool.env_jobs ()) () =
   let t =
     Text_table.create
       ~title:"Table 2: mapping experimentally constructed circuits into their environments"
@@ -82,15 +87,22 @@ let table2 () =
         "circuit runtime"; "search space size";
       ]
   in
-  List.iter
-    (fun (name, circuit, env, threshold) ->
-      let threshold =
-        match threshold with
-        | Some th -> th
-        | None -> Environment.min_threshold_connected env
-      in
+  let specs =
+    List.map
+      (fun (_, circuit, env, threshold) ->
+        let threshold =
+          match threshold with
+          | Some th -> th
+          | None -> Environment.min_threshold_connected env
+        in
+        (Options.default ~threshold, env, circuit))
+      table2_rows
+  in
+  let outcomes = Placer.place_batch ~jobs specs in
+  List.iter2
+    (fun (name, circuit, env, _) outcome ->
       let cell =
-        match Placer.place (Options.default ~threshold) env circuit with
+        match outcome with
         | Placer.Placed p -> fmt_sec (Placer.runtime_seconds p)
         | Placer.Unplaceable msg -> "N/A: " ^ msg
       in
@@ -105,7 +117,7 @@ let table2 () =
           Qcp_util.Bigdec.to_string
             (Environment.search_space env ~qubits:(Circuit.qubits circuit));
         ])
-    table2_rows;
+    table2_rows outcomes;
   Text_table.render t
 
 (* ------------------------------------------------------------------ *)
@@ -123,13 +135,49 @@ let table3_sections =
       [ "phaseest"; "qft6"; "aqft9"; "steane-x/z1"; "steane-x/z2"; "aqft12" ] );
   ]
 
-let table3 ?(monomorphism_limit = 100) () =
+let table3 ?(monomorphism_limit = 100) ?(jobs = Qcp_util.Task_pool.env_jobs ())
+    () =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf
     "Table 3: placement of potentially interesting circuits for different Thresholds\n\
      (cells: runtime (number of subcircuits); last column: whole-circuit placement, no SWAPs)\n\n";
+  (* Resolve the circuit names once, then batch every cell of every section
+     through one pool mapping before any rendering. *)
+  let sections =
+    List.map
+      (fun (env, circuit_names) ->
+        (env, List.filter_map
+                (fun name ->
+                  Option.map (fun c -> (name, c)) (Catalog.by_name name))
+                circuit_names))
+      table3_sections
+  in
+  let specs =
+    List.concat_map
+      (fun (env, rows) ->
+        List.concat_map
+          (fun (_, circuit) ->
+            List.map
+              (fun threshold ->
+                let options =
+                  { (Options.default ~threshold) with
+                    Options.monomorphism_limit }
+                in
+                (options, env, circuit))
+              thresholds)
+          rows)
+      sections
+  in
+  let outcomes = ref (Placer.place_batch ~jobs specs) in
+  let next_outcome () =
+    match !outcomes with
+    | [] -> assert false
+    | o :: rest ->
+      outcomes := rest;
+      o
+  in
   List.iter
-    (fun (env, circuit_names) ->
+    (fun (env, rows) ->
       let t =
         Text_table.create
           ~title:(Printf.sprintf "Placement with the %d-qubit %s molecule"
@@ -138,44 +186,38 @@ let table3 ?(monomorphism_limit = 100) () =
           @ [ "whole (no swaps)" ])
       in
       List.iter
-        (fun name ->
-          match Catalog.by_name name with
-          | None -> ()
-          | Some circuit ->
-            let cells =
-              List.map
-                (fun threshold ->
-                  let options =
-                    { (Options.default ~threshold) with
-                      Options.monomorphism_limit }
-                  in
-                  match Placer.place options env circuit with
-                  | Placer.Placed p ->
-                    Printf.sprintf "%.4f sec (%d)"
-                      (Placer.runtime_seconds p)
-                      (Placer.subcircuit_count p)
-                  | Placer.Unplaceable _ -> "N/A")
-                thresholds
-            in
-            let whole =
-              if Circuit.qubits circuit > Environment.size env then "N/A"
-              else begin
-                let _, cost = Baselines.whole_best ~reuse_cap:3.0 env circuit in
-                fmt_sec (seconds cost)
-              end
-            in
-            Text_table.add_row t ((name :: cells) @ [ whole ]))
-        circuit_names;
+        (fun (name, circuit) ->
+          let cells =
+            List.map
+              (fun _threshold ->
+                match next_outcome () with
+                | Placer.Placed p ->
+                  Printf.sprintf "%.4f sec (%d)"
+                    (Placer.runtime_seconds p)
+                    (Placer.subcircuit_count p)
+                | Placer.Unplaceable _ -> "N/A")
+              thresholds
+          in
+          let whole =
+            if Circuit.qubits circuit > Environment.size env then "N/A"
+            else begin
+              let _, cost = Baselines.whole_best ~reuse_cap:3.0 env circuit in
+              fmt_sec (seconds cost)
+            end
+          in
+          Text_table.add_row t ((name :: cells) @ [ whole ]))
+        rows;
       Buffer.add_string buf (Text_table.render t);
       Buffer.add_char buf '\n')
-    table3_sections;
+    sections;
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
 (* Table 4                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let table4 ?(full = false) ?(seed = 2007) () =
+let table4 ?(full = false) ?(seed = 2007) ?(jobs = Qcp_util.Task_pool.env_jobs ())
+    () =
   let sizes = if full then [ 8; 16; 32; 64; 128; 256; 512; 1024 ] else [ 8; 16; 32; 64; 128 ] in
   let t =
     Text_table.create
@@ -185,16 +227,36 @@ let table4 ?(full = false) ?(seed = 2007) () =
         "circuit runtime"; "software runtime"; "oracle calls";
       ]
   in
-  List.iter
-    (fun n ->
-      let rng = Qcp_util.Rng.create (seed + n) in
-      let circuit, stages = Qcp_circuit.Random_circuit.hidden_stages rng ~n in
-      let env = Environment.chain n in
+  (* Unlike Tables 2-3 this table reports per-row software wall time, so
+     rows go over the pool directly with the clock inside each job (under
+     [jobs] > 1 rows time-share cores, which is what a concurrent
+     regeneration costs).  Inputs are derived before the fan-out and rows
+     render in input order, so everything but the wall-clock column is
+     byte-identical at any [jobs]. *)
+  let rows =
+    List.map
+      (fun n ->
+        let rng = Qcp_util.Rng.create (seed + n) in
+        let circuit, stages = Qcp_circuit.Random_circuit.hidden_stages rng ~n in
+        (n, circuit, stages, Environment.chain n))
+      sizes
+  in
+  let rows = Array.of_list rows in
+  let results = Array.make (Array.length rows) None in
+  Qcp_util.Task_pool.parallel_for
+    (Qcp_util.Task_pool.get ())
+    ~jobs
+    ~body:(fun ~worker:_ i ->
+      let _, circuit, _, env = rows.(i) in
       let options = Options.fast ~threshold:50.0 in
       let t0 = Unix.gettimeofday () in
-      match Placer.place options env circuit with
-      | Placer.Placed p ->
-        let elapsed = Unix.gettimeofday () -. t0 in
+      let outcome = Placer.place options env circuit in
+      results.(i) <- Some (outcome, Unix.gettimeofday () -. t0))
+    (Array.length rows);
+  Array.iteri
+    (fun i (n, circuit, stages, _) ->
+      match Option.get results.(i) with
+      | Placer.Placed p, elapsed ->
         Text_table.add_row t
           [
             string_of_int n;
@@ -205,10 +267,16 @@ let table4 ?(full = false) ?(seed = 2007) () =
             Printf.sprintf "%.2f sec" elapsed;
             string_of_int p.Placer.stats.Placer.oracle_calls;
           ]
-      | Placer.Unplaceable msg ->
+      | Placer.Unplaceable msg, _ ->
         Text_table.add_row t [ string_of_int n; "N/A: " ^ msg ])
-    sizes;
+    rows;
   Text_table.render t
+
+(* One driver for the bench harness: Tables 2-4 back to back, sharing the
+   pool and the cross-run registries. *)
+let tables234 ?monomorphism_limit ?(jobs = Qcp_util.Task_pool.env_jobs ()) () =
+  String.concat "\n"
+    [ table2 ~jobs (); table3 ?monomorphism_limit ~jobs (); table4 ~jobs () ]
 
 (* ------------------------------------------------------------------ *)
 (* Figures                                                             *)

@@ -87,7 +87,11 @@ let compute_info g edge_cost vertices =
           si_order_b = by_dist dist_b sb;
         })
 
-let route ?(leaf_override = true) ?edge_cost ?memo g ~perm =
+(* Offloading a subtree pays one pool round-trip plus a fresh scratch
+   array; only worth it when the small half is big enough to hide that. *)
+let parallel_min_half = 8
+
+let route ?(leaf_override = true) ?edge_cost ?memo ?(jobs = 0) g ~perm =
   let n = Graph.n g in
   if Array.length perm <> n then
     invalid_arg "Bisect_router.route: permutation size mismatch";
@@ -132,7 +136,10 @@ let route ?(leaf_override = true) ?edge_cost ?memo g ~perm =
   let active_count = ref n in
   let prepass_levels = ref [] in
   (* Scratch "touched this level" marks, shared by the pre-pass and every
-     phase iteration: cleared with a fill instead of a fresh allocation. *)
+     phase iteration on the same task: cleared with a fill instead of a
+     fresh allocation.  A subtree offloaded to the pool gets its own array
+     ([phase] fills all [n] cells), so concurrent siblings never share
+     scratch. *)
   let used = Array.make n false in
   if leaf_override then begin
     let progress = ref true in
@@ -182,7 +189,7 @@ let route ?(leaf_override = true) ?edge_cost ?memo g ~perm =
      channel edge (u1, u2); within a half, misplaced tokens bubble toward the
      channel along BFS-tree parents, swapping only with correctly-sided
      tokens, closest-to-channel first. *)
-  let phase info =
+  let phase ~used info =
     let in_sa = info.si_in_a in
     let in_sb = info.si_in_b in
     let u1, u2 = info.si_channel in
@@ -234,7 +241,7 @@ let route ?(leaf_override = true) ?edge_cost ?memo g ~perm =
     | [], rest | rest, [] -> rest
     | a :: ra, b :: rb -> (a @ b) :: merge ra rb
   in
-  let rec solve vertices =
+  let rec solve ~used vertices =
     match vertices with
     | [] | [ _ ] -> []
     | [ a; b ] ->
@@ -249,13 +256,30 @@ let route ?(leaf_override = true) ?edge_cost ?memo g ~perm =
       | Unsplittable -> raise (Routing_failure "could not bisect a connected subgraph")
       | No_channel -> raise (Routing_failure "no channel edge between bisection halves")
       | Split info ->
-        let phase_levels = phase info in
-        let la = solve info.si_sa in
-        let lb = solve info.si_sb in
+        let phase_levels = phase ~used info in
+        (* After the phase, the halves are vertex-disjoint routing
+           instances: their [config] entries never alias and each recursion
+           swaps only within its own half, so they run as concurrent pool
+           tasks.  Levels are pure values and [merge] interleaves them
+           deterministically — the network is bit-identical to the
+           sequential recursion. *)
+        let la, lb =
+          if jobs > 1 && List.length info.si_sa >= parallel_min_half then
+            Qcp_util.Task_pool.both
+              (Qcp_util.Task_pool.get ())
+              ~jobs
+              (fun () -> solve ~used info.si_sa)
+              (fun () -> solve ~used:(Array.make n false) info.si_sb)
+          else begin
+            let la = solve ~used info.si_sa in
+            let lb = solve ~used info.si_sb in
+            (la, lb)
+          end
+        in
         phase_levels @ merge la lb)
   in
   let remaining = List.filter (fun v -> active.(v)) (Graph.vertices g) in
-  let main_levels = solve remaining in
+  let main_levels = solve ~used remaining in
   let network = List.rev_append !prepass_levels main_levels in
   assert (Array.for_all (fun v -> settled v) (Array.init n (fun v -> v)));
   (* ASAP re-levelization: sparse pre-pass and phase levels pack together. *)

@@ -33,6 +33,7 @@ val route :
   ?leaf_override:bool ->
   ?edge_cost:(int -> int -> float) ->
   ?memo:memo ->
+  ?jobs:int ->
   Qcp_graph.Graph.t ->
   perm:Perm.t ->
   Swap_network.t
@@ -41,6 +42,13 @@ val route :
     refinement the paper mentions ("modification ... that accounts for the
     actual costs of SWAPs is possible"): communication-channel edges are
     chosen to minimize it.
+
+    [jobs] (default 0 = sequential) > 1 routes the two halves of each
+    sufficiently large bisection as concurrent tasks on the shared
+    {!Qcp_util.Task_pool} — the recursion the paper itself notes runs "in
+    parallel".  The halves are vertex-disjoint, every phase level is a pure
+    value, and sibling levels are interleaved deterministically, so the
+    produced network is bit-identical to the sequential one at any [jobs].
     Raises [Invalid_argument] if the graph is disconnected or [perm] is not a
     permutation of the graph's vertices. *)
 

@@ -221,12 +221,12 @@ let test_parallel_matches_sequential () =
       (fun limit ->
         let sequential = Monomorph.enumerate ~limit ~pattern ~target () in
         List.iter
-          (fun domains ->
+          (fun jobs ->
             let parallel =
-              Monomorph.enumerate ~limit ~domains ~pattern ~target ()
+              Monomorph.enumerate ~limit ~jobs ~pattern ~target ()
             in
             Alcotest.check mapping_list
-              (Printf.sprintf "seed %d limit %d domains %d" seed limit domains)
+              (Printf.sprintf "seed %d limit %d jobs %d" seed limit jobs)
               sequential parallel)
           [ 2; 3 ])
       [ 2; 100 ]

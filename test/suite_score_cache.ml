@@ -1,21 +1,22 @@
-(* Property tests for the incremental scoring engine (Score_cache +
-   parallel candidate evaluation + bounded search): memoization, domain
-   fan-out and incumbent pruning are pure performance features, so every
-   placement decision -- the stage list, the end-to-end runtime, the swap
-   counts -- must be bit-identical with them on or off. *)
+(* Property tests for the incremental scoring engine (Score_cache + pool
+   fan-out + bounded search): memoization, parallel jobs and incumbent
+   pruning are pure performance features, so every placement decision --
+   the stage list, the end-to-end runtime, the swap counts -- must be
+   bit-identical with them on or off.  The same invariance is asserted for
+   the annealer's parallel restarts and for [Placer.place_batch]. *)
 
 module Placer = Qcp.Placer
 module Options = Qcp.Options
 module Environment = Qcp_env.Environment
 
 (* The reference configuration disables everything: no cache, no parallel
-   domains, no bounded search. *)
+   jobs, no bounded search.  [jobs] is pinned to 0 explicitly so the sweep
+   is the same under any ambient QCP_JOBS (the CI runs it at 0 and 2). *)
 let reference_options options =
   {
     options with
     Options.score_cache = false;
-    parallel_scoring = 0;
-    parallel_enumeration = 0;
+    jobs = 0;
     bounded_search = false;
   }
 
@@ -32,19 +33,14 @@ let variants options =
     ("bounded-cache-off", { base with Options.bounded_search = true });
     ( "bounded-cache-on",
       { base with Options.bounded_search = true; score_cache = true } );
-    ( "bounded-parallel",
+    ( "unbounded-jobs4",
+      { base with Options.score_cache = true; jobs = 4 } );
+    ( "bounded-jobs4",
       {
         base with
         Options.bounded_search = true;
         score_cache = true;
-        parallel_scoring = 4;
-      } );
-    ( "bounded-parallel-enum",
-      {
-        base with
-        Options.bounded_search = true;
-        score_cache = true;
-        parallel_enumeration = 3;
+        jobs = 4;
       } );
   ]
 
@@ -153,10 +149,16 @@ let test_engine_identical () =
 
 let test_cache_actually_hits () =
   (* On the Table 3 workload the lookahead sweep revisits permutations
-     constantly; the cache must absorb a substantial share of requests. *)
+     constantly; the cache must absorb a substantial share of requests.
+     [jobs] pinned to 0: hit/miss splits are schedule-dependent under
+     parallel sweeps. *)
   let env = Qcp_env.Molecules.trans_crotonic_acid in
   let circuit = Qcp_circuit.Catalog.phase_estimation 4 in
-  match Placer.place (Options.default ~threshold:100.0) env circuit with
+  match
+    Placer.place
+      { (Options.default ~threshold:100.0) with Options.jobs = 0 }
+      env circuit
+  with
   | Placer.Unplaceable msg -> Alcotest.fail msg
   | Placer.Placed p ->
     let s = p.Placer.stats in
@@ -166,10 +168,16 @@ let test_cache_actually_hits () =
 
 let test_bounded_actually_prunes () =
   (* Same workload: with the defaults (bounded search on) a meaningful share
-     of candidate evaluations must be refuted before completing. *)
+     of candidate evaluations must be refuted before completing.  [jobs]
+     pinned to 0: the exact pruned/early-exit counts are schedule-dependent
+     under parallel sweeps. *)
   let env = Qcp_env.Molecules.trans_crotonic_acid in
   let circuit = Qcp_circuit.Catalog.phase_estimation 4 in
-  match Placer.place (Options.default ~threshold:100.0) env circuit with
+  match
+    Placer.place
+      { (Options.default ~threshold:100.0) with Options.jobs = 0 }
+      env circuit
+  with
   | Placer.Unplaceable msg -> Alcotest.fail msg
   | Placer.Placed p ->
     let s = p.Placer.stats in
@@ -180,10 +188,73 @@ let test_bounded_actually_prunes () =
     Alcotest.(check bool) "lookahead skips bounds" true
       (s.Placer.lower_bound_skips > 0)
 
+(* The annealer's parallel restarts must be a pure function of the seed:
+   jobs=0 and jobs=4 anneal the same split streams, and the earliest-tie
+   winner is schedule-independent. *)
+let test_annealer_identical () =
+  for seed = 1 to 50 do
+    let rng = Qcp_util.Rng.create (900 + seed) in
+    let n = 4 + Qcp_util.Rng.int rng 4 in
+    let env = Qcp_env.Random_env.molecule rng ~n in
+    let circuit, _ = Qcp_circuit.Random_circuit.hidden_stages rng ~n in
+    let run jobs =
+      Qcp.Annealer.solve_restarts ~restarts:3 ~jobs ~iterations:200 ~seed env
+        circuit
+    in
+    let placement0, cost0 = run 0 in
+    let placement4, cost4 = run 4 in
+    Alcotest.(check (array int))
+      (Printf.sprintf "seed %d: same placement" seed)
+      placement0 placement4;
+    (* Exact float equality on purpose, as everywhere in this suite. *)
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: same cost" seed)
+      true (cost0 = cost4)
+  done
+
+(* [place_batch] outcomes must equal per-spec [place] calls, in order, at
+   any batch jobs value — including specs whose own [Options.jobs] exercise
+   the pool's nested-use guard under a parallel batch. *)
+let test_place_batch_identical () =
+  let specs =
+    List.concat_map
+      (fun seed ->
+        let rng = Qcp_util.Rng.create (7000 + seed) in
+        let n = 4 + Qcp_util.Rng.int rng 4 in
+        let env = Qcp_env.Random_env.molecule rng ~n in
+        let threshold = Qcp_env.Random_env.interesting_threshold rng env in
+        let circuit, _ = Qcp_circuit.Random_circuit.hidden_stages rng ~n in
+        let options = options_for ~seed threshold in
+        [
+          ({ options with Options.jobs = 0 }, env, circuit);
+          ({ options with Options.jobs = 2 }, env, circuit);
+        ])
+      [ 1; 2; 3; 4; 5; 6 ]
+  in
+  let sequential =
+    List.map (fun (o, e, c) -> Placer.place o e c) specs
+  in
+  List.iter
+    (fun batch_jobs ->
+      let batch = Placer.place_batch ~jobs:batch_jobs specs in
+      Alcotest.(check int)
+        (Printf.sprintf "jobs %d: one outcome per spec" batch_jobs)
+        (List.length specs) (List.length batch);
+      List.iteri
+        (fun i (reference, outcome) ->
+          check_identical ~seed:i reference
+            (Printf.sprintf "place_batch jobs %d, spec %d" batch_jobs i, outcome))
+        (List.combine sequential batch))
+    [ 0; 4 ]
+
 let suite =
   [
     Alcotest.test_case "engine variants identical over 50 seeds" `Quick
       test_engine_identical;
+    Alcotest.test_case "annealer restarts identical over 50 seeds" `Quick
+      test_annealer_identical;
+    Alcotest.test_case "place_batch equals sequential placements" `Quick
+      test_place_batch_identical;
     Alcotest.test_case "route cache hits on table3 workload" `Quick
       test_cache_actually_hits;
     Alcotest.test_case "bounded search prunes on table3 workload" `Quick

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "qcp"
     [
       ("util", Suite_util.suite);
+      ("task-pool", Suite_task_pool.suite);
       ("graph", Suite_graph.suite);
       ("monomorph", Suite_monomorph.suite);
       ("circuit", Suite_circuit.suite);
