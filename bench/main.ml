@@ -217,13 +217,25 @@ let run_micro ?(json = false) () =
       in
       Printf.printf "%-40s %16s\n" name pretty)
     rows;
-  if json then write_micro_json rows
+  if json then begin
+    write_micro_json rows;
+    (* Snapshot the process-global metrics registry beside the timings.
+       Aggregation is armed by QCP_METRICS=1 (off by default because the
+       instrumentation perturbs the timings being measured); without it
+       the snapshot only carries zeroed hot-path instruments. *)
+    let snapshot = Qcp_obs.Metrics.snapshot Qcp_obs.Metrics.global in
+    Qcp_obs.Export.write_metrics_file "BENCH_metrics.json" snapshot;
+    Printf.printf "wrote BENCH_metrics.json (%d instruments)\n"
+      (List.length snapshot)
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Dispatch                                                            *)
 (* ------------------------------------------------------------------ *)
 
 let () =
+  if Sys.getenv_opt "QCP_METRICS" <> None then
+    Qcp_obs.Metrics.set_enabled true;
   let args = Array.to_list Sys.argv |> List.tl in
   let full = List.mem "--full" args in
   let json = List.mem "--json" args in

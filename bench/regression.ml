@@ -1,6 +1,8 @@
 (* Compare two BENCH_micro.json files (flat {"kernel": ns_per_run} maps, as
    written by [main.exe micro --json]) and fail when any kernel present in
-   the baseline regressed by more than the given factor.
+   the baseline regressed by more than the given factor.  Prints a
+   dashboard: one baseline/current/ratio row per kernel plus a geomean /
+   worst-case summary line.
 
    Usage: regression.exe BASELINE.json CURRENT.json [FACTOR]
 
@@ -63,29 +65,61 @@ let () =
   in
   let baseline = parse_file baseline_path in
   let current = parse_file current_path in
+  let pretty ns =
+    if ns >= 1e9 then Printf.sprintf "%.3f s" (ns /. 1e9)
+    else if ns >= 1e6 then Printf.sprintf "%.3f ms" (ns /. 1e6)
+    else if ns >= 1e3 then Printf.sprintf "%.3f us" (ns /. 1e3)
+    else Printf.sprintf "%.0f ns" ns
+  in
+  Printf.printf "%-40s %12s %12s %8s  %s\n" "kernel" "baseline" "current"
+    "ratio" "status";
+  Printf.printf "%-40s %12s %12s %8s  %s\n" (String.make 40 '-')
+    (String.make 12 '-') (String.make 12 '-') (String.make 8 '-')
+    (String.make 9 '-');
   let failures = ref 0 in
+  let ratios = ref [] in
+  let worst = ref None in
   List.iter
     (fun (name, base_ns) ->
       match List.assoc_opt name current with
       | None ->
         incr failures;
-        Printf.printf "MISSING  %-40s baseline %.1f ns, absent from %s\n" name
-          base_ns current_path
+        Printf.printf "%-40s %12s %12s %8s  MISSING\n" name (pretty base_ns)
+          "-" "-"
       | Some ns ->
         let ratio = ns /. base_ns in
+        ratios := ratio :: !ratios;
+        (match !worst with
+        | Some (_, r) when r >= ratio -> ()
+        | _ -> worst := Some (name, ratio));
         let status = if ratio > factor then "REGRESSED" else "ok" in
         if ratio > factor then incr failures;
-        Printf.printf "%-9s %-40s %10.1f -> %10.1f ns (%.2fx, budget %.1fx)\n"
-          status name base_ns ns ratio factor)
+        Printf.printf "%-40s %12s %12s %7.2fx  %s\n" name (pretty base_ns)
+          (pretty ns) ratio status)
     baseline;
   List.iter
     (fun (name, ns) ->
       if List.assoc_opt name baseline = None then
-        Printf.printf "NEW       %-40s %10.1f ns (no baseline)\n" name ns)
+        Printf.printf "%-40s %12s %12s %8s  NEW\n" name "-" (pretty ns) "-")
     current;
+  let compared = List.length !ratios in
+  if compared > 0 then begin
+    let geomean =
+      exp (List.fold_left (fun acc r -> acc +. log r) 0.0 !ratios
+           /. float_of_int compared)
+    in
+    let worst_name, worst_ratio =
+      match !worst with Some nr -> nr | None -> assert false
+    in
+    Printf.printf
+      "\nsummary: %d kernel(s) compared, geomean %.2fx, worst %.2fx (%s), \
+       budget %.1fx\n"
+      compared geomean worst_ratio worst_name factor
+  end;
   if !failures > 0 then begin
-    Printf.printf "%d kernel(s) regressed beyond %.1fx\n" !failures factor;
+    Printf.printf "FAIL: %d kernel(s) regressed beyond %.1fx or went missing\n"
+      !failures factor;
     exit 1
   end
-  else Printf.printf "all %d baseline kernel(s) within %.1fx\n"
+  else Printf.printf "PASS: all %d baseline kernel(s) within %.1fx\n"
          (List.length baseline) factor

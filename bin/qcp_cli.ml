@@ -113,6 +113,9 @@ let options_term =
     (* --jobs wins; the deprecated --parallel/--parallel-enum aliases fall
        back to the larger of the two; with neither, QCP_JOBS (the
        Options.default initializer) decides. *)
+    if parallel > 0 then ignore (Qcp.Options.warn_deprecated "--parallel" : bool);
+    if parallel_enum > 0 then
+      ignore (Qcp.Options.warn_deprecated "--parallel-enum" : bool);
     let jobs =
       match jobs with
       | Some j -> j
@@ -205,8 +208,15 @@ let options_term =
 (* place                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let place_run env circuit options_of_env auto verbose =
+let place_run env circuit options_of_env auto verbose trace_file metrics_flag
+    metrics_json_file =
   let options = options_of_env env in
+  (* Enable the gated hot-path instruments (pool, monomorphism, router,
+     cache) before the run when any telemetry output was requested. *)
+  if metrics_flag || metrics_json_file <> None then
+    Qcp_obs.Metrics.set_enabled true;
+  if trace_file <> None then Qcp_obs.Trace.start ();
+  let t0 = Unix.gettimeofday () in
   let outcome =
     if auto then
       Qcp.Tuner.auto_place
@@ -214,6 +224,29 @@ let place_run env circuit options_of_env auto verbose =
         env circuit
     else Qcp.Placer.place options env circuit
   in
+  let wall = Unix.gettimeofday () -. t0 in
+  (match trace_file with
+  | None -> ()
+  | Some path ->
+    Qcp_obs.Trace.stop ();
+    let events = Qcp_obs.Trace.events () in
+    Qcp_obs.Export.write_trace_file path events;
+    Printf.printf
+      "trace      : %d spans -> %s (open in chrome://tracing or \
+       ui.perfetto.dev)\n"
+      (List.length events) path;
+    (let dropped = Qcp_obs.Trace.dropped () in
+     if dropped > 0 then
+       Printf.printf "trace      : %d spans dropped (ring overflow)\n" dropped);
+    print_string (Qcp_obs.Export.flame_summary ~wall events));
+  let metrics_snapshot () =
+    Qcp_obs.Metrics.snapshot Qcp_obs.Metrics.global
+  in
+  if metrics_flag then
+    Format.printf "%a" Qcp_obs.Export.pp_metrics (metrics_snapshot ());
+  (match metrics_json_file with
+  | None -> ()
+  | Some path -> Qcp_obs.Export.write_metrics_file path (metrics_snapshot ()));
   match outcome with
   | Qcp.Placer.Unplaceable msg ->
     Printf.printf "N/A: %s\n" msg;
@@ -272,11 +305,39 @@ let place_cmd =
       & info [ "auto-threshold" ]
           ~doc:"Sweep all meaningful thresholds and keep the fastest placement.")
   in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE" ~env:(Cmd.Env.info "QCP_TRACE")
+          ~doc:
+            "Record phase/router/pool spans and write them as Chrome \
+             trace-event JSON to $(docv) (open in chrome://tracing or \
+             ui.perfetto.dev); also prints a self-time summary.  Placements \
+             are identical with tracing on or off.")
+  in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Collect the full telemetry registry (search counters, cache \
+             hit rates, pool steals, refutation rules) and print it after \
+             placing.")
+  in
+  let metrics_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-json" ] ~docv:"FILE"
+          ~doc:"Like $(b,--metrics) but written to $(docv) as JSON.")
+  in
   let term =
     Term.(
-      const (fun env circuit options auto verbose ->
-          place_run env circuit options auto verbose)
-      $ env_arg $ circuit_arg $ options_term $ auto $ verbose)
+      const (fun env circuit options auto verbose trace metrics metrics_json ->
+          place_run env circuit options auto verbose trace metrics metrics_json)
+      $ env_arg $ circuit_arg $ options_term $ auto $ verbose $ trace $ metrics
+      $ metrics_json)
   in
   Cmd.v (Cmd.info "place" ~doc:"Place a circuit onto a physical environment.") term
 
@@ -422,18 +483,20 @@ let gen_cmd =
 (* report                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let report_run target full jobs =
+let report_run target full jobs phases =
   let module E = Qcp_report.Experiments in
+  (* The placer's phase clocks only run when telemetry is armed. *)
+  if phases then Qcp_obs.Metrics.set_enabled true;
   let jobs =
     match jobs with Some j -> j | None -> Qcp_util.Task_pool.env_jobs ()
   in
   let text =
     match target with
     | "table1" -> E.table1 ()
-    | "table2" -> E.table2 ~jobs ()
-    | "table3" -> E.table3 ~jobs ()
-    | "table4" -> E.table4 ~full ~jobs ()
-    | "tables234" -> E.tables234 ~jobs ()
+    | "table2" -> E.table2 ~jobs ~phases ()
+    | "table3" -> E.table3 ~jobs ~phases ()
+    | "table4" -> E.table4 ~full ~jobs ~phases ()
+    | "tables234" -> E.tables234 ~jobs ~phases ()
     | "figure1" -> E.figure1 ()
     | "figure2" -> E.figure2 ()
     | "figure3" -> E.figure3 ()
@@ -469,7 +532,16 @@ let report_cmd =
             "Regenerate table placements concurrently on this many domains \
              (tables 2-4).  The rendered tables are identical at any value.")
   in
-  let term = Term.(const report_run $ target $ full $ jobs) in
+  let phases =
+    Arg.(
+      value & flag
+      & info [ "phases" ]
+          ~doc:
+            "Append a per-row pipeline phase breakdown (wall seconds in \
+             split/enumerate/greedy/lookahead/fine-tune/route/balance) \
+             after tables 2-4.")
+  in
+  let term = Term.(const report_run $ target $ full $ jobs $ phases) in
   Cmd.v
     (Cmd.info "report" ~doc:"Regenerate the paper's tables and figures.")
     term

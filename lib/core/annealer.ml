@@ -1,11 +1,25 @@
 module Circuit = Qcp_circuit.Circuit
 module Environment = Qcp_env.Environment
+module Telemetry = Qcp_obs.Metrics
+
+let m_runs = Telemetry.counter Telemetry.global "annealer.runs"
+
+let m_iterations = Telemetry.counter Telemetry.global "annealer.iterations"
+
+let m_accepted = Telemetry.counter Telemetry.global "annealer.moves_accepted"
 
 (* One annealing run over an explicit generator state; [solve] and every
    restart of [solve_restarts] share this loop, so restart results are the
    same function of their RNG stream no matter which domain runs them. *)
 let anneal ~iterations ~start_temperature ~end_temperature ?model ?reuse_cap
     env circuit rng =
+  Qcp_obs.Trace.with_span ~cat:"anneal" "annealer/run" @@ fun () ->
+  let tele = Telemetry.enabled () in
+  if tele then begin
+    Telemetry.incr m_runs;
+    Telemetry.add m_iterations iterations
+  end;
+  let accepted = ref 0 in
   let n = Circuit.qubits circuit in
   let m = Environment.size env in
   let cost placement = Baselines.evaluate ?model ?reuse_cap env circuit ~placement in
@@ -39,6 +53,7 @@ let anneal ~iterations ~start_temperature ~end_temperature ?model ?reuse_cap
         || Qcp_util.Rng.float rng 1.0 < Float.exp (-.delta /. !temperature)
       in
       if accept then begin
+        if tele then incr accepted;
         current_cost := candidate_cost;
         if candidate_cost < !best_cost then begin
           best_cost := candidate_cost;
@@ -55,6 +70,7 @@ let anneal ~iterations ~start_temperature ~end_temperature ?model ?reuse_cap
     end;
     temperature := Float.max (end_temperature *. scale) (!temperature *. cooling)
   done;
+  if tele then Telemetry.add m_accepted !accepted;
   (!best, !best_cost)
 
 let check_size env circuit name =

@@ -81,3 +81,14 @@ val default : threshold:float -> t
 val fast : threshold:float -> t
 (** Cheap settings for large instances (Table 4 scale): greedy scoring,
     [monomorphism_limit = 8], one fine-tuning pass disabled. *)
+
+val deprecation_message : alias:string -> string
+(** The exact warning text emitted for a deprecated CLI alias (e.g.
+    ["--parallel"]), exposed so tests can pin it. *)
+
+val warn_deprecated : ?ppf:Format.formatter -> string -> bool
+(** [warn_deprecated alias] prints {!deprecation_message} to [ppf]
+    (default [Format.err_formatter]) the {e first} time it is called for
+    [alias] in this process and returns whether it printed.  Subsequent
+    calls for the same alias are silent — threshold sweeps and repeated
+    option construction must not repeat the warning. *)

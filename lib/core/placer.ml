@@ -32,15 +32,47 @@ type program = {
   adjacency : Graph.t;
   stages : stage list;
   stats : stats;
+  metrics : Qcp_obs.Metrics.snapshot;
 }
 
 type outcome = Placed of program | Unplaceable of string
 
 let units_per_second = 10000.0
 
-(* Internal context shared by the pipeline.  Scoring counters are atomic so
-   parallel candidate evaluation can share the ctx; the remaining refs are
-   only touched by sequential orchestration code. *)
+module Telemetry = Qcp_obs.Metrics
+
+(* Wall seconds per pipeline phase, accumulated by sequential orchestration
+   code only.  {!balance_boundaries} gives its trial pipelines a fresh
+   record so trial phases don't double-count against the real ones. *)
+type phase_times = {
+  ph_split : float ref;
+  ph_enumerate : float ref;
+  ph_greedy : float ref;
+  ph_lookahead : float ref;
+  ph_fine_tune : float ref;
+  ph_route : float ref;
+  ph_balance : float ref;
+}
+
+let make_phase_times () =
+  {
+    ph_split = ref 0.0;
+    ph_enumerate = ref 0.0;
+    ph_greedy = ref 0.0;
+    ph_lookahead = ref 0.0;
+    ph_fine_tune = ref 0.0;
+    ph_route = ref 0.0;
+    ph_balance = ref 0.0;
+  }
+
+(* Internal context shared by the pipeline.  Search counters live in a
+   per-run {!Qcp_obs.Metrics} registry (each handle is one atomic cell, so
+   parallel candidate evaluation shares them exactly like the plain atomics
+   they replaced); the remaining refs are only touched by sequential
+   orchestration code.  Per-run registries keep concurrent {!place_batch}
+   jobs from contaminating each other's {!stats}; every run's registry is
+   merged into {!Qcp_obs.Metrics.global} when the run finishes while
+   telemetry is armed. *)
 type ctx = {
   c_env : Environment.t;
   c_adjacency : Graph.t;
@@ -48,13 +80,15 @@ type ctx = {
   c_weights : Timing.weights;
   c_m : int; (* environment size *)
   c_n : int; (* circuit qubits *)
-  c_oracle : int ref;
-  c_enumerations : int ref;
-  c_scored : int Atomic.t;
-  c_pruned : int Atomic.t;
-  c_bound_skips : int Atomic.t;
-  c_early_exits : int Atomic.t;
-  c_routed : int Atomic.t;
+  c_metrics : Telemetry.t;
+  c_oracle : int ref; (* threaded into {!Workspace.split} *)
+  c_enumerations : Telemetry.counter;
+  c_scored : Telemetry.counter;
+  c_pruned : Telemetry.counter;
+  c_bound_skips : Telemetry.counter;
+  c_early_exits : Telemetry.counter;
+  c_routed : Telemetry.counter;
+  c_phases : phase_times;
   c_cache : Score_cache.t;
   c_scratch : Timing.scratch; (* main-domain scoring buffers *)
   c_scoring_time : float ref; (* wall seconds spent scoring candidates *)
@@ -69,6 +103,36 @@ type ctx = {
          least [d *. c_swap_step]. *)
 }
 
+(* The "per-run" registry is cached per domain and zeroed at the start of
+   every [place]: registry construction and handle interning cost more
+   than a micro placement's whole pipeline, while a reset is ~ten atomic
+   stores.  Safe because [place] runs to completion on its calling domain
+   and never re-enters — concurrent [place_batch] jobs run whole jobs on
+   distinct pool participants, and nested parallel regions serialize
+   inline rather than migrating work mid-run. *)
+type run_metrics = {
+  rm_registry : Telemetry.t;
+  rm_enumerations : Telemetry.counter;
+  rm_scored : Telemetry.counter;
+  rm_pruned : Telemetry.counter;
+  rm_bound_skips : Telemetry.counter;
+  rm_early_exits : Telemetry.counter;
+  rm_routed : Telemetry.counter;
+}
+
+let run_metrics_key =
+  Domain.DLS.new_key (fun () ->
+      let t = Telemetry.create () in
+      {
+        rm_registry = t;
+        rm_enumerations = Telemetry.counter t "placer.enumerations";
+        rm_scored = Telemetry.counter t "placer.candidates_scored";
+        rm_pruned = Telemetry.counter t "placer.candidates_pruned";
+        rm_bound_skips = Telemetry.counter t "placer.lower_bound_skips";
+        rm_early_exits = Telemetry.counter t "placer.timing_early_exits";
+        rm_routed = Telemetry.counter t "placer.networks_routed";
+      })
+
 (* Accumulate the wall time of a candidate-scoring section. *)
 let timed ctx f =
   let t0 = Unix.gettimeofday () in
@@ -76,8 +140,22 @@ let timed ctx f =
   ctx.c_scoring_time := !(ctx.c_scoring_time) +. (Unix.gettimeofday () -. t0);
   result
 
+(* Run one pipeline phase: a trace span when recording, wall time into
+   its accumulator when metrics or tracing are armed.  Only sequential
+   orchestration code runs phases, so the plain ref is safe; with
+   telemetry fully off the cost is two atomic loads and a branch — the
+   clock reads would otherwise dominate micro placements. *)
+let in_phase cell ~name f =
+  if Telemetry.enabled () || Qcp_obs.Trace.enabled () then begin
+    let t0 = Unix.gettimeofday () in
+    let result = Qcp_obs.Trace.with_span ~cat:"placer" name f in
+    cell := !cell +. (Unix.gettimeofday () -. t0);
+    result
+  end
+  else f ()
+
 let route_network ctx perm =
-  Atomic.incr ctx.c_routed;
+  Telemetry.incr ctx.c_routed;
   let leaf_override = ctx.c_options.Options.leaf_override in
   (* An unweighted bisection route is a pure function of the graph, the
      leaf-override flag and the permutation, so both its subset structure
@@ -218,7 +296,7 @@ let connecting_stage ctx ~prev placement =
    connecting SWAP stage, then the subcircuit.  Returns the network, the
    updated clock and the makespan. *)
 let score_candidate ctx ~phys_start ~prev ~subcircuit placement =
-  Atomic.incr ctx.c_scored;
+  Telemetry.incr ctx.c_scored;
   let entry = connecting_stage ctx ~prev placement in
   let after_swaps =
     match entry with
@@ -253,7 +331,7 @@ let score_candidate ctx ~phys_start ~prev ~subcircuit placement =
    is exact whenever it is [<= cutoff]. *)
 let score_makespan ?(cutoff = infinity) ?(prebound = true) ctx ~scratch
     ~phys_start ~prev ~subcircuit placement =
-  Atomic.incr ctx.c_scored;
+  Telemetry.incr ctx.c_scored;
   let model = ctx.c_options.Options.model in
   let reuse_cap = ctx.c_options.Options.reuse_cap in
   let place q = placement.(q) in
@@ -264,7 +342,7 @@ let score_makespan ?(cutoff = infinity) ?(prebound = true) ctx ~scratch
       ~place scratch circuit
   in
   let refute () =
-    Atomic.incr ctx.c_early_exits;
+    Telemetry.incr ctx.c_early_exits;
     infinity
   in
   let swap_free () =
@@ -414,7 +492,7 @@ let candidate_scores ?(cutoff = infinity) ctx score arr =
     let incumbent = incumbent_make cutoff in
     sweep_scores ctx total (fun scratch i ->
         let s = score scratch ~cutoff:(incumbent_get incumbent) arr.(i) in
-        if s = infinity then Atomic.incr ctx.c_pruned
+        if s = infinity then Telemetry.incr ctx.c_pruned
         else incumbent_submit incumbent s;
         s)
   end
@@ -499,7 +577,7 @@ let fine_tune ctx ~phys_start ~prev ~subcircuit placement =
   current
 
 let enumerate_mappings ctx ~subcircuit =
-  incr ctx.c_enumerations;
+  Telemetry.incr ctx.c_enumerations;
   Score_cache.mappings ctx.c_cache subcircuit ~enumerate:(fun subcircuit ->
       let pattern = Score_cache.interaction_graph ctx.c_cache subcircuit in
       Monomorph.enumerate ~limit:ctx.c_options.Options.monomorphism_limit
@@ -552,14 +630,14 @@ let pick_greedy ?(cutoff = infinity) ctx ~phys_start ~prev ~subcircuit
         let limit = incumbent_get incumbent in
         let s =
           if bounds.(i) > limit then begin
-            Atomic.incr ctx.c_bound_skips;
+            Telemetry.incr ctx.c_bound_skips;
             infinity
           end
           else
             score_makespan ~cutoff:limit ~prebound:false ctx ~scratch
               ~phys_start ~prev ~subcircuit arr.(i)
         in
-        if s = infinity then Atomic.incr ctx.c_pruned
+        if s = infinity then Telemetry.incr ctx.c_pruned
         else begin
           incumbent_submit incumbent s;
           (* A completed sweep leaves the exact finish clocks loaded
@@ -676,7 +754,7 @@ let pick_lookahead ?(cutoff = infinity) ctx ~phys_start ~prev ~subcircuit
         let limit = incumbent_get incumbent in
         let s =
           if bounds.(i) > limit then begin
-            Atomic.incr ctx.c_bound_skips;
+            Telemetry.incr ctx.c_bound_skips;
             infinity
           end
           else
@@ -684,7 +762,7 @@ let pick_lookahead ?(cutoff = infinity) ctx ~phys_start ~prev ~subcircuit
               ~stage1:bounds.(i) ~placement:arr.(i) ~next_subcircuit
               ~next_mappings
         in
-        if s = infinity then Atomic.incr ctx.c_pruned
+        if s = infinity then Telemetry.incr ctx.c_pruned
         else incumbent_submit incumbent s;
         scores.(i) <- s;
         s
@@ -714,70 +792,81 @@ let run_pipeline ?(cutoff = infinity) ctx subcircuits =
   (try
      for i = 0 to count - 1 do
        let subcircuit = subs.(i) in
-       let candidates = enumerate_candidates ctx ~prev:!prev ~subcircuit in
+       let candidates =
+         in_phase ctx.c_phases.ph_enumerate ~name:"placer/enumerate" (fun () ->
+             enumerate_candidates ctx ~prev:!prev ~subcircuit)
+       in
        let next_mappings =
          if options.Options.lookahead && i + 1 < count then
-           Some (enumerate_mappings ctx ~subcircuit:subs.(i + 1))
+           Some
+             (in_phase ctx.c_phases.ph_enumerate ~name:"placer/enumerate"
+                (fun () -> enumerate_mappings ctx ~subcircuit:subs.(i + 1)))
          else None
        in
        let chosen =
          timed ctx (fun () ->
              match next_mappings with
              | Some next_mappings ->
-               pick_lookahead ~cutoff ctx ~phys_start:!phys_start ~prev:!prev
-                 ~subcircuit ~next_subcircuit:subs.(i + 1) ~next_mappings
-                 candidates
+               in_phase ctx.c_phases.ph_lookahead ~name:"placer/lookahead"
+                 (fun () ->
+                   pick_lookahead ~cutoff ctx ~phys_start:!phys_start
+                     ~prev:!prev ~subcircuit ~next_subcircuit:subs.(i + 1)
+                     ~next_mappings candidates)
              | None ->
-               pick_greedy ~cutoff ctx ~phys_start:!phys_start ~prev:!prev
-                 ~subcircuit candidates)
+               in_phase ctx.c_phases.ph_greedy ~name:"placer/greedy" (fun () ->
+                   pick_greedy ~cutoff ctx ~phys_start:!phys_start ~prev:!prev
+                     ~subcircuit candidates))
        in
        match chosen with
        | None ->
          failure := Some "no monomorphism found for an alignable subcircuit";
          raise Exit
        | Some (placement, picked_finish) ->
+         (* Fine tuning optimizes the current stage only; under lookahead,
+            keep it only if it does not undo the two-stage choice.  The
+            baseline is judged exactly, then bounds the challenger: ties
+            keep the tuned candidate, and an aborted challenger is strictly
+            worse, so the decision matches the unbounded comparison. *)
+         let tune () =
+           let candidate =
+             fine_tune ctx ~phys_start:!phys_start ~prev:!prev ~subcircuit
+               placement
+           in
+           match next_mappings with
+           | Some next_mappings when candidate <> placement ->
+             let judge ?cutoff p =
+               deep_score ?cutoff ctx ~scratch:ctx.c_scratch
+                 ~phys_start:!phys_start ~prev:!prev ~subcircuit
+                 ~next_subcircuit:subs.(i + 1) ~next_mappings p
+             in
+             let baseline = judge placement in
+             if judge ~cutoff:baseline candidate <= baseline then candidate
+             else placement
+           | Some _ | None -> candidate
+         in
          let tuned =
            timed ctx (fun () ->
-               if options.Options.fine_tune_passes > 0 then begin
-                 let candidate =
-                   fine_tune ctx ~phys_start:!phys_start ~prev:!prev ~subcircuit
-                     placement
-                 in
-                 (* Fine tuning optimizes the current stage only; under
-                    lookahead, keep it only if it does not undo the two-stage
-                    choice.  The baseline is judged exactly, then bounds the
-                    challenger: ties keep the tuned candidate, and an
-                    aborted challenger is strictly worse, so the decision
-                    matches the unbounded comparison. *)
-                 match next_mappings with
-                 | Some next_mappings when candidate <> placement ->
-                   let judge ?cutoff p =
-                     deep_score ?cutoff ctx ~scratch:ctx.c_scratch
-                       ~phys_start:!phys_start ~prev:!prev ~subcircuit
-                       ~next_subcircuit:subs.(i + 1) ~next_mappings p
-                   in
-                   let baseline = judge placement in
-                   if judge ~cutoff:baseline candidate <= baseline then
-                     candidate
-                   else placement
-                 | Some _ | None -> candidate
-               end
+               if options.Options.fine_tune_passes > 0 then
+                 in_phase ctx.c_phases.ph_fine_tune ~name:"placer/fine-tune"
+                   tune
                else placement)
          in
          let network, finish, makespan =
            timed ctx (fun () ->
-               match picked_finish with
-               | Some finish when tuned = placement ->
-                 (* The pick already timed this exact placement: the saved
-                    clocks are bit-identical to a fresh replay, so only the
-                    connecting network is fetched (a route-cache hit). *)
-                 let entry = connecting_stage ctx ~prev:!prev tuned in
-                 ( Option.map (fun e -> e.Score_cache.network) entry,
-                   finish,
-                   Array.fold_left Float.max 0.0 finish )
-               | _ ->
-                 score_candidate ctx ~phys_start:!phys_start ~prev:!prev
-                   ~subcircuit tuned)
+               in_phase ctx.c_phases.ph_route ~name:"placer/route" (fun () ->
+                   match picked_finish with
+                   | Some finish when tuned = placement ->
+                     (* The pick already timed this exact placement: the
+                        saved clocks are bit-identical to a fresh replay, so
+                        only the connecting network is fetched (a
+                        route-cache hit). *)
+                     let entry = connecting_stage ctx ~prev:!prev tuned in
+                     ( Option.map (fun e -> e.Score_cache.network) entry,
+                       finish,
+                       Array.fold_left Float.max 0.0 finish )
+                   | _ ->
+                     score_candidate ctx ~phys_start:!phys_start ~prev:!prev
+                       ~subcircuit tuned))
          in
          if options.Options.bounded_search && makespan > cutoff then begin
            failure := Some "makespan exceeds the evaluation cutoff";
@@ -813,6 +902,10 @@ let balance_boundaries ctx subcircuits =
           Options.lookahead = false;
           fine_tune_passes = 0;
         };
+      (* Trial pipelines keep their own phase clocks: their time is the
+         balance phase's, not enumerate/greedy/route time of the real
+         pipeline.  Search counters intentionally stay shared. *)
+      c_phases = make_phase_times ();
     }
   in
   let evaluate ?cutoff subs =
@@ -872,7 +965,60 @@ let balance_boundaries ctx subcircuits =
   let subs = Array.of_list subcircuits in
   Array.to_list (refine subs (evaluate subs) 0 max_donations_per_boundary)
 
+(* Stamp the derived instruments into the per-run registry, snapshot it,
+   and merge it into the process-global registry so cross-run tooling
+   ([--metrics], bench snapshots) sees the accumulated totals.  The
+   {!stats} record is the thin compatibility view over the same registry
+   reads. *)
+let finalize_metrics ctx =
+  let t = ctx.c_metrics in
+  Telemetry.add (Telemetry.counter t "placer.oracle_calls") !(ctx.c_oracle);
+  Telemetry.add
+    (Telemetry.counter t "placer.route_cache.hits")
+    (Score_cache.hits ctx.c_cache);
+  Telemetry.add
+    (Telemetry.counter t "placer.route_cache.misses")
+    (Score_cache.misses ctx.c_cache);
+  Telemetry.set
+    (Telemetry.gauge t "placer.scoring.seconds")
+    !(ctx.c_scoring_time);
+  (* The phase clocks only tick while telemetry is armed (see [in_phase]);
+     with it off the gauges would all read 0, so skip registering them —
+     [phase_seconds] treats absent gauges as an empty breakdown. *)
+  if Telemetry.enabled () || Qcp_obs.Trace.enabled () then begin
+    let phase name cell = Telemetry.set (Telemetry.gauge t name) !cell in
+    let p = ctx.c_phases in
+    phase "placer.phase.split.seconds" p.ph_split;
+    phase "placer.phase.enumerate.seconds" p.ph_enumerate;
+    phase "placer.phase.greedy.seconds" p.ph_greedy;
+    phase "placer.phase.lookahead.seconds" p.ph_lookahead;
+    phase "placer.phase.fine_tune.seconds" p.ph_fine_tune;
+    phase "placer.phase.route.seconds" p.ph_route;
+    phase "placer.phase.balance.seconds" p.ph_balance
+  end;
+  let stats =
+    {
+      oracle_calls = !(ctx.c_oracle);
+      enumerations = Telemetry.count ctx.c_enumerations;
+      candidates_scored = Telemetry.count ctx.c_scored;
+      candidates_pruned = Telemetry.count ctx.c_pruned;
+      lower_bound_skips = Telemetry.count ctx.c_bound_skips;
+      timing_early_exits = Telemetry.count ctx.c_early_exits;
+      networks_routed = Telemetry.count ctx.c_routed;
+      route_cache_hits = Score_cache.hits ctx.c_cache;
+      route_cache_misses = Score_cache.misses ctx.c_cache;
+      scoring_seconds = !(ctx.c_scoring_time);
+    }
+  in
+  let snapshot = Telemetry.snapshot t in
+  (* Folding into the process-global registry costs a pass over the
+     global table under its lock, so it only happens when someone armed
+     telemetry and will actually read the aggregate. *)
+  if Telemetry.enabled () then Telemetry.merge_into t ~into:Telemetry.global;
+  (stats, snapshot)
+
 let place options env circuit =
+  Qcp_obs.Trace.with_span ~cat:"placer" "placer/place" @@ fun () ->
   let circuit =
     if options.Options.commute_prepass then
       Qcp_circuit.Transform.optimize_for_placement circuit
@@ -888,6 +1034,8 @@ let place options env circuit =
     | None ->
       Unplaceable "the Threshold disallows every interaction in the environment"
     | Some adjacency -> (
+      let rm = Domain.DLS.get run_metrics_key in
+      Telemetry.reset rm.rm_registry;
       let ctx =
         {
           c_env = env;
@@ -896,13 +1044,15 @@ let place options env circuit =
           c_weights = Environment.weights env;
           c_m = m;
           c_n = n;
+          c_metrics = rm.rm_registry;
           c_oracle = ref 0;
-          c_enumerations = ref 0;
-          c_scored = Atomic.make 0;
-          c_pruned = Atomic.make 0;
-          c_bound_skips = Atomic.make 0;
-          c_early_exits = Atomic.make 0;
-          c_routed = Atomic.make 0;
+          c_enumerations = rm.rm_enumerations;
+          c_scored = rm.rm_scored;
+          c_pruned = rm.rm_pruned;
+          c_bound_skips = rm.rm_bound_skips;
+          c_early_exits = rm.rm_early_exits;
+          c_routed = rm.rm_routed;
+          c_phases = make_phase_times ();
           c_cache =
             Score_cache.create ~enabled:options.Options.score_cache
               ~register:m ();
@@ -923,17 +1073,23 @@ let place options env circuit =
                infinity (Graph.edges adjacency));
         }
       in
-      match Workspace.split ~oracle_calls:ctx.c_oracle ~adjacency circuit with
+      match
+        in_phase ctx.c_phases.ph_split ~name:"placer/split" (fun () ->
+            Workspace.split ~oracle_calls:ctx.c_oracle ~adjacency circuit)
+      with
       | Error msg -> Unplaceable msg
       | Ok subcircuits -> (
         let subcircuits =
           if options.Options.balance_boundaries && List.length subcircuits > 1
-          then balance_boundaries ctx subcircuits
+          then
+            in_phase ctx.c_phases.ph_balance ~name:"placer/balance" (fun () ->
+                balance_boundaries ctx subcircuits)
           else subcircuits
         in
         match run_pipeline ctx subcircuits with
         | Error msg -> Unplaceable msg
         | Ok (stage_list, _) ->
+          let stats, snapshot = finalize_metrics ctx in
           Placed
             {
               env;
@@ -941,19 +1097,8 @@ let place options env circuit =
               options;
               adjacency;
               stages = stage_list;
-              stats =
-                {
-                  oracle_calls = !(ctx.c_oracle);
-                  enumerations = !(ctx.c_enumerations);
-                  candidates_scored = Atomic.get ctx.c_scored;
-                  candidates_pruned = Atomic.get ctx.c_pruned;
-                  lower_bound_skips = Atomic.get ctx.c_bound_skips;
-                  timing_early_exits = Atomic.get ctx.c_early_exits;
-                  networks_routed = Atomic.get ctx.c_routed;
-                  route_cache_hits = Score_cache.hits ctx.c_cache;
-                  route_cache_misses = Score_cache.misses ctx.c_cache;
-                  scoring_seconds = !(ctx.c_scoring_time);
-                };
+              stats;
+              metrics = snapshot;
             }))
 
 (* Jobs run as pool tasks, so their internal parallel layers (scoring
@@ -1038,6 +1183,36 @@ let to_physical_circuit program =
   List.fold_left Circuit.append
     (Circuit.make ~qubits:m [])
     (stage_circuits program)
+
+let metrics program = program.metrics
+
+(* The phase gauges of {!finalize_metrics}, by bare phase name. *)
+let phase_seconds program =
+  let prefix = "placer.phase." and suffix = ".seconds" in
+  List.filter_map
+    (fun (name, value) ->
+      match value with
+      | Qcp_obs.Metrics.Gauge seconds
+        when String.starts_with ~prefix name
+             && String.ends_with ~suffix name ->
+        let base =
+          String.sub name (String.length prefix)
+            (String.length name - String.length prefix - String.length suffix)
+        in
+        Some (base, seconds)
+      | _ -> None)
+    program.metrics
+
+let pp_json ppf s =
+  Format.fprintf ppf
+    "{\"oracle_calls\": %d, \"enumerations\": %d, \"candidates_scored\": %d, \
+     \"candidates_pruned\": %d, \"lower_bound_skips\": %d, \
+     \"timing_early_exits\": %d, \"networks_routed\": %d, \
+     \"route_cache_hits\": %d, \"route_cache_misses\": %d, \
+     \"scoring_seconds\": %.6f}"
+    s.oracle_calls s.enumerations s.candidates_scored s.candidates_pruned
+    s.lower_bound_skips s.timing_early_exits s.networks_routed
+    s.route_cache_hits s.route_cache_misses s.scoring_seconds
 
 let pp ppf program =
   let env = program.env in

@@ -62,7 +62,13 @@ type program = {
       (** The (connected) fast-interaction graph actually used. *)
   stages : stage list;
   stats : stats;
-      (** Search-effort counters accumulated while placing. *)
+      (** Search-effort counters, a compatibility view over {!metrics}:
+          both read the same per-run {!Qcp_obs.Metrics} registry. *)
+  metrics : Qcp_obs.Metrics.snapshot;
+      (** The run's full telemetry registry snapshot: every [stats] field
+          under a ["placer.*"] name, plus per-phase wall-second gauges
+          ([placer.phase.<split|enumerate|greedy|lookahead|fine_tune|route|balance>.seconds]).
+          Also merged into {!Qcp_obs.Metrics.global} when the run ends. *)
 }
 
 type outcome =
@@ -118,5 +124,19 @@ val to_physical_circuit : program -> Qcp_circuit.Circuit.t
     vertices (computation gates relabeled by their stage placements, SWAP
     stages inlined as SWAP gates). *)
 
+val metrics : program -> Qcp_obs.Metrics.snapshot
+(** The [metrics] field, for callers that prefer an accessor. *)
+
+val phase_seconds : program -> (string * float) list
+(** Wall seconds per pipeline phase, from the snapshot's phase gauges:
+    [("split", s); ("enumerate", s); ...] in snapshot (alphabetical)
+    order.  Trial pipelines run by boundary balancing count toward
+    ["balance"] only.  The phase clocks only run while
+    {!Qcp_obs.Metrics.enabled} or {!Qcp_obs.Trace.enabled} — with
+    telemetry off every gauge reads 0. *)
+
 val pp : Format.formatter -> program -> unit
 (** Human-readable stage listing with nucleus names. *)
+
+val pp_json : Format.formatter -> stats -> unit
+(** [stats] as one flat JSON object (stable key set, machine-readable). *)

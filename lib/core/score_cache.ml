@@ -54,6 +54,22 @@ let hits t = Atomic.get t.hits
 
 let misses t = Atomic.get t.misses
 
+(* The per-instance atomics above feed {!Placer.stats}; the process-global
+   registry additionally accumulates across runs when telemetry is on. *)
+module Telemetry = Qcp_obs.Metrics
+
+let m_hits = Telemetry.counter Telemetry.global "score_cache.hits"
+
+let m_misses = Telemetry.counter Telemetry.global "score_cache.misses"
+
+let count_hit t =
+  Atomic.incr t.hits;
+  if Telemetry.enabled () then Telemetry.incr m_hits
+
+let count_miss t =
+  Atomic.incr t.misses;
+  if Telemetry.enabled () then Telemetry.incr m_misses
+
 let bisect_memo t = if t.enabled then Some t.bisect_memo else None
 
 let entry_of t network =
@@ -116,10 +132,10 @@ let shared_route t graph ~leaf_override ~route perm =
       let table = if leaf_override then sh.sh_leaf else sh.sh_plain in
       match Mutex.protect sh.sh_lock (fun () -> Perm_tbl.find_opt table perm) with
       | Some entry ->
-        Atomic.incr t.hits;
+        count_hit t;
         Some entry
       | None ->
-        Atomic.incr t.misses;
+        count_miss t;
         (* Routing runs outside the lock, as in [route] above: concurrent
            racers compute the same deterministic entry. *)
         let entry = entry_of t (route sh.sh_memo perm) in
@@ -131,17 +147,17 @@ let shared_route t graph ~leaf_override ~route perm =
 
 let route t ~route perm =
   if not t.enabled then begin
-    Atomic.incr t.misses;
+    count_miss t;
     entry_of t (route perm)
   end
   else begin
     let cached = Mutex.protect t.lock (fun () -> Perm_tbl.find_opt t.routes perm) in
     match cached with
     | Some entry ->
-      Atomic.incr t.hits;
+      count_hit t;
       entry
     | None ->
-      Atomic.incr t.misses;
+      count_miss t;
       (* Routing runs outside the lock; concurrent scorers of the same perm
          may race to insert, but the router is deterministic so both compute
          the same entry. *)

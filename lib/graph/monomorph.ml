@@ -12,6 +12,22 @@
    list -- mappings and their order -- is unchanged; only dead branches are
    cut earlier, by degree-sequence and neighborhood-degree pruning. *)
 
+(* [Metrics] unqualified is this library's placement-quality module
+   (lib/graph/metrics.ml); telemetry goes through the alias. *)
+module Telemetry = Qcp_obs.Metrics
+
+let m_nodes = Telemetry.counter Telemetry.global "monomorph.nodes"
+
+let m_ref_degree = Telemetry.counter Telemetry.global "monomorph.refuted.degree"
+
+let m_ref_signature =
+  Telemetry.counter Telemetry.global "monomorph.refuted.signature"
+
+let m_ref_degseq =
+  Telemetry.counter Telemetry.global "monomorph.refuted.degree_sequence"
+
+let m_enumerations = Telemetry.counter Telemetry.global "monomorph.enumerations"
+
 (* Sort key shared by the ordering heuristics: degree descending, vertex id
    ascending -- the order a stable sort of an ascending list by degree
    produces, which is what the enumeration order contract is pinned to. *)
@@ -123,15 +139,22 @@ let make_engine ~pattern ~target ~order =
     sig_t = Graph.neighbor_degrees target;
   }
 
+(* Same predicate as before, restructured so each refutation can be
+   attributed to the rule that fired; the boolean result is unchanged. *)
 let compatible e v c =
-  e.deg_t.(c) >= e.deg_p.(v)
-  &&
-  let ps = e.sig_p.(v) and ts = e.sig_t.(c) in
-  let ok = ref true in
-  for i = 0 to Array.length ps - 1 do
-    if ps.(i) > ts.(i) then ok := false
-  done;
-  !ok
+  if e.deg_t.(c) < e.deg_p.(v) then begin
+    if Telemetry.enabled () then Telemetry.incr m_ref_degree;
+    false
+  end
+  else begin
+    let ps = e.sig_p.(v) and ts = e.sig_t.(c) in
+    let ok = ref true in
+    for i = 0 to Array.length ps - 1 do
+      if ps.(i) > ts.(i) then ok := false
+    done;
+    if (not !ok) && Telemetry.enabled () then Telemetry.incr m_ref_signature;
+    !ok
+  end
 
 (* Per-search mutable state; one per domain when fanning out.  The
    single-word search path tracks the used set as a plain int argument, so
@@ -181,6 +204,7 @@ let rec extend e st step =
   else begin
     let v = e.order.(step) in
     let try_candidate c =
+      if Telemetry.enabled () then Telemetry.incr m_nodes;
       st.mapping.(v) <- c;
       Graph.mask_set st.used c;
       extend e st (step + 1);
@@ -237,6 +261,7 @@ let rec extend_small e st step used =
         cand := !cand lxor b;
         let c = Graph.bit_index b in
         if compatible e v c then begin
+          if Telemetry.enabled () then Telemetry.incr m_nodes;
           st.mapping.(v) <- c;
           extend_small e st (step + 1) (used lor b);
           st.mapping.(v) <- -1
@@ -246,6 +271,7 @@ let rec extend_small e st step used =
     else
       for c = 0 to e.nt - 1 do
         if used land (1 lsl c) = 0 && compatible e v c then begin
+          if Telemetry.enabled () then Telemetry.incr m_nodes;
           st.mapping.(v) <- c;
           extend_small e st (step + 1) (used lor (1 lsl c));
           st.mapping.(v) <- -1
@@ -293,6 +319,7 @@ let run_parallel e limit jobs =
           st
       in
       let c = firsts.(i) in
+      if Telemetry.enabled () then Telemetry.incr m_nodes;
       st.mapping.(v0) <- c;
       (try
          if small e then extend_small e st 1 (1 lsl c)
@@ -308,15 +335,24 @@ let run_parallel e limit jobs =
 let enumerate ?(limit = 100) ?(jobs = 1) ~pattern ~target () =
   if limit <= 0 then []
   else begin
-    let order = ordering pattern in
-    if Graph.max_degree pattern > Graph.max_degree target then []
-    else if not (degree_sequence_ok pattern target) then []
-    else begin
-      let e = make_engine ~pattern ~target ~order in
-      if jobs > 1 && limit > 1 && Array.length order > 0 then
-        run_parallel e limit jobs
-      else run_sequential e limit
-    end
+    if Telemetry.enabled () then Telemetry.incr m_enumerations;
+    let run () =
+      let order = ordering pattern in
+      if
+        Graph.max_degree pattern > Graph.max_degree target
+        || not (degree_sequence_ok pattern target)
+      then begin
+        if Telemetry.enabled () then Telemetry.incr m_ref_degseq;
+        []
+      end
+      else begin
+        let e = make_engine ~pattern ~target ~order in
+        if jobs > 1 && limit > 1 && Array.length order > 0 then
+          run_parallel e limit jobs
+        else run_sequential e limit
+      end
+    in
+    Qcp_obs.Trace.with_span ~cat:"graph" "monomorph/enumerate" run
   end
 
 let exists ~pattern ~target = enumerate ~limit:1 ~pattern ~target () <> []

@@ -1,0 +1,156 @@
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* A JSON number that round-trips cleanly and never prints as "inf"/"nan"
+   (both invalid JSON). *)
+let json_float v =
+  if Float.is_nan v then "0"
+  else if v = Float.infinity then "1e308"
+  else if v = Float.neg_infinity then "-1e308"
+  else Printf.sprintf "%.6g" v
+
+let us seconds = seconds *. 1e6
+
+let trace_json buf events =
+  Buffer.add_string buf "{\"traceEvents\": [\n";
+  List.iteri
+    (fun i (ev : Trace.event) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", \"pid\": 1, \
+            \"tid\": %d, \"ts\": %.3f, \"dur\": %.3f, \"args\": {"
+           (json_escape ev.Trace.name)
+           (json_escape (if ev.Trace.cat = "" then "qcp" else ev.Trace.cat))
+           ev.Trace.tid (us ev.Trace.ts) (us ev.Trace.dur));
+      Buffer.add_string buf
+        (Printf.sprintf "\"self_us\": %.3f" (us ev.Trace.self));
+      List.iter
+        (fun (k, v) ->
+          Buffer.add_string buf
+            (Printf.sprintf ", \"%s\": \"%s\"" (json_escape k) (json_escape v)))
+        ev.Trace.args;
+      Buffer.add_string buf "}}")
+    events;
+  Buffer.add_string buf "\n], \"displayTimeUnit\": \"ms\"}\n"
+
+let write_trace_file path events =
+  let buf = Buffer.create 65536 in
+  trace_json buf events;
+  let oc = open_out path in
+  Buffer.output_buffer oc buf;
+  close_out oc
+
+let pretty_seconds s =
+  if s >= 1.0 then Printf.sprintf "%.3f s" s
+  else if s >= 1e-3 then Printf.sprintf "%.3f ms" (s *. 1e3)
+  else Printf.sprintf "%.1f us" (s *. 1e6)
+
+let flame_summary ?wall events =
+  let table : (string, int ref * float ref * float ref) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  List.iter
+    (fun (ev : Trace.event) ->
+      let count, total, self =
+        match Hashtbl.find_opt table ev.Trace.name with
+        | Some row -> row
+        | None ->
+          let row = (ref 0, ref 0.0, ref 0.0) in
+          Hashtbl.add table ev.Trace.name row;
+          row
+      in
+      incr count;
+      total := !total +. ev.Trace.dur;
+      self := !self +. ev.Trace.self)
+    events;
+  let rows =
+    Hashtbl.fold
+      (fun name (count, total, self) acc -> (name, !count, !total, !self) :: acc)
+      table []
+    |> List.sort (fun (na, _, _, sa) (nb, _, _, sb) ->
+           match Float.compare sb sa with
+           | 0 -> String.compare na nb
+           | c -> c)
+  in
+  let traced = List.fold_left (fun acc (_, _, _, s) -> acc +. s) 0.0 rows in
+  let wall = match wall with Some w when w > 0.0 -> w | _ -> traced in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-28s %8s %12s %12s %7s\n" "span" "count" "total" "self"
+       "self%");
+  Buffer.add_string buf
+    (Printf.sprintf "%-28s %8s %12s %12s %7s\n" (String.make 28 '-')
+       (String.make 8 '-') (String.make 12 '-') (String.make 12 '-')
+       (String.make 7 '-'));
+  List.iter
+    (fun (name, count, total, self) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-28s %8d %12s %12s %6.1f%%\n" name count
+           (pretty_seconds total) (pretty_seconds self)
+           (100.0 *. self /. Float.max wall 1e-12)))
+    rows;
+  Buffer.add_string buf
+    (Printf.sprintf "traced self time: %s over %s wall (%.1f%%)\n"
+       (pretty_seconds traced) (pretty_seconds wall)
+       (100.0 *. traced /. Float.max wall 1e-12));
+  Buffer.contents buf
+
+let bucket_label bounds i =
+  if i >= Array.length bounds then "inf"
+  else Printf.sprintf "le_%g" bounds.(i)
+
+let metrics_json buf (snap : Metrics.snapshot) =
+  Buffer.add_string buf "{\n";
+  List.iteri
+    (fun i (name, value) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf (Printf.sprintf "  \"%s\": " (json_escape name));
+      match value with
+      | Metrics.Counter n -> Buffer.add_string buf (string_of_int n)
+      | Metrics.Gauge v -> Buffer.add_string buf (json_float v)
+      | Metrics.Histogram { bounds; counts; sum; count } ->
+        Buffer.add_string buf "{\"buckets\": {";
+        Array.iteri
+          (fun b n ->
+            if b > 0 then Buffer.add_string buf ", ";
+            Buffer.add_string buf
+              (Printf.sprintf "\"%s\": %d" (bucket_label bounds b) n))
+          counts;
+        Buffer.add_string buf
+          (Printf.sprintf "}, \"sum\": %s, \"count\": %d}" (json_float sum)
+             count))
+    snap;
+  Buffer.add_string buf "\n}\n"
+
+let write_metrics_file path snap =
+  let buf = Buffer.create 4096 in
+  metrics_json buf snap;
+  let oc = open_out path in
+  Buffer.output_buffer oc buf;
+  close_out oc
+
+let pp_metrics ppf (snap : Metrics.snapshot) =
+  List.iter
+    (fun (name, value) ->
+      match value with
+      | Metrics.Counter n -> Format.fprintf ppf "%-44s %12d@." name n
+      | Metrics.Gauge v -> Format.fprintf ppf "%-44s %12.6g@." name v
+      | Metrics.Histogram { sum; count; _ } ->
+        Format.fprintf ppf "%-44s count %d, sum %.6g, mean %.6g@." name count
+          sum
+          (if count = 0 then 0.0 else sum /. float_of_int count))
+    snap

@@ -1,0 +1,30 @@
+(** Exporters for {!Trace} events and {!Metrics} snapshots.
+
+    Trace output follows the Chrome [trace_event] JSON format (the
+    ["traceEvents"] object form), loadable in [chrome://tracing] and
+    {{:https://ui.perfetto.dev}Perfetto}: each span becomes one complete
+    ([ph = "X"]) event with microsecond timestamps and the recording
+    domain as its track ([tid]).  Everything is emitted with [Buffer] and
+    [Printf] — no JSON library dependency. *)
+
+val trace_json : Buffer.t -> Trace.event list -> unit
+(** Append [{"traceEvents": [...], "displayTimeUnit": "ms"}]. *)
+
+val write_trace_file : string -> Trace.event list -> unit
+(** {!trace_json} to a file (truncating). *)
+
+val flame_summary : ?wall:float -> Trace.event list -> string
+(** Text self-time profile: one row per span name with call count, total
+    and self time, sorted by self time descending.  [wall] (default: the
+    sum of self times, i.e. the traced time) is the denominator of the
+    percentage column. *)
+
+val metrics_json : Buffer.t -> Metrics.snapshot -> unit
+(** Append one JSON object: counters and gauges as numbers, histograms as
+    [{"buckets": {"le_<bound>": n, ..., "inf": n}, "sum": s, "count": c}]. *)
+
+val write_metrics_file : string -> Metrics.snapshot -> unit
+
+val pp_metrics : Format.formatter -> Metrics.snapshot -> unit
+(** Human-readable snapshot: one aligned [name value] row per instrument;
+    histograms print count, sum and mean. *)

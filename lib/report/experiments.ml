@@ -73,12 +73,37 @@ let table2_rows =
     ("pseudo-cat state preparation", Catalog.cat_state 10, Molecules.histidine, Some 1000.0);
   ]
 
+(* One "label: phase breakdown" line per placed row, from the program's
+   per-phase wall-second gauges. *)
+let pretty_phase_seconds s =
+  if s >= 1.0 then Printf.sprintf "%.2f s" s
+  else if s >= 1e-3 then Printf.sprintf "%.2f ms" (s *. 1e3)
+  else Printf.sprintf "%.0f us" (s *. 1e6)
+
+let phase_line label p =
+  let parts =
+    List.filter_map
+      (fun (name, s) ->
+        if s > 0.0 then Some (Printf.sprintf "%s %s" name (pretty_phase_seconds s))
+        else None)
+      (Placer.phase_seconds p)
+  in
+  Printf.sprintf "  %-42s %s\n" label
+    (if parts = [] then "-" else String.concat ", " parts)
+
+let phase_section buf pbuf =
+  if Buffer.length pbuf > 0 then begin
+    Buffer.add_string buf "phase seconds (wall, per row):\n";
+    Buffer.add_buffer buf pbuf;
+    Buffer.add_char buf '\n'
+  end
+
 (* Tables 2-4 run their placements through [Placer.place_batch]: the job
    list is built in row order, mapped over the pool, and the rendering
    consumes the outcomes in the same order — so the rendered text is
    byte-identical at any [jobs] value (outcomes are bit-identical and the
    formatting is order-preserving). *)
-let table2 ?(jobs = Qcp_util.Task_pool.env_jobs ()) () =
+let table2 ?(jobs = Qcp_util.Task_pool.env_jobs ()) ?(phases = false) () =
   let t =
     Text_table.create
       ~title:"Table 2: mapping experimentally constructed circuits into their environments"
@@ -99,11 +124,14 @@ let table2 ?(jobs = Qcp_util.Task_pool.env_jobs ()) () =
       table2_rows
   in
   let outcomes = Placer.place_batch ~jobs specs in
+  let pbuf = Buffer.create 256 in
   List.iter2
     (fun (name, circuit, env, _) outcome ->
       let cell =
         match outcome with
-        | Placer.Placed p -> fmt_sec (Placer.runtime_seconds p)
+        | Placer.Placed p ->
+          if phases then Buffer.add_string pbuf (phase_line name p);
+          fmt_sec (Placer.runtime_seconds p)
         | Placer.Unplaceable msg -> "N/A: " ^ msg
       in
       Text_table.add_row t
@@ -118,7 +146,10 @@ let table2 ?(jobs = Qcp_util.Task_pool.env_jobs ()) () =
             (Environment.search_space env ~qubits:(Circuit.qubits circuit));
         ])
     table2_rows outcomes;
-  Text_table.render t
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Text_table.render t);
+  phase_section buf pbuf;
+  Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
 (* Table 3                                                             *)
@@ -136,7 +167,7 @@ let table3_sections =
   ]
 
 let table3 ?(monomorphism_limit = 100) ?(jobs = Qcp_util.Task_pool.env_jobs ())
-    () =
+    ?(phases = false) () =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf
     "Table 3: placement of potentially interesting circuits for different Thresholds\n\
@@ -185,13 +216,19 @@ let table3 ?(monomorphism_limit = 100) ?(jobs = Qcp_util.Task_pool.env_jobs ())
           ("circuit" :: List.map (fun th -> Printf.sprintf "%g" th) thresholds
           @ [ "whole (no swaps)" ])
       in
+      let pbuf = Buffer.create 256 in
       List.iter
         (fun (name, circuit) ->
           let cells =
             List.map
-              (fun _threshold ->
+              (fun threshold ->
                 match next_outcome () with
                 | Placer.Placed p ->
+                  if phases then
+                    Buffer.add_string pbuf
+                      (phase_line
+                         (Printf.sprintf "%s @ %g" name threshold)
+                         p);
                   Printf.sprintf "%.4f sec (%d)"
                     (Placer.runtime_seconds p)
                     (Placer.subcircuit_count p)
@@ -208,7 +245,8 @@ let table3 ?(monomorphism_limit = 100) ?(jobs = Qcp_util.Task_pool.env_jobs ())
           Text_table.add_row t ((name :: cells) @ [ whole ]))
         rows;
       Buffer.add_string buf (Text_table.render t);
-      Buffer.add_char buf '\n')
+      Buffer.add_char buf '\n';
+      phase_section buf pbuf)
     sections;
   Buffer.contents buf
 
@@ -217,7 +255,7 @@ let table3 ?(monomorphism_limit = 100) ?(jobs = Qcp_util.Task_pool.env_jobs ())
 (* ------------------------------------------------------------------ *)
 
 let table4 ?(full = false) ?(seed = 2007) ?(jobs = Qcp_util.Task_pool.env_jobs ())
-    () =
+    ?(phases = false) () =
   let sizes = if full then [ 8; 16; 32; 64; 128; 256; 512; 1024 ] else [ 8; 16; 32; 64; 128 ] in
   let t =
     Text_table.create
@@ -253,10 +291,13 @@ let table4 ?(full = false) ?(seed = 2007) ?(jobs = Qcp_util.Task_pool.env_jobs (
       let outcome = Placer.place options env circuit in
       results.(i) <- Some (outcome, Unix.gettimeofday () -. t0))
     (Array.length rows);
+  let pbuf = Buffer.create 256 in
   Array.iteri
     (fun i (n, circuit, stages, _) ->
       match Option.get results.(i) with
       | Placer.Placed p, elapsed ->
+        if phases then
+          Buffer.add_string pbuf (phase_line (Printf.sprintf "chain %d" n) p);
         Text_table.add_row t
           [
             string_of_int n;
@@ -270,13 +311,21 @@ let table4 ?(full = false) ?(seed = 2007) ?(jobs = Qcp_util.Task_pool.env_jobs (
       | Placer.Unplaceable msg, _ ->
         Text_table.add_row t [ string_of_int n; "N/A: " ^ msg ])
     rows;
-  Text_table.render t
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Text_table.render t);
+  phase_section buf pbuf;
+  Buffer.contents buf
 
 (* One driver for the bench harness: Tables 2-4 back to back, sharing the
    pool and the cross-run registries. *)
-let tables234 ?monomorphism_limit ?(jobs = Qcp_util.Task_pool.env_jobs ()) () =
+let tables234 ?monomorphism_limit ?(jobs = Qcp_util.Task_pool.env_jobs ())
+    ?phases () =
   String.concat "\n"
-    [ table2 ~jobs (); table3 ?monomorphism_limit ~jobs (); table4 ~jobs () ]
+    [
+      table2 ~jobs ?phases ();
+      table3 ?monomorphism_limit ~jobs ?phases ();
+      table4 ~jobs ?phases ();
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Figures                                                             *)

@@ -91,7 +91,7 @@ let compute_info g edge_cost vertices =
    array; only worth it when the small half is big enough to hide that. *)
 let parallel_min_half = 8
 
-let route ?(leaf_override = true) ?edge_cost ?memo ?(jobs = 0) g ~perm =
+let route_impl ?(leaf_override = true) ?edge_cost ?memo ?(jobs = 0) g ~perm =
   let n = Graph.n g in
   if Array.length perm <> n then
     invalid_arg "Bisect_router.route: permutation size mismatch";
@@ -284,3 +284,12 @@ let route ?(leaf_override = true) ?edge_cost ?memo ?(jobs = 0) g ~perm =
   assert (Array.for_all (fun v -> settled v) (Array.init n (fun v -> v)));
   (* ASAP re-levelization: sparse pre-pass and phase levels pack together. *)
   Swap_network.compress network
+
+module Telemetry = Qcp_obs.Metrics
+
+let m_routes = Telemetry.counter Telemetry.global "router.routes"
+
+let route ?leaf_override ?edge_cost ?memo ?jobs g ~perm =
+  if Telemetry.enabled () then Telemetry.incr m_routes;
+  Qcp_obs.Trace.with_span ~cat:"route" "router/bisect" (fun () ->
+      route_impl ?leaf_override ?edge_cost ?memo ?jobs g ~perm)

@@ -15,7 +15,23 @@ type batch = {
   b_mutex : Mutex.t;
   b_cond : Condition.t;
   mutable b_finished : bool;
+  b_published : float; (* publish timestamp; 0.0 when telemetry is off *)
+  b_claimed : int Atomic.t; (* CAS gate: first helper claim records wait *)
 }
+
+(* Pool telemetry lands in the process-global registry; each site first
+   checks [Metrics.enabled] so the disabled path costs one atomic load. *)
+module Obs = Qcp_obs.Metrics
+
+let m_regions = Obs.counter Obs.global "pool.regions"
+
+let m_slots = Obs.counter Obs.global "pool.slots"
+
+let m_steals = Obs.counter Obs.global "pool.steals"
+
+let m_queue_wait = Obs.histogram Obs.global "pool.queue_wait.seconds"
+
+let m_region_seconds = Obs.histogram Obs.global "pool.region.seconds"
 
 type single = {
   s_claim : int Atomic.t; (* 0 = unclaimed, 1 = claimed *)
@@ -131,6 +147,10 @@ let rec helper_loop pool =
       end
       else begin
         Mutex.unlock pool.lock;
+        (* Dispatch latency: publish-to-first-helper-claim, recorded once
+           per region by whoever wins the CAS. *)
+        if b.b_published > 0.0 && Atomic.compare_and_set b.b_claimed 0 1 then
+          Obs.observe m_queue_wait (Unix.gettimeofday () -. b.b_published);
         with_inside (fun () -> run_batch b ~worker:w)
       end
     | Single s ->
@@ -190,6 +210,15 @@ let parallel_for pool ~jobs ~body total =
     sequential_for ~body total
   else begin
     ensure_helpers pool (min (jobs - 1) (total - 1));
+    let tele = Obs.enabled () in
+    let body =
+      if not tele then body
+      else fun ~worker i ->
+        Obs.incr m_slots;
+        if worker > 0 then Obs.incr m_steals;
+        body ~worker i
+    in
+    let published_at = if tele then Unix.gettimeofday () else 0.0 in
     let b =
       {
         b_body = body;
@@ -202,6 +231,8 @@ let parallel_for pool ~jobs ~body total =
         b_mutex = Mutex.create ();
         b_cond = Condition.create ();
         b_finished = false;
+        b_published = published_at;
+        b_claimed = Atomic.make 0;
       }
     in
     (* The caller claims participant id 0 before publishing, so it always
@@ -216,6 +247,10 @@ let parallel_for pool ~jobs ~body total =
       done;
       Mutex.unlock b.b_mutex;
       Mutex.protect pool.lock (fun () -> remove_item pool (Batch b))
+    end;
+    if tele then begin
+      Obs.incr m_regions;
+      Obs.observe m_region_seconds (Unix.gettimeofday () -. published_at)
     end;
     match Atomic.get b.b_error with Some exn -> raise exn | None -> ()
   end

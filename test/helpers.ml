@@ -9,6 +9,15 @@ let contains ~needle haystack =
   in
   nl = 0 || scan 0
 
+let substring_index haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec scan i =
+    if i + nl > hl then None
+    else if String.sub haystack i nl = needle then Some i
+    else scan (i + 1)
+  in
+  if nl = 0 then Some 0 else scan 0
+
 let check_close ?(eps = 1e-9) label expected actual =
   if Float.abs (expected -. actual) > eps then
     Alcotest.failf "%s: expected %.9g, got %.9g" label expected actual

@@ -17,6 +17,7 @@ let () =
       ("workspace", Suite_workspace.suite);
       ("placer", Suite_placer.suite);
       ("score-cache", Suite_score_cache.suite);
+      ("obs", Suite_obs.suite);
       ("baselines", Suite_baselines.suite);
       ("fidelity", Suite_fidelity.suite);
       ("schedule-metrics", Suite_schedule.suite);
