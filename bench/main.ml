@@ -137,6 +137,53 @@ let micro_tests () =
       ~jobs:(Qcp_util.Task_pool.env_jobs ())
       ()
   in
+  (* Scale kernels: the windowed + hierarchical path on instances far past
+     the classic pipeline's reach.  Environments, circuits and memoized
+     threshold adjacencies are all built here, outside the staged closures,
+     so the timed region measures placement — not generators. *)
+  let scale_threshold = 50.0 in
+  let grid1024_env = Qcp_env.Environment.grid 32 32 in
+  let grid1024_circuit =
+    let rng = Qcp_util.Rng.create 4242 in
+    Qcp_circuit.Random_circuit.hidden_stages_custom rng ~n:1024 ~stages:4
+      ~gates_per_stage:25_600
+  in
+  let heavyhex_env = Qcp_env.Environment.heavy_hex 16 16 in
+  let heavyhex_circuit =
+    let rng = Qcp_util.Rng.create 4243 in
+    Qcp_circuit.Random_circuit.hidden_stages_custom rng ~n:256 ~stages:4
+      ~gates_per_stage:4_096
+  in
+  let stream_env = Qcp_env.Environment.grid 16 16 in
+  let stream_circuit =
+    let rng = Qcp_util.Rng.create 4244 in
+    Qcp_circuit.Random_circuit.hidden_stages_custom rng ~n:256 ~stages:4
+      ~gates_per_stage:4_096
+  in
+  List.iter
+    (fun env ->
+      ignore
+        (Qcp_env.Environment.connected_adjacency env ~threshold:scale_threshold
+          : Qcp_graph.Graph.t option))
+    [ grid1024_env; heavyhex_env; stream_env ];
+  let stream_adjacency =
+    Qcp_env.Environment.adjacency stream_env ~threshold:scale_threshold
+  in
+  let scale_place env circuit () =
+    match
+      Qcp.Placer.place (Qcp.Options.scale ~threshold:scale_threshold) env circuit
+    with
+    | Qcp.Placer.Placed p -> Qcp.Placer.runtime p
+    | Qcp.Placer.Unplaceable _ -> nan
+  in
+  let scale_grid1024_kernel = scale_place grid1024_env grid1024_circuit in
+  let scale_heavyhex_kernel = scale_place heavyhex_env heavyhex_circuit in
+  (* The streaming splitter in isolation: no candidate enumeration, no
+     scoring — just the DAG pop/defer/close loop plus the witness oracle. *)
+  let scale_window_stream_kernel () =
+    Qcp.Workspace.split_windowed ~window:256 ~adjacency:stream_adjacency
+      stream_circuit
+  in
   Test.make_grouped ~name:"qcp"
     [
       Test.make ~name:"table1/timing-eval" (Staged.stage table1_kernel);
@@ -158,6 +205,10 @@ let micro_tests () =
       Test.make ~name:"kernel/pool-overhead" (Staged.stage pool_overhead_kernel);
       Test.make ~name:"kernel/score-parallel" (Staged.stage score_parallel_kernel);
       Test.make ~name:"batch/tables234" (Staged.stage tables234_kernel);
+      Test.make ~name:"scale/place-grid1024" (Staged.stage scale_grid1024_kernel);
+      Test.make ~name:"scale/place-heavyhex" (Staged.stage scale_heavyhex_kernel);
+      Test.make ~name:"scale/window-stream"
+        (Staged.stage scale_window_stream_kernel);
     ]
 
 let json_escape name =
@@ -229,6 +280,41 @@ let run_micro ?(json = false) () =
       (List.length snapshot)
   end
 
+(* One-shot wall-clock timings of the scale kernels, for sizing runs and
+   README numbers without waiting for Bechamel's sampling loop. *)
+let run_scale_once () =
+  let time name f =
+    let t0 = Unix.gettimeofday () in
+    let _ = f () in
+    Printf.printf "%-28s %8.2f s\n%!" name (Unix.gettimeofday () -. t0)
+  in
+  let scale_threshold = 50.0 in
+  let place ?(options = Qcp.Options.scale ~threshold:scale_threshold) env circuit
+      () =
+    match Qcp.Placer.place options env circuit with
+    | Qcp.Placer.Placed p -> Qcp.Placer.runtime p
+    | Qcp.Placer.Unplaceable _ -> nan
+  in
+  let grid_env = Qcp_env.Environment.grid 32 32 in
+  let grid_circuit =
+    let rng = Qcp_util.Rng.create 4242 in
+    Qcp_circuit.Random_circuit.hidden_stages_custom rng ~n:1024 ~stages:4
+      ~gates_per_stage:25_600
+  in
+  let heavyhex_env = Qcp_env.Environment.heavy_hex 16 16 in
+  let heavyhex_circuit =
+    let rng = Qcp_util.Rng.create 4243 in
+    Qcp_circuit.Random_circuit.hidden_stages_custom rng ~n:256 ~stages:4
+      ~gates_per_stage:4_096
+  in
+  time "scale/place-grid1024" (place grid_env grid_circuit);
+  time "scale/place-heavyhex" (place heavyhex_env heavyhex_circuit);
+  let adjacency =
+    Qcp_env.Environment.adjacency grid_env ~threshold:scale_threshold
+  in
+  time "scale/window-stream-grid1024" (fun () ->
+      Qcp.Workspace.split_windowed ~window:256 ~adjacency grid_circuit)
+
 (* ------------------------------------------------------------------ *)
 (* Dispatch                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -257,6 +343,9 @@ let () =
     | "micro" ->
       section "Microbenchmarks (Bechamel)" "";
       run_micro ~json ()
+    | "scale" ->
+      section "Scale kernels (single run, wall clock)" "";
+      run_scale_once ()
     | other ->
       Printf.eprintf
         "unknown target %S (expected table1..table4, figure1..figure4, npc, ablation, fidelity, micro)\n"

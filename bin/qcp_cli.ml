@@ -103,8 +103,8 @@ let threshold_arg =
 
 let options_term =
   let make threshold no_lookahead fine_tune no_override router no_cap
-      sequential limit commute balance no_cache no_bounded jobs parallel
-      parallel_enum env =
+      sequential limit commute balance no_cache no_bounded window coarsen
+      root_cap jobs parallel parallel_enum env =
     let threshold =
       match threshold with
       | Some th -> th
@@ -139,6 +139,9 @@ let options_term =
       balance_boundaries = balance;
       score_cache = not no_cache;
       bounded_search = not no_bounded;
+      window;
+      coarsen;
+      root_cap;
       jobs;
     }
   in
@@ -187,6 +190,28 @@ let options_term =
               "Disable incumbent pruning of candidate evaluations (timing \
                cutoffs and lookahead lower-bound skips).  Placements are \
                identical either way; this only exists for benchmarking.")
+    $ Arg.(
+        value & opt (some int) None
+        & info [ "window" ] ~docv:"GATES"
+            ~doc:
+              "Form subcircuits by streaming gates out of the dependency \
+               DAG with this deferral window instead of levelizing the \
+               whole circuit (scale mode for very deep circuits).")
+    $ Arg.(
+        value & flag
+        & info [ "coarsen" ]
+            ~doc:
+              "Hierarchical coarsen-place-refine on large environments: \
+               restrict monomorphism enumeration to regions selected \
+               through a heavy-edge-matching hierarchy and fine-tune \
+               locally.")
+    $ Arg.(
+        value & opt (some int) None
+        & info [ "root-cap" ] ~docv:"N"
+            ~doc:
+              "Cap the first-vertex candidate set of each monomorphism \
+               enumeration (sparse candidate generation on dense \
+               environments).")
     $ Arg.(
         value & opt (some int) None
         & info [ "j"; "jobs" ] ~docv:"N" ~env:(Cmd.Env.info "QCP_JOBS")

@@ -13,6 +13,9 @@ type t = {
   balance_boundaries : bool;
   score_cache : bool;
   bounded_search : bool;
+  window : int option;
+  coarsen : bool;
+  root_cap : int option;
   jobs : int;
 }
 
@@ -30,6 +33,9 @@ let default ~threshold =
     balance_boundaries = false;
     score_cache = true;
     bounded_search = true;
+    window = None;
+    coarsen = false;
+    root_cap = None;
     jobs = Qcp_util.Task_pool.env_jobs ();
   }
 
@@ -65,5 +71,16 @@ let fast ~threshold =
     balance_boundaries = false;
     score_cache = true;
     bounded_search = true;
+    window = None;
+    coarsen = false;
+    root_cap = None;
     jobs = Qcp_util.Task_pool.env_jobs ();
+  }
+
+let scale ~threshold =
+  {
+    (fast ~threshold) with
+    window = Some 64;
+    coarsen = true;
+    root_cap = Some 32;
   }

@@ -58,6 +58,33 @@ type t = {
           and ties still resolve to the earliest candidate.  On by
           default (CLI [--no-bounded-search] disables, for benchmarking
           and debugging). *)
+  window : int option;
+      (** [Some w]: form subcircuits by streaming gates out of the
+          dependency DAG with a bounded deferral window of [w] gates
+          ({!Workspace.split_windowed}) instead of levelizing the whole
+          circuit up front — O(window) workspace growth per subcircuit, so
+          memory stays flat on million-gate circuits.  Stage boundaries may
+          differ from the classic splitter's (the stream can slide
+          independent gates past a refused pair), but placements remain
+          semantically equivalent: emission order is a valid linearization
+          of the dependency DAG.  [None] (default): classic whole-circuit
+          splitting, bit-identical to previous releases. *)
+  coarsen : bool;
+      (** Hierarchical coarsen-place-refine on large environments: build a
+          heavy-edge-matching hierarchy of the fast-interaction graph
+          ({!Qcp_graph.Coarsen}), restrict each stage's monomorphism
+          enumeration to a small connected region selected through the
+          hierarchy (seeded near the previous stage's placement), and run
+          fine-tuning as local refinement over adjacency neighborhoods.
+          Falls back to the classic full-graph path whenever the region
+          search finds no mapping, so placement never gets worse than a
+          refused region.  Off by default; no effect on environments below
+          the hierarchy cutoff. *)
+  root_cap : int option;
+      (** Sparse candidate generation: cap the first-vertex candidate set
+          of each monomorphism enumeration at this many images, preferring
+          degree-similar targets ({!Qcp_graph.Monomorph.enumerate}).
+          [None] (default) enumerates uncapped. *)
   jobs : int;
       (** Domain budget for every parallel layer of a placement run —
           candidate-scoring sweeps, monomorphism enumeration fan-out and
@@ -81,6 +108,10 @@ val default : threshold:float -> t
 val fast : threshold:float -> t
 (** Cheap settings for large instances (Table 4 scale): greedy scoring,
     [monomorphism_limit = 8], one fine-tuning pass disabled. *)
+
+val scale : threshold:float -> t
+(** [fast] plus the scale-wall machinery for 1000-qubit environments:
+    [window = Some 64], [coarsen = true], [root_cap = Some 32]. *)
 
 val deprecation_message : alias:string -> string
 (** The exact warning text emitted for a deprecated CLI alias (e.g.

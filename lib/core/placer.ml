@@ -1,6 +1,7 @@
 module Graph = Qcp_graph.Graph
 module Paths = Qcp_graph.Paths
 module Monomorph = Qcp_graph.Monomorph
+module Coarsen = Qcp_graph.Coarsen
 module Circuit = Qcp_circuit.Circuit
 module Gate = Qcp_circuit.Gate
 module Timing = Qcp_circuit.Timing
@@ -101,6 +102,11 @@ type ctx = {
          swap gate while moving a token at most one edge, so a token
          displaced by graph distance [d] delays its destination clock by at
          least [d *. c_swap_step]. *)
+  c_hier : Coarsen.t option Lazy.t;
+      (* Coarsening hierarchy of the adjacency graph for the
+         coarsen-place-refine path; [None] when [Options.coarsen] is off,
+         the environment is below the hierarchy cutoff, or matching made
+         no progress.  Lazy so classic runs never pay for it. *)
 }
 
 (* The "per-run" registry is cached per domain and zeroed at the start of
@@ -511,10 +517,36 @@ let pick_best ?cutoff ctx score candidates =
     Array.iteri (fun i s -> if s < scores.(!best) then best := i) scores;
     Some (arr.(!best), None)
 
+(* ------------------------------------------------------------------ *)
+(* Hierarchical coarsen-place-refine                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Environments below this size place fine on the full graph; a hierarchy
+   would be all overhead. *)
+let coarsen_min_env = 24
+
+(* Above this many active qubits a stage's pattern approaches the region
+   size, where enumeration degenerates toward Hamiltonian-path search; the
+   splitter's witness embedding serves as the single candidate instead. *)
+let scale_enum_max_active = 64
+
+(* Power-of-two buckets for the scale histograms (window fill in gates,
+   region size in vertices, refinement moves). *)
+let scale_bounds =
+  [| 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128.; 256.; 512.; 1024.; 2048.; 4096.;
+     8192.; 16384.; 32768.; 65536. |]
+
+let observe_scale ctx name v =
+  Telemetry.observe
+    (Telemetry.histogram ~bounds:scale_bounds ctx.c_metrics name)
+    v
+
 (* Hill-climbing fine tuning (paper Section 5.1, "fine tuning"): move each
    interacting qubit to every vertex (swapping occupants when needed), keep
    changes that preserve fast-interaction alignment and reduce the stage
-   makespan. *)
+   makespan.  On the coarsen-place-refine path the probe set per qubit is
+   its current vertex's adjacency neighborhood instead of all [m] vertices
+   — local uncoarsening refinement, O(degree) instead of O(m) probes. *)
 let fine_tune ctx ~phys_start ~prev ~subcircuit placement =
   let pattern = Score_cache.interaction_graph ctx.c_cache subcircuit in
   let pattern_edges = Graph.edges pattern in
@@ -543,37 +575,49 @@ let fine_tune ctx ~phys_start ~prev ~subcircuit placement =
     Array.fill occupant_of 0 ctx.c_m (-1);
     Array.iteri (fun q v -> occupant_of.(v) <- q) current
   in
+  let local =
+    ctx.c_options.Options.coarsen && Lazy.force ctx.c_hier <> None
+  in
+  let moves = ref 0 in
   let passes = ctx.c_options.Options.fine_tune_passes in
   let rec pass remaining =
     if remaining <= 0 then ()
     else begin
       let improved = ref false in
+      let probe q v =
+        if v <> current.(q) then begin
+          Array.blit current 0 candidate 0 ctx.c_n;
+          (match occupant_of.(v) with
+          | -1 -> ()
+          | q' -> candidate.(q') <- current.(q));
+          candidate.(q) <- v;
+          if feasible candidate then begin
+            let s = score ~cutoff:!current_score candidate in
+            if s < !current_score -. 1e-12 then begin
+              Array.blit candidate 0 current 0 ctx.c_n;
+              current_score := s;
+              improved := true;
+              incr moves;
+              refresh_occupants ()
+            end
+          end
+        end
+      in
       List.iter
         (fun q ->
           refresh_occupants ();
-          for v = 0 to ctx.c_m - 1 do
-            if v <> current.(q) then begin
-              Array.blit current 0 candidate 0 ctx.c_n;
-              (match occupant_of.(v) with
-              | -1 -> ()
-              | q' -> candidate.(q') <- current.(q));
-              candidate.(q) <- v;
-              if feasible candidate then begin
-                let s = score ~cutoff:!current_score candidate in
-                if s < !current_score -. 1e-12 then begin
-                  Array.blit candidate 0 current 0 ctx.c_n;
-                  current_score := s;
-                  improved := true;
-                  refresh_occupants ()
-                end
-              end
-            end
-          done)
+          if local then
+            Array.iter (probe q) (Graph.neighbors ctx.c_adjacency current.(q))
+          else
+            for v = 0 to ctx.c_m - 1 do
+              probe q v
+            done)
         active;
       if !improved then pass (remaining - 1)
     end
   in
   pass passes;
+  if local then observe_scale ctx "placer.scale.refine_moves" (float_of_int !moves);
   current
 
 let enumerate_mappings ctx ~subcircuit =
@@ -581,12 +625,94 @@ let enumerate_mappings ctx ~subcircuit =
   Score_cache.mappings ctx.c_cache subcircuit ~enumerate:(fun subcircuit ->
       let pattern = Score_cache.interaction_graph ctx.c_cache subcircuit in
       Monomorph.enumerate ~limit:ctx.c_options.Options.monomorphism_limit
-        ~jobs:ctx.c_options.Options.jobs ~pattern ~target:ctx.c_adjacency ())
+        ~jobs:ctx.c_options.Options.jobs
+        ?root_cap:ctx.c_options.Options.root_cap ~pattern
+        ~target:ctx.c_adjacency ())
 
-let enumerate_candidates ctx ~prev ~subcircuit =
-  List.map
-    (complete_placement ctx ~prev ~subcircuit)
-    (enumerate_mappings ctx ~subcircuit)
+(* The splitter's witness embedding restricted to the stage's active
+   qubits, validated against the stage pattern (defensive: a stale or
+   foreign hint must never leak into scoring). *)
+let witness_mapping ctx ~subcircuit hint =
+  match hint with
+  | Some w when Array.length w = ctx.c_n ->
+    let pattern = Score_cache.interaction_graph ctx.c_cache subcircuit in
+    let mapping =
+      Array.init ctx.c_n (fun q ->
+          if Graph.degree pattern q > 0 then w.(q) else -1)
+    in
+    if Monomorph.check ~pattern ~target:ctx.c_adjacency mapping then
+      Some mapping
+    else None
+  | Some _ | None -> None
+
+(* Region-restricted candidate generation: select a small connected
+   environment region through the coarsening hierarchy — seeded at the
+   previous stage's images of this stage's active qubits, else at the
+   splitter witness — enumerate monomorphisms on the induced subgraph
+   only, and translate results back to environment vertices.  [None] means
+   "run the classic full-graph enumeration instead" (no hierarchy, no
+   active pairs, region too large to help, or region and witness both
+   refused), so this path can only ever narrow the search, never lose a
+   placeable stage. *)
+let scale_mappings ctx ~prev ~hint ~subcircuit =
+  match Lazy.force ctx.c_hier with
+  | None -> None
+  | Some hier ->
+    let pattern = Score_cache.interaction_graph ctx.c_cache subcircuit in
+    let active =
+      List.filter
+        (fun q -> Graph.degree pattern q > 0)
+        (Qcp_util.Listx.range ctx.c_n)
+    in
+    let nactive = List.length active in
+    if nactive = 0 then None
+    else if nactive > scale_enum_max_active then
+      Option.map (fun m -> [ m ]) (witness_mapping ctx ~subcircuit hint)
+    else begin
+      let target_size = max (4 * nactive) 16 in
+      if target_size >= ctx.c_m then None
+      else begin
+        let images = function
+          | None -> []
+          | Some source ->
+            List.filter_map
+              (fun q -> if source.(q) >= 0 then Some source.(q) else None)
+              active
+        in
+        let seeds =
+          match images prev with [] -> images hint | seeds -> seeds
+        in
+        let region =
+          Qcp_obs.Trace.with_span ~cat:"placer" "placer/coarse-region"
+            (fun () -> Coarsen.select_region hier ~seeds ~capacity:target_size)
+        in
+        observe_scale ctx "placer.scale.region_size"
+          (float_of_int (List.length region));
+        Telemetry.incr ctx.c_enumerations;
+        let sub, back = Graph.induced ctx.c_adjacency region in
+        let mapped =
+          Monomorph.enumerate ~limit:ctx.c_options.Options.monomorphism_limit
+            ~jobs:ctx.c_options.Options.jobs
+            ?root_cap:ctx.c_options.Options.root_cap ~pattern ~target:sub ()
+          |> List.map
+               (Array.map (fun v -> if v < 0 then -1 else back.(v)))
+        in
+        match mapped with
+        | [] ->
+          Option.map (fun m -> [ m ]) (witness_mapping ctx ~subcircuit hint)
+        | _ -> Some mapped
+      end
+    end
+
+let enumerate_candidates ?hint ctx ~prev ~subcircuit =
+  let mappings =
+    if ctx.c_options.Options.coarsen then
+      match scale_mappings ctx ~prev ~hint ~subcircuit with
+      | Some mappings -> mappings
+      | None -> enumerate_mappings ctx ~subcircuit
+    else enumerate_mappings ctx ~subcircuit
+  in
+  List.map (complete_placement ctx ~prev ~subcircuit) mappings
 
 (* Best single-stage candidate by makespan.  Bounded and routing needed
    (some previous placement exists): lower-bound-first search, mirroring
@@ -781,7 +907,7 @@ let pick_lookahead ?(cutoff = infinity) ctx ~phys_start ~prev ~subcircuit
    soon as the running makespan provably exceeds it: clocks are monotone
    across stages, so a stage makespan above the cutoff refutes the final
    one. *)
-let run_pipeline ?(cutoff = infinity) ctx subcircuits =
+let run_pipeline ?(cutoff = infinity) ?hints ctx subcircuits =
   let options = ctx.c_options in
   let subs = Array.of_list subcircuits in
   let count = Array.length subs in
@@ -792,9 +918,14 @@ let run_pipeline ?(cutoff = infinity) ctx subcircuits =
   (try
      for i = 0 to count - 1 do
        let subcircuit = subs.(i) in
+       let hint =
+         match hints with
+         | Some h when i < Array.length h -> h.(i)
+         | Some _ | None -> None
+       in
        let candidates =
          in_phase ctx.c_phases.ph_enumerate ~name:"placer/enumerate" (fun () ->
-             enumerate_candidates ctx ~prev:!prev ~subcircuit)
+             enumerate_candidates ?hint ctx ~prev:!prev ~subcircuit)
        in
        let next_mappings =
          if options.Options.lookahead && i + 1 < count then
@@ -982,6 +1113,14 @@ let finalize_metrics ctx =
   Telemetry.set
     (Telemetry.gauge t "placer.scoring.seconds")
     !(ctx.c_scoring_time);
+  (* Only stamped when the run actually built the hierarchy, so classic
+     runs' snapshots are unchanged. *)
+  (match if Lazy.is_val ctx.c_hier then Lazy.force ctx.c_hier else None with
+  | Some hier ->
+    Telemetry.set
+      (Telemetry.gauge t "placer.scale.coarsen_levels")
+      (float_of_int (Coarsen.levels hier))
+  | None -> ());
   (* The phase clocks only tick while telemetry is armed (see [in_phase]);
      with it off the gauges would all read 0, so skip registering them —
      [phase_seconds] treats absent gauges as an empty breakdown. *)
@@ -1071,22 +1210,60 @@ let place options env circuit =
                (fun acc (u, v) ->
                  Float.min acc (weights.Timing.coupled u v *. capped_swap))
                infinity (Graph.edges adjacency));
+          c_hier =
+            lazy
+              (if options.Options.coarsen && m >= coarsen_min_env then begin
+                 let hier =
+                   Coarsen.build
+                     ~weight:(fun u v ->
+                       1.0
+                       /. Float.max 1e-9 (Environment.coupling_delay env u v))
+                     adjacency
+                 in
+                 if Coarsen.levels hier >= 2 then Some hier else None
+               end
+               else None);
         }
       in
-      match
-        in_phase ctx.c_phases.ph_split ~name:"placer/split" (fun () ->
-            Workspace.split ~oracle_calls:ctx.c_oracle ~adjacency circuit)
-      with
+      let split_result =
+        match options.Options.window with
+        | None ->
+          Result.map
+            (fun subs -> (subs, None))
+            (in_phase ctx.c_phases.ph_split ~name:"placer/split" (fun () ->
+                 Workspace.split ~oracle_calls:ctx.c_oracle ~adjacency circuit))
+        | Some window ->
+          Result.map
+            (fun stages ->
+              List.iter
+                (fun (sub, _) ->
+                  observe_scale ctx "placer.scale.window_fill"
+                    (float_of_int (Circuit.gate_count sub)))
+                stages;
+              ( List.map fst stages,
+                Some (Array.of_list (List.map snd stages)) ))
+            (in_phase ctx.c_phases.ph_split ~name:"placer/window-split"
+               (fun () ->
+                 Workspace.split_windowed ~oracle_calls:ctx.c_oracle ~window
+                   ~adjacency circuit))
+      in
+      match split_result with
       | Error msg -> Unplaceable msg
-      | Ok subcircuits -> (
+      | Ok (subcircuits, hints) -> (
         let subcircuits =
-          if options.Options.balance_boundaries && List.length subcircuits > 1
+          (* Boundary refinement assumes list-order splitting; the windowed
+             stream has its own boundary policy and per-stage hints that a
+             donation would invalidate. *)
+          if
+            options.Options.balance_boundaries
+            && Option.is_none hints
+            && List.length subcircuits > 1
           then
             in_phase ctx.c_phases.ph_balance ~name:"placer/balance" (fun () ->
                 balance_boundaries ctx subcircuits)
           else subcircuits
         in
-        match run_pipeline ctx subcircuits with
+        match run_pipeline ?hints ctx subcircuits with
         | Error msg -> Unplaceable msg
         | Ok (stage_list, _) ->
           let stats, snapshot = finalize_metrics ctx in

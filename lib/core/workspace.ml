@@ -2,23 +2,32 @@ module Graph = Qcp_graph.Graph
 module Monomorph = Qcp_graph.Monomorph
 module Circuit = Qcp_circuit.Circuit
 module Gate = Qcp_circuit.Gate
+module Dag = Qcp_circuit.Dag
 
 let pattern = Circuit.interaction_graph
 
-(* One pass over the gate list; the monomorphism oracle is consulted only
-   when a gate introduces a *new* interaction pair, so the number of oracle
-   calls is bounded by the number of distinct pairs, not by the gate count. *)
-let split ?oracle_calls ~adjacency circuit =
-  let qubits = Circuit.qubits circuit in
+(* Alignability oracle shared by the classic and windowed splitters: the
+   workspace's interaction pattern grows one pair at a time, and every
+   query asks whether the pattern extended with one more pair still embeds
+   into the fast-interaction graph.  The state bundles the incremental
+   monomorphism engine with three accelerations that never change an
+   answer: a witness shortcut (one concrete embedding, extended in
+   O(degree) when it covers the new pair), degree exclusion against the
+   target's maximum degree, and an exact union-find decision procedure on
+   path targets. *)
+type oracle = {
+  o_extends : int * int -> bool;
+      (* Counted oracle query: does the pattern plus this pair embed? *)
+  o_admit : int * int -> unit; (* commit a pair the oracle admitted *)
+  o_reset : unit -> unit; (* start a new subcircuit *)
+  o_witness : unit -> int array option;
+      (* copy of the current witness embedding, [-1] for unmapped qubits *)
+  o_embeds_singleton : int * int -> bool;
+      (* counted: does the pair embed on its own? *)
+}
+
+let make_oracle ?oracle_calls ?budget ~adjacency ~qubits () =
   let count () = match oracle_calls with Some r -> incr r | None -> () in
-  let embeds pairs =
-    count ();
-    Monomorph.exists ~pattern:(Graph.of_edges qubits pairs) ~target:adjacency
-  in
-  (* The workspace's pattern grows one pair at a time, so the oracle state
-     lives in an incremental engine instead of a [Graph.t] rebuilt per
-     query; [Monomorph.Incremental.embeds_with] answers the same existence
-     question as the full enumerator. *)
   let inc = Monomorph.Incremental.create ~qubits ~target:adjacency in
   let pdeg q = Monomorph.Incremental.degree inc q in
   (* Witness shortcut: remember one concrete monomorphism of the current
@@ -87,9 +96,6 @@ let split ?oracle_calls ~adjacency circuit =
     end
   in
   let used = ref 0 in
-  (* Commit pair [(a, b)] into the incremental pattern state.  Callers do
-     this exactly when the oracle admitted the pair and the pair joins the
-     current set. *)
   let admit ((a, b) as pair) =
     if pdeg a = 0 then incr used;
     if pdeg b = 0 then incr used;
@@ -109,7 +115,7 @@ let split ?oracle_calls ~adjacency circuit =
             + (if pdeg b = 0 then 1 else 0)
             <= Graph.n adjacency
        else
-         match Monomorph.Incremental.embeds_with inc pair with
+         match Monomorph.Incremental.embeds_with ?budget inc pair with
          | Some m ->
            let taken = Array.make (Graph.n adjacency) false in
            Array.iter (fun v -> if v >= 0 then taken.(v) <- true) m;
@@ -117,6 +123,33 @@ let split ?oracle_calls ~adjacency circuit =
            true
          | None -> false
   in
+  let reset () =
+    witness := None;
+    Monomorph.Incremental.reset inc;
+    Array.iteri (fun q _ -> uf.(q) <- q) uf;
+    used := 0
+  in
+  let witness_copy () =
+    match !witness with None -> None | Some (m, _) -> Some (Array.copy m)
+  in
+  let embeds_singleton (a, b) =
+    count ();
+    Monomorph.exists ~pattern:(Graph.of_edges qubits [ (a, b) ]) ~target:adjacency
+  in
+  {
+    o_extends = extends;
+    o_admit = admit;
+    o_reset = reset;
+    o_witness = witness_copy;
+    o_embeds_singleton = embeds_singleton;
+  }
+
+(* One pass over the gate list; the monomorphism oracle is consulted only
+   when a gate introduces a *new* interaction pair, so the number of oracle
+   calls is bounded by the number of distinct pairs, not by the gate count. *)
+let split ?oracle_calls ~adjacency circuit =
+  let qubits = Circuit.qubits circuit in
+  let o = make_oracle ?oracle_calls ~adjacency ~qubits () in
   let subcircuits = ref [] in
   let gates = ref [] in
   let pair_set = Hashtbl.create 64 in
@@ -124,10 +157,7 @@ let split ?oracle_calls ~adjacency circuit =
     if !gates <> [] then begin
       subcircuits := Circuit.make ~qubits (List.rev !gates) :: !subcircuits;
       gates := [];
-      witness := None;
-      Monomorph.Incremental.reset inc;
-      Array.iteri (fun q _ -> uf.(q) <- q) uf;
-      used := 0;
+      o.o_reset ();
       Hashtbl.reset pair_set
     end
   in
@@ -139,12 +169,12 @@ let split ?oracle_calls ~adjacency circuit =
       | [ a; b ] ->
         let pair = (min a b, max a b) in
         if Hashtbl.mem pair_set pair then gates := gate :: !gates
-        else if extends pair then begin
-          admit pair;
+        else if o.o_extends pair then begin
+          o.o_admit pair;
           Hashtbl.replace pair_set pair ();
           gates := gate :: !gates
         end
-        else if not (embeds [ pair ]) then
+        else if not (o.o_embeds_singleton pair) then
           error :=
             Some
               (Printf.sprintf
@@ -152,7 +182,7 @@ let split ?oracle_calls ~adjacency circuit =
                  (Gate.name gate))
         else begin
           close ();
-          admit pair;
+          o.o_admit pair;
           Hashtbl.replace pair_set pair ();
           gates := [ gate ]
         end
@@ -164,3 +194,103 @@ let split ?oracle_calls ~adjacency circuit =
   | None ->
     close ();
     Ok (List.rev !subcircuits)
+
+(* Windowed subcircuit formation: instead of reading the gate list in its
+   written order, stream gates out of the dependency DAG smallest-ready-
+   index first, deferring gates whose interaction pair the oracle refuses
+   instead of closing the stage immediately.  Independent gates slide past
+   a refused pair, packing stages fuller; once [window] gates are deferred
+   the stage closes and the deferred gates re-enter the ready queue against
+   the fresh pattern.  The emitted order is a valid DAG linearization — and
+   under the default commutation predicate (only disjoint-qubit gates
+   commute) every per-qubit gate subsequence is exactly the source
+   circuit's, so the concatenated stages are unitarily identical to the
+   input.  Workspace growth per stage is O(window) deferred gates on top of
+   the pattern itself; nothing ever materializes whole-circuit levels.
+
+   A pair refused against the current pattern stays refused for the rest of
+   the stage (the pattern only grows), so deferred gates are not retried
+   until a close resets the pattern.  A pair refused by an *empty* pattern
+   is unembeddable on its own, which is the classic splitter's fatal case:
+   the one-pair search either finds a witness among the first edges it
+   touches or exhausts a tiny space, so [budget] cannot turn an embeddable
+   singleton into an error. *)
+let split_windowed ?oracle_calls ?(budget = 10_000) ~window ~adjacency circuit
+    =
+  let qubits = Circuit.qubits circuit in
+  let window = max 1 window in
+  let o = make_oracle ?oracle_calls ~budget ~adjacency ~qubits () in
+  let dag = Dag.build circuit in
+  let gates = Array.of_list (Circuit.gates circuit) in
+  let n = Array.length gates in
+  let indeg = Array.make (max 1 n) 0 in
+  for i = 0 to n - 1 do
+    indeg.(i) <- List.length (Dag.preds dag i)
+  done;
+  let ready = Qcp_util.Iheap.create (max 16 (n / 4)) in
+  for i = 0 to n - 1 do
+    if indeg.(i) = 0 then Qcp_util.Iheap.push ready i
+  done;
+  let emitted = ref [] in
+  let stages = ref [] in
+  let pair_set = Hashtbl.create 64 in
+  let deferred = ref [] in
+  let ndeferred = ref 0 in
+  let error = ref None in
+  let emit i =
+    emitted := gates.(i) :: !emitted;
+    List.iter
+      (fun j ->
+        indeg.(j) <- indeg.(j) - 1;
+        if indeg.(j) = 0 then Qcp_util.Iheap.push ready j)
+      (Dag.succs dag i)
+  in
+  let close () =
+    if !emitted <> [] then begin
+      stages :=
+        (Circuit.make ~qubits (List.rev !emitted), o.o_witness ()) :: !stages;
+      emitted := [];
+      o.o_reset ();
+      Hashtbl.reset pair_set
+    end;
+    (* Deferred gates become eligible again against the fresh pattern. *)
+    List.iter (fun i -> Qcp_util.Iheap.push ready i) !deferred;
+    deferred := [];
+    ndeferred := 0
+  in
+  while
+    !error = None
+    && ((not (Qcp_util.Iheap.is_empty ready)) || !ndeferred > 0)
+  do
+    if Qcp_util.Iheap.is_empty ready then close ()
+    else begin
+      let i = Qcp_util.Iheap.pop ready in
+      match Gate.qubits gates.(i) with
+      | [ _ ] -> emit i
+      | [ a; b ] ->
+        let pair = (min a b, max a b) in
+        if Hashtbl.mem pair_set pair then emit i
+        else if o.o_extends pair then begin
+          o.o_admit pair;
+          Hashtbl.replace pair_set pair ();
+          emit i
+        end
+        else if Hashtbl.length pair_set = 0 then
+          error :=
+            Some
+              (Printf.sprintf
+                 "interaction %s cannot be aligned with any fast interaction"
+                 (Gate.name gates.(i)))
+        else begin
+          deferred := i :: !deferred;
+          incr ndeferred;
+          if !ndeferred >= window then close ()
+        end
+      | _ -> assert false
+    end
+  done;
+  match !error with
+  | Some msg -> Error msg
+  | None ->
+    close ();
+    Ok (List.rev !stages)

@@ -19,6 +19,36 @@ val split :
     paper bounds this by twice the number of two-qubit gates, and this
     implementation consults the oracle only for *new* interaction pairs. *)
 
+val split_windowed :
+  ?oracle_calls:int ref ->
+  ?budget:int ->
+  window:int ->
+  adjacency:Qcp_graph.Graph.t ->
+  Qcp_circuit.Circuit.t ->
+  ((Qcp_circuit.Circuit.t * int array option) list, string) result
+(** Windowed subcircuit formation for million-gate circuits: gates stream
+    out of the dependency DAG ({!Qcp_circuit.Dag.build}, default
+    commutation) smallest-ready-index first.  A gate whose interaction pair
+    the oracle refuses is {e deferred} rather than closing the stage, so
+    independent gates slide past it and stages pack fuller; once [window]
+    gates are deferred the stage closes and the deferred gates re-enter the
+    ready queue.  Workspace growth is O(window) per stage — the whole
+    circuit is never levelized.
+
+    Each stage comes with the oracle's final witness embedding, when one
+    exists: an array mapping qubit to environment vertex ([-1] for qubits
+    without two-qubit gates in the stage), valid for every interaction pair
+    of that stage.  The placer seeds candidate generation with it.
+
+    The concatenated stage gate lists are a valid linearization of the
+    dependency DAG — unitarily identical to the input circuit, though stage
+    boundaries (and hence placements) may differ from {!split}'s.  With
+    [window = 1] the stage boundaries coincide exactly with {!split}'s.
+    [budget] (default 10000) caps search nodes per oracle query; an
+    exhausted query defers the gate, it never mis-reports an error.
+    [Error _] exactly when some single interaction cannot be aligned at
+    all. *)
+
 val pattern : Qcp_circuit.Circuit.t -> Qcp_graph.Graph.t
 (** The interaction graph used for alignment (alias of
     {!Qcp_circuit.Circuit.interaction_graph}). *)

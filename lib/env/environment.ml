@@ -119,7 +119,11 @@ let closure_edges t base =
               else None)
             (Qcp_util.Listx.range_from (i + 1) m))
         (Qcp_util.Listx.range m)
-      |> List.sort compare
+      |> List.sort (fun (da, ia, ja) (db, ib, jb) ->
+             match Float.compare da db with
+             | 0 -> (
+               match Int.compare ia ib with 0 -> Int.compare ja jb | c -> c)
+             | c -> c)
     in
     let added = ref [] in
     List.iter
@@ -226,6 +230,12 @@ let grid ?name ?single ?coupling rows cols =
     ~name:(named_default name "grid" (rows * cols))
     ?single ?coupling
     (Qcp_graph.Generators.grid rows cols)
+
+let heavy_hex ?name ?single ?coupling rows cols =
+  let g = Qcp_graph.Generators.heavy_hex ~rows ~cols in
+  of_graph
+    ~name:(named_default name "heavyhex" (Graph.n g))
+    ?single ?coupling g
 
 let complete_uniform ?name ?single ?coupling m =
   of_graph

@@ -103,6 +103,10 @@ val chain : ?name:string -> ?single:float -> ?coupling:float -> int -> t
 val grid : ?name:string -> ?single:float -> ?coupling:float -> int -> int -> t
 (** 2D lattice environment. *)
 
+val heavy_hex : ?name:string -> ?single:float -> ?coupling:float -> int -> int -> t
+(** [heavy_hex rows cols]: heavy-hex lattice environment
+    ({!Qcp_graph.Generators.heavy_hex}) — sparse large-device topology. *)
+
 val complete_uniform : ?name:string -> ?single:float -> ?coupling:float -> int -> t
 (** All-to-all environment (the idealized abstract machine). *)
 

@@ -1,0 +1,237 @@
+(* Multilevel heavy-edge matching.  Each level stores its cluster graph,
+   the projection of every *base* vertex into that level's clusters, the
+   cluster capacities (base vertices contained) and the merged edge
+   weights.  All traversal is in ascending index order so the hierarchy —
+   and everything the placer builds on it — is deterministic. *)
+
+type level = {
+  lv_graph : Graph.t;
+  lv_project : int array; (* base vertex -> cluster id at this level *)
+  lv_capacity : int array; (* cluster id -> number of base vertices *)
+  lv_rep : int array; (* cluster id -> smallest base vertex inside *)
+  lv_weight : (int, float) Hashtbl.t; (* key = u * n + v with u < v *)
+}
+
+type t = { levels : level array (* levels.(0) is the base graph *) }
+
+let edge_w lv u v =
+  let n = Graph.n lv.lv_graph in
+  let key = (min u v * n) + max u v in
+  match Hashtbl.find_opt lv.lv_weight key with Some w -> w | None -> 0.0
+
+let base_level ?(weight = fun _ _ -> 1.0) g =
+  let n = Graph.n g in
+  let tbl = Hashtbl.create (max 16 (Graph.edge_count g)) in
+  List.iter
+    (fun (u, v) -> Hashtbl.replace tbl ((u * n) + v) (weight u v))
+    (Graph.edges g);
+  {
+    lv_graph = g;
+    lv_project = Array.init n (fun v -> v);
+    lv_capacity = Array.make n 1;
+    lv_rep = Array.init n (fun v -> v);
+    lv_weight = tbl;
+  }
+
+(* One heavy-edge matching pass over [lv]; [None] when no pair matched
+   (the graph is edgeless or every vertex is isolated among the
+   unmatched). *)
+let coarsen_once lv =
+  let g = lv.lv_graph in
+  let n = Graph.n g in
+  let mate = Array.make n (-1) in
+  let matched = ref 0 in
+  for v = 0 to n - 1 do
+    if mate.(v) < 0 then begin
+      (* Heaviest incident edge to an unmatched neighbor; the ascending
+         neighbor scan with a strict improvement test breaks weight ties
+         toward the smallest index. *)
+      let best = ref (-1) and best_w = ref neg_infinity in
+      Array.iter
+        (fun u ->
+          if mate.(u) < 0 && u <> v then begin
+            let w = edge_w lv u v in
+            if w > !best_w then begin
+              best := u;
+              best_w := w
+            end
+          end)
+        (Graph.neighbors g v);
+      if !best >= 0 then begin
+        mate.(v) <- !best;
+        mate.(!best) <- v;
+        incr matched
+      end
+    end
+  done;
+  if !matched = 0 then None
+  else begin
+    let cid = Array.make n (-1) in
+    let next = ref 0 in
+    for v = 0 to n - 1 do
+      if cid.(v) < 0 then begin
+        cid.(v) <- !next;
+        if mate.(v) >= 0 then cid.(mate.(v)) <- !next;
+        incr next
+      end
+    done;
+    let nc = !next in
+    let wtbl = Hashtbl.create (max 16 (Graph.edge_count g)) in
+    let edges = ref [] in
+    List.iter
+      (fun (u, v) ->
+        let cu = cid.(u) and cv = cid.(v) in
+        if cu <> cv then begin
+          let key = (min cu cv * nc) + max cu cv in
+          match Hashtbl.find_opt wtbl key with
+          | None ->
+            edges := (cu, cv) :: !edges;
+            Hashtbl.replace wtbl key (edge_w lv u v)
+          | Some w -> Hashtbl.replace wtbl key (w +. edge_w lv u v)
+        end)
+      (Graph.edges g);
+    let capacity = Array.make nc 0 in
+    let rep = Array.make nc (-1) in
+    Array.iteri
+      (fun c k ->
+        capacity.(k) <- capacity.(k) + lv.lv_capacity.(c);
+        if rep.(k) < 0 || lv.lv_rep.(c) < rep.(k) then rep.(k) <- lv.lv_rep.(c))
+      cid;
+    Some
+      {
+        lv_graph = Graph.of_edges nc !edges;
+        lv_project = Array.map (fun c -> cid.(c)) lv.lv_project;
+        lv_capacity = capacity;
+        lv_rep = rep;
+        lv_weight = wtbl;
+      }
+  end
+
+let build ?weight ?(coarsest = 32) g =
+  let coarsest = max 1 coarsest in
+  let levels = ref [ base_level ?weight g ] in
+  let continue = ref true in
+  while !continue do
+    let top = List.hd !levels in
+    if Graph.n top.lv_graph <= coarsest then continue := false
+    else
+      match coarsen_once top with
+      | None -> continue := false
+      | Some next ->
+        if Graph.n next.lv_graph >= Graph.n top.lv_graph then continue := false
+        else levels := next :: !levels
+  done;
+  { levels = Array.of_list (List.rev !levels) }
+
+let levels t = Array.length t.levels
+
+let coarsest_size t = Graph.n t.levels.(Array.length t.levels - 1).lv_graph
+
+(* Greedy connected growth at one level: start from the cluster with the
+   strongest seed affinity, then repeatedly absorb the allowed neighbor
+   cluster with the most seeds (then the heaviest connection to the chosen
+   set, then the smallest index) until [target] base vertices are covered.
+   Falls back to non-adjacent clusters only when the allowed set is
+   exhausted around the chosen one, so the region stays connected whenever
+   the allowed set is. *)
+let grow lv ~allowed ~seeds ~target =
+  let n = Graph.n lv.lv_graph in
+  let seed_cnt = Array.make n 0 in
+  List.iter
+    (fun s ->
+      let c = lv.lv_project.(s) in
+      if allowed.(c) then seed_cnt.(c) <- seed_cnt.(c) + 1)
+    seeds;
+  let total_cap = ref 0 in
+  for c = 0 to n - 1 do
+    if allowed.(c) then total_cap := !total_cap + lv.lv_capacity.(c)
+  done;
+  if !total_cap <= target then Array.copy allowed
+  else begin
+    let chosen = Array.make n false in
+    let gain = Array.make n 0.0 in
+    let covered = ref 0 in
+    let add c =
+      chosen.(c) <- true;
+      covered := !covered + lv.lv_capacity.(c);
+      Array.iter
+        (fun u ->
+          if allowed.(u) && not chosen.(u) then
+            gain.(u) <- gain.(u) +. edge_w lv c u)
+        (Graph.neighbors lv.lv_graph c)
+    in
+    let start = ref (-1) in
+    for c = 0 to n - 1 do
+      if allowed.(c) then
+        match !start with
+        | -1 -> start := c
+        | s ->
+          if
+            seed_cnt.(c) > seed_cnt.(s)
+            || (seed_cnt.(c) = seed_cnt.(s)
+               && lv.lv_capacity.(c) > lv.lv_capacity.(s))
+          then start := c
+    done;
+    add !start;
+    while !covered < target do
+      let next = ref (-1) in
+      for c = 0 to n - 1 do
+        if allowed.(c) && (not chosen.(c)) && gain.(c) > 0.0 then
+          match !next with
+          | -1 -> next := c
+          | s ->
+            if
+              seed_cnt.(c) > seed_cnt.(s)
+              || (seed_cnt.(c) = seed_cnt.(s) && gain.(c) > gain.(s))
+            then next := c
+      done;
+      if !next < 0 then
+        (* Nothing adjacent left (disconnected allowed set): take the best
+           remaining cluster outright. *)
+        for c = 0 to n - 1 do
+          if allowed.(c) && (not chosen.(c)) then
+            match !next with
+            | -1 -> next := c
+            | s ->
+              if
+                seed_cnt.(c) > seed_cnt.(s)
+                || (seed_cnt.(c) = seed_cnt.(s)
+                   && lv.lv_capacity.(c) > lv.lv_capacity.(s))
+              then next := c
+        done;
+      if !next < 0 then covered := target else add !next
+    done;
+    chosen
+  end
+
+let select_region t ~seeds ~capacity =
+  let base = t.levels.(0) in
+  let base_n = Graph.n base.lv_graph in
+  let target = min capacity base_n in
+  if target <= 0 then []
+  else if base_n <= target then Graph.vertices base.lv_graph
+  else begin
+    let top = Array.length t.levels - 1 in
+    let chosen =
+      ref
+        (grow t.levels.(top)
+           ~allowed:(Array.make (Graph.n t.levels.(top).lv_graph) true)
+           ~seeds ~target)
+    in
+    for l = top - 1 downto 0 do
+      let lv = t.levels.(l) and up = t.levels.(l + 1) in
+      (* A cluster is allowed iff its parent cluster was chosen; any base
+         member identifies the parent (merging is hierarchical). *)
+      let allowed =
+        Array.init (Graph.n lv.lv_graph) (fun c ->
+            !chosen.(up.lv_project.(lv.lv_rep.(c))))
+      in
+      chosen := grow lv ~allowed ~seeds ~target
+    done;
+    (* Level 0 clusters are the base vertices themselves. *)
+    let out = ref [] in
+    for v = base_n - 1 downto 0 do
+      if !chosen.(v) then out := v :: !out
+    done;
+    !out
+  end

@@ -1,0 +1,40 @@
+(** Heavy-edge-matching coarsening hierarchy over the packed-bitset graph
+    kernel, in the multilevel partitioning tradition (Karypis-Kumar style
+    coarsen / place / refine).
+
+    The placer uses it to keep subgraph-monomorphism enumeration off the
+    O(m!) cliff on 1000-vertex environments: a placement stage first picks
+    a small connected *region* of the environment at the coarsest level
+    (seeded near the previous stage's placement), refines that choice
+    level by level down to concrete vertices, and only enumerates
+    monomorphisms on the induced region subgraph.
+
+    Every step is deterministic: vertices are visited in ascending order,
+    matching ties resolve to the heaviest edge then the smallest neighbor
+    index, and region growth resolves ties by seed affinity, connection
+    weight, then vertex index — so placements built on top of a hierarchy
+    are reproducible at any parallelism level. *)
+
+type t
+
+val build : ?weight:(int -> int -> float) -> ?coarsest:int -> Graph.t -> t
+(** [build ?weight ?coarsest g] coarsens [g] by repeated heavy-edge
+    matching until at most [coarsest] clusters remain (default 32) or no
+    matching makes progress.  [weight u v] (default [1.0]) is the
+    affinity of edge [(u, v)] — heavier edges are contracted first, so
+    with [1 / delay] weights clusters group tightly-coupled vertices;
+    merged parallel edges add their weights. *)
+
+val levels : t -> int
+(** Number of levels including the base graph (at least 1). *)
+
+val coarsest_size : t -> int
+(** Vertex count of the coarsest level. *)
+
+val select_region : t -> seeds:int list -> capacity:int -> int list
+(** [select_region t ~seeds ~capacity] is an ascending list of at least
+    [min capacity (Graph.n base)] base vertices forming a connected
+    neighborhood: grown greedily at the coarsest level from the clusters
+    holding the most [seeds] (base vertex ids; an empty list seeds at the
+    largest cluster), then re-grown among the chosen clusters' children
+    at each finer level.  Deterministic in its arguments. *)

@@ -23,6 +23,33 @@ let grid rows cols =
   in
   Graph.of_edges (rows * cols) (horizontal @ vertical)
 
+let heavy_hex ~rows ~cols =
+  if rows < 1 || cols < 1 then invalid_arg "Generators.heavy_hex: empty lattice";
+  let idx r c = (r * cols) + c in
+  let chain_edges =
+    List.concat_map
+      (fun r -> List.init (cols - 1) (fun c -> (idx r c, idx r (c + 1))))
+      (Qcp_util.Listx.range rows)
+  in
+  (* Bridge qubits sit between consecutive rows at every fourth column,
+     offset by two on odd rows — the staggered connectivity of IBM's
+     heavy-hex lattices.  Chain qubits are row-major [0 .. rows*cols - 1];
+     bridges are appended in (row, column) order. *)
+  let nchain = rows * cols in
+  let next = ref nchain in
+  let bridge_edges = ref [] in
+  for r = 0 to rows - 2 do
+    for c = 0 to cols - 1 do
+      let hit = if r mod 2 = 0 then c mod 4 = 0 else c mod 4 = 2 in
+      if hit then begin
+        let b = !next in
+        incr next;
+        bridge_edges := (b, idx (r + 1) c) :: (b, idx r c) :: !bridge_edges
+      end
+    done
+  done;
+  Graph.of_edges !next (chain_edges @ List.rev !bridge_edges)
+
 let petersen () =
   let outer = List.init 5 (fun i -> (i, (i + 1) mod 5)) in
   let spokes = List.init 5 (fun i -> (i, i + 5)) in

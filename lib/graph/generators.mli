@@ -14,6 +14,14 @@ val star : int -> Graph.t
 val grid : int -> int -> Graph.t
 (** [grid rows cols]: 2D lattice, vertex [r*cols + c]. *)
 
+val heavy_hex : rows:int -> cols:int -> Graph.t
+(** Heavy-hex-style lattice: [rows] horizontal chains of [cols] qubits
+    (row-major, vertex [r*cols + c]) joined by degree-2 bridge qubits
+    between consecutive rows at every fourth column, offset by two on odd
+    rows.  Bridge qubits are numbered after the chain qubits in
+    (row, column) order.  Sparser than {!grid} — max degree 3 on chains —
+    matching the topology of large superconducting devices. *)
+
 val petersen : unit -> Graph.t
 (** The Petersen graph — 3-regular, connected, famously non-Hamiltonian;
     a fixture for the NP-completeness experiment. *)

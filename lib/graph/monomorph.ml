@@ -285,6 +285,33 @@ let run_sequential e limit =
    with Limit_reached -> ());
   List.rev st.results
 
+(* Candidate images of the first ordered vertex, ascending. *)
+let compute_firsts e =
+  let v0 = e.order.(0) in
+  let firsts = ref [] in
+  for c = e.nt - 1 downto 0 do
+    if compatible e v0 c then firsts := c :: !firsts
+  done;
+  Array.of_list !firsts
+
+(* Sparse candidate generation: keep the [cap] first-vertex images whose
+   target degree is closest to the pattern vertex's (ties toward the
+   smallest index), restoring ascending order afterwards so the surviving
+   enumeration is a subsequence of the uncapped one. *)
+let cap_firsts e cap firsts =
+  if Array.length firsts <= cap then firsts
+  else begin
+    let v0 = e.order.(0) in
+    let keyed = Array.map (fun c -> (abs (e.deg_t.(c) - e.deg_p.(v0)), c)) firsts in
+    Array.sort
+      (fun (da, a) (db, b) ->
+        match Int.compare da db with 0 -> Int.compare a b | c -> c)
+      keyed;
+    let kept = Array.init cap (fun i -> snd keyed.(i)) in
+    Array.sort Int.compare kept;
+    kept
+  end
+
 (* Pool fan-out over the first ordered vertex's candidate images: each
    first-vertex choice is one pool slot enumerated completely (capped at
    [limit]); slot-per-candidate collection plus an ascending merge
@@ -293,13 +320,8 @@ let run_sequential e limit =
    id never runs two slots concurrently — allocated lazily on the worker's
    first slot and reset between slots (a previous slot that hit the limit
    left [mapping] and [used] mid-search). *)
-let run_parallel e limit jobs =
+let run_parallel e limit jobs firsts =
   let v0 = e.order.(0) in
-  let firsts = ref [] in
-  for c = e.nt - 1 downto 0 do
-    if compatible e v0 c then firsts := c :: !firsts
-  done;
-  let firsts = Array.of_list !firsts in
   let total = Array.length firsts in
   let slots = Array.make total [] in
   let jobs = min jobs total in
@@ -332,7 +354,7 @@ let run_parallel e limit jobs =
     total;
   Qcp_util.Listx.take limit (List.concat (Array.to_list slots))
 
-let enumerate ?(limit = 100) ?(jobs = 1) ~pattern ~target () =
+let enumerate ?(limit = 100) ?(jobs = 1) ?root_cap ~pattern ~target () =
   if limit <= 0 then []
   else begin
     if Telemetry.enabled () then Telemetry.incr m_enumerations;
@@ -347,9 +369,15 @@ let enumerate ?(limit = 100) ?(jobs = 1) ~pattern ~target () =
       end
       else begin
         let e = make_engine ~pattern ~target ~order in
-        if jobs > 1 && limit > 1 && Array.length order > 0 then
-          run_parallel e limit jobs
-        else run_sequential e limit
+        match root_cap with
+        | Some cap when Array.length order > 0 ->
+          let firsts = cap_firsts e (max 1 cap) (compute_firsts e) in
+          if Array.length firsts = 0 then []
+          else run_parallel e limit (max 1 jobs) firsts
+        | _ ->
+          if jobs > 1 && limit > 1 && Array.length order > 0 then
+            run_parallel e limit jobs (compute_firsts e)
+          else run_sequential e limit
       end
     in
     Qcp_obs.Trace.with_span ~cat:"graph" "monomorph/enumerate" run
@@ -483,7 +511,10 @@ module Incremental = struct
 
   exception Found
 
-  let search inc =
+  exception Exhausted
+
+  let search ?budget inc =
+    let budget = match budget with None -> max_int | Some b -> b in
     let order_len = build_order inc in
     (* Quick refutations: an active qubit needs a target vertex of at least
        its degree; active qubits need distinct target vertices. *)
@@ -496,6 +527,7 @@ module Incremental = struct
       Array.fill inc.mapping 0 inc.qubits (-1);
       Array.fill inc.used 0 (Array.length inc.used) 0;
       let witness = ref None in
+      let nodes = ref 0 in
       let rec extend step =
         if step >= order_len then begin
           witness := Some (Array.copy inc.mapping);
@@ -504,6 +536,8 @@ module Incremental = struct
         else begin
           let v = inc.order.(step) in
           let try_candidate c =
+            incr nodes;
+            if !nodes > budget then raise Exhausted;
             inc.mapping.(v) <- c;
             Graph.mask_set inc.used c;
             extend (step + 1);
@@ -536,14 +570,14 @@ module Incremental = struct
             done
         end
       in
-      (try extend 0 with Found -> ());
+      (try extend 0 with Found -> () | Exhausted -> ());
       !witness
     end
 
-  let embeds_with inc ((a, b) as pair) =
+  let embeds_with ?budget inc ((a, b) as pair) =
     let fresh = not (mem inc a b) in
     if fresh then add inc pair;
-    let result = search inc in
+    let result = search ?budget inc in
     if fresh then remove inc pair;
     result
 end

@@ -22,6 +22,7 @@
 val enumerate :
   ?limit:int ->
   ?jobs:int ->
+  ?root_cap:int ->
   pattern:Graph.t ->
   target:Graph.t ->
   unit ->
@@ -34,7 +35,15 @@ val enumerate :
     across that many domains of the shared {!Qcp_util.Task_pool}; slices
     are merged back in first-image order, so the result list is
     bit-identical to the sequential one.  Only worthwhile when [limit] is
-    large and subtrees are expensive. *)
+    large and subtrees are expensive.
+
+    [root_cap] (default unbounded) keeps only that many candidate images
+    for the first ordered pattern vertex, preferring targets whose degree
+    is closest to the pattern vertex's (sparse candidate generation on
+    large dense environments).  The result is a subsequence of the
+    uncapped enumeration, still deterministic at any [jobs]; it may miss
+    mappings an uncapped search would find, so it is a heuristic for
+    callers with a fallback path. *)
 
 val exists : pattern:Graph.t -> target:Graph.t -> bool
 (** Whether at least one monomorphism exists. *)
@@ -67,9 +76,14 @@ module Incremental : sig
   val degree : t -> int -> int
   (** Current pattern degree of a qubit. *)
 
-  val embeds_with : t -> int * int -> int array option
+  val embeds_with : ?budget:int -> t -> int * int -> int array option
   (** [embeds_with t (a, b)] searches for a monomorphism of the current
       pattern extended with edge [(a, b)] -- without committing the edge --
       and returns one witness mapping ([-1] for isolated qubits), or [None].
-      Callers that keep the pair then commit it with {!add}. *)
+      Callers that keep the pair then commit it with {!add}.
+
+      [budget] (default unbounded) caps the number of search nodes; an
+      exhausted search answers [None], so a bounded query errs toward
+      refusal — sound for callers that treat refusal as "close the current
+      subcircuit", never claiming an embedding that does not exist. *)
 end

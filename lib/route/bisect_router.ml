@@ -71,7 +71,7 @@ let compute_info g edge_cost vertices =
       let dist_b = Paths.bfs_dist ~restrict:(fun v -> in_sb.(v)) g u2 in
       let parent_b = Paths.bfs_parents ~restrict:(fun v -> in_sb.(v)) g u2 in
       let by_dist dist side =
-        List.sort (fun a b -> compare dist.(a) dist.(b)) side
+        List.sort (fun a b -> Int.compare dist.(a) dist.(b)) side
       in
       Split
         {

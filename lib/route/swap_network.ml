@@ -10,7 +10,7 @@ let is_valid g t =
   List.for_all
     (fun level ->
       let touched = List.concat_map (fun (u, v) -> [ u; v ]) level in
-      List.length touched = List.length (List.sort_uniq compare touched)
+      List.length touched = List.length (List.sort_uniq Int.compare touched)
       && List.for_all (fun (u, v) -> u <> v && Qcp_graph.Graph.mem_edge g u v) level)
     t
 

@@ -25,7 +25,10 @@ let route g ~perm =
     let bfs_order =
       let dist = Paths.bfs_dist g 0 in
       List.sort
-        (fun a b -> compare (dist.(a), a) (dist.(b), b))
+        (fun a b ->
+          match Int.compare dist.(a) dist.(b) with
+          | 0 -> Int.compare a b
+          | c -> c)
         (Graph.vertices g)
       |> Array.of_list
     in

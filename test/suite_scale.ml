@@ -1,0 +1,351 @@
+(* Tests of the scale path: windowed subcircuit formation, hierarchical
+   coarsen-place-refine and sparse candidate generation.  The key contract
+   is semantic: whatever the window / coarsening / root-cap knobs do to the
+   search, a placed program must still implement the source circuit, and
+   turning every knob off must leave the classic pipeline bit-identical. *)
+
+module Placer = Qcp.Placer
+module Options = Qcp.Options
+module Workspace = Qcp.Workspace
+module Verify = Qcp.Verify
+module Environment = Qcp_env.Environment
+module Random_env = Qcp_env.Random_env
+module Molecules = Qcp_env.Molecules
+module Catalog = Qcp_circuit.Catalog
+module Circuit = Qcp_circuit.Circuit
+module Gate = Qcp_circuit.Gate
+module Random_circuit = Qcp_circuit.Random_circuit
+module Graph = Qcp_graph.Graph
+module Generators = Qcp_graph.Generators
+module Monomorph = Qcp_graph.Monomorph
+module Coarsen = Qcp_graph.Coarsen
+module Rng = Qcp_util.Rng
+
+let place_exn options env circuit =
+  match Placer.place options env circuit with
+  | Placer.Placed p -> p
+  | Placer.Unplaceable msg -> Alcotest.failf "unexpectedly unplaceable: %s" msg
+
+(* ------------------------------------------------------------------ *)
+(* Property suite: windowed and hierarchical placements are semantically
+   equivalent to the classic pipeline on random small instances.         *)
+(* ------------------------------------------------------------------ *)
+
+(* [Random_circuit.hidden_stages] emits opaque custom gates; the verifier
+   needs simulation semantics, so draw from the simulable gate set. *)
+let random_simulable_circuit rng ~n ~gates =
+  Circuit.make ~qubits:n
+    (List.init gates (fun _ ->
+         match Rng.int rng 5 with
+         | 0 -> Gate.h (Rng.int rng n)
+         | 1 -> Gate.rz (Rng.int rng n) (Rng.float rng 6.28)
+         | 2 | 3 ->
+           let a = Rng.int rng n in
+           let b = (a + 1 + Rng.int rng (n - 1)) mod n in
+           Gate.cnot a b
+         | _ ->
+           let a = Rng.int rng n in
+           let b = (a + 1 + Rng.int rng (n - 1)) mod n in
+           Gate.zz a b (Rng.float rng 3.14)))
+
+let test_random_equivalence () =
+  for seed = 0 to 19 do
+    let rng = Rng.create seed in
+    let env = Random_env.molecule rng ~n:(8 + (seed mod 5)) in
+    let threshold = Random_env.interesting_threshold rng env in
+    let circuit = random_simulable_circuit rng ~n:4 ~gates:24 in
+    let classic = Options.default ~threshold in
+    let variants =
+      [
+        ("windowed", { classic with Options.window = Some 3 });
+        ( "windowed+hier",
+          {
+            classic with
+            Options.window = Some 4;
+            coarsen = true;
+            root_cap = Some 8;
+          } );
+      ]
+    in
+    match Placer.place classic env circuit with
+    | Placer.Unplaceable _ ->
+      (* A single interaction pair is unalignable at this threshold; the
+         refusal condition is pattern-independent, so the scale paths must
+         agree. *)
+      List.iter
+        (fun (name, options) ->
+          match Placer.place options env circuit with
+          | Placer.Unplaceable _ -> ()
+          | Placer.Placed _ ->
+            Alcotest.failf "seed %d: %s placed an unplaceable instance" seed
+              name)
+        variants
+    | Placer.Placed reference ->
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: classic equivalent" seed)
+        true
+        (Verify.equivalent reference);
+      List.iter
+        (fun (name, options) ->
+          let p = place_exn options env circuit in
+          Alcotest.(check bool)
+            (Printf.sprintf "seed %d: %s equivalent" seed name)
+            true (Verify.equivalent p))
+        variants
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Classic path bit-identity when every scale knob is off.              *)
+(* ------------------------------------------------------------------ *)
+
+let test_classic_bit_identity () =
+  let env = Molecules.trans_crotonic_acid in
+  let circuit = Catalog.phase_estimation 4 in
+  let defaults = Options.default ~threshold:100.0 in
+  let explicit =
+    { defaults with Options.window = None; coarsen = false; root_cap = None }
+  in
+  let p1 = place_exn defaults env circuit in
+  let p2 = place_exn explicit env circuit in
+  Alcotest.(check (list (array int)))
+    "identical placements" (Placer.placements p1) (Placer.placements p2);
+  Alcotest.(check bool)
+    "identical runtime" true
+    (Float.equal (Placer.runtime p1) (Placer.runtime p2))
+
+(* ------------------------------------------------------------------ *)
+(* Window = 1 coincides with the classic greedy maximal-prefix split.   *)
+(* ------------------------------------------------------------------ *)
+
+let test_window1_matches_classic_split () =
+  let env = Molecules.trans_crotonic_acid in
+  let adjacency = Environment.adjacency env ~threshold:100.0 in
+  List.iter
+    (fun circuit ->
+      let classic =
+        match Workspace.split ~adjacency circuit with
+        | Ok subs -> subs
+        | Error msg -> Alcotest.failf "classic split failed: %s" msg
+      in
+      let windowed =
+        match Workspace.split_windowed ~window:1 ~adjacency circuit with
+        | Ok stages -> List.map fst stages
+        | Error msg -> Alcotest.failf "windowed split failed: %s" msg
+      in
+      Alcotest.(check int)
+        "same stage count" (List.length classic) (List.length windowed);
+      List.iter2
+        (fun a b -> Alcotest.(check bool) "same stage" true (Circuit.equal a b))
+        classic windowed)
+    [ Catalog.phase_estimation 4; Catalog.qft 5; Catalog.qec5_encode ]
+
+(* ------------------------------------------------------------------ *)
+(* Witness stapling: every stage's witness is a valid embedding of the
+   stage's interaction graph.                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_windowed_witnesses_valid () =
+  let env = Molecules.trans_crotonic_acid in
+  let adjacency = Environment.adjacency env ~threshold:100.0 in
+  let circuit = Catalog.phase_estimation 4 in
+  match Workspace.split_windowed ~window:8 ~adjacency circuit with
+  | Error msg -> Alcotest.failf "windowed split failed: %s" msg
+  | Ok stages ->
+    List.iter
+      (fun (sub, witness) ->
+        match witness with
+        | None -> Alcotest.fail "stage with two-qubit gates lacks a witness"
+        | Some w ->
+          Alcotest.(check bool)
+            "witness embeds the stage pattern" true
+            (Monomorph.check
+               ~pattern:(Circuit.interaction_graph sub)
+               ~target:adjacency w))
+      (List.filter (fun (sub, _) -> Circuit.two_qubit_count sub > 0) stages)
+
+(* ------------------------------------------------------------------ *)
+(* Structural validity of the full scale path on a grid too large for
+   the simulator: gate order per qubit, injectivity, fast edges, valid
+   swap levels, and jobs-independence.                                  *)
+(* ------------------------------------------------------------------ *)
+
+let per_qubit_subsequences circuit =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun gate ->
+      List.iter
+        (fun q ->
+          let prev = Option.value (Hashtbl.find_opt tbl q) ~default:[] in
+          Hashtbl.replace tbl q (gate :: prev))
+        (Gate.qubits gate))
+    (Circuit.gates circuit);
+  tbl
+
+let check_structure source p =
+  let compute_circuits =
+    List.filter_map
+      (function
+        | Placer.Compute { circuit; _ } -> Some circuit
+        | Placer.Permute _ -> None)
+      p.Placer.stages
+  in
+  (* The emitted gate stream is a linearization of the dependency DAG: per
+     qubit, the gate subsequence must match the source exactly. *)
+  let emitted =
+    Circuit.make
+      ~qubits:(Circuit.qubits source)
+      (List.concat_map Circuit.gates compute_circuits)
+  in
+  Alcotest.(check int)
+    "gate count conserved"
+    (Circuit.gate_count source)
+    (Circuit.gate_count emitted);
+  let expected = per_qubit_subsequences source in
+  let actual = per_qubit_subsequences emitted in
+  Hashtbl.iter
+    (fun q gates ->
+      let got = Option.value (Hashtbl.find_opt actual q) ~default:[] in
+      Alcotest.(check bool)
+        (Printf.sprintf "qubit %d order preserved" q)
+        true
+        (List.length gates = List.length got
+        && List.for_all2 Gate.equal gates got))
+    expected;
+  List.iter
+    (fun placement ->
+      let sorted = Array.to_list placement |> List.sort_uniq Int.compare in
+      Alcotest.(check int)
+        "injective" (Array.length placement) (List.length sorted))
+    (Placer.placements p);
+  List.iter
+    (function
+      | Placer.Compute { placement; circuit } ->
+        List.iter
+          (fun gate ->
+            match Gate.qubits gate with
+            | [ a; b ] ->
+              Alcotest.(check bool)
+                "on fast edge" true
+                (Graph.mem_edge p.Placer.adjacency placement.(a) placement.(b))
+            | _ -> ())
+          (Circuit.gates circuit)
+      | Placer.Permute net ->
+        Alcotest.(check bool)
+          "valid swap levels" true
+          (Qcp_route.Swap_network.is_valid p.Placer.adjacency net))
+    p.Placer.stages
+
+let test_grid_scale_structure () =
+  let env = Environment.grid 6 6 in
+  let rng = Rng.create 7 in
+  let circuit =
+    Random_circuit.hidden_stages_custom rng ~n:12 ~stages:3 ~gates_per_stage:40
+  in
+  let options = Options.scale ~threshold:50.0 in
+  let p = place_exn { options with Options.jobs = 0 } env circuit in
+  check_structure circuit p;
+  (* The scale path must stay bit-identical across jobs settings. *)
+  let p2 = place_exn { options with Options.jobs = 2 } env circuit in
+  Alcotest.(check (list (array int)))
+    "jobs-independent placements" (Placer.placements p) (Placer.placements p2);
+  Alcotest.(check bool)
+    "jobs-independent runtime" true
+    (Float.equal (Placer.runtime p) (Placer.runtime p2));
+  (* Scale-phase telemetry rides along in the per-run registry. *)
+  Alcotest.(check bool)
+    "window-fill histogram recorded" true
+    (Qcp_obs.Metrics.find (Placer.metrics p) "placer.scale.window_fill" <> None)
+
+(* ------------------------------------------------------------------ *)
+(* Sparse candidate generation: root_cap results are subsequences.      *)
+(* ------------------------------------------------------------------ *)
+
+let is_subsequence ~of_:full sub =
+  let rec scan sub full =
+    match (sub, full) with
+    | [], _ -> true
+    | _, [] -> false
+    | s :: srest, f :: frest ->
+      if s = f then scan srest frest else scan sub frest
+  in
+  scan sub full
+
+let test_root_cap_subsequence () =
+  let pattern = Generators.path_graph 4 in
+  let target = Generators.petersen () in
+  let full = Monomorph.enumerate ~limit:1000 ~pattern ~target () in
+  let capped_wide =
+    Monomorph.enumerate ~limit:1000 ~root_cap:100 ~pattern ~target ()
+  in
+  Alcotest.(check (list (array int)))
+    "large cap is the identity" full capped_wide;
+  let capped_one =
+    Monomorph.enumerate ~limit:1000 ~root_cap:1 ~pattern ~target ()
+  in
+  Alcotest.(check bool) "cap 1 still finds mappings" true (capped_one <> []);
+  Alcotest.(check bool)
+    "cap 1 is a subsequence" true
+    (is_subsequence ~of_:full capped_one);
+  (* Determinism across jobs. *)
+  let capped_par =
+    Monomorph.enumerate ~limit:1000 ~root_cap:3 ~jobs:4 ~pattern ~target ()
+  in
+  let capped_seq =
+    Monomorph.enumerate ~limit:1000 ~root_cap:3 ~pattern ~target ()
+  in
+  Alcotest.(check (list (array int)))
+    "root_cap deterministic at any jobs" capped_seq capped_par
+
+let test_embeds_with_budget () =
+  let target = Generators.petersen () in
+  let inc = Monomorph.Incremental.create ~qubits:4 ~target in
+  (match Monomorph.Incremental.embeds_with ~budget:0 inc (0, 1) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "budget 0 must exhaust before finding a witness");
+  match Monomorph.Incremental.embeds_with inc (0, 1) with
+  | Some w ->
+    Alcotest.(check bool)
+      "witness valid" true
+      (Monomorph.check ~pattern:(Graph.of_edges 4 [ (0, 1) ]) ~target w)
+  | None -> Alcotest.fail "unbounded query must find an embedding"
+
+(* ------------------------------------------------------------------ *)
+(* Coarsening: level structure and region selection.                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_coarsen_grid () =
+  let g = Generators.grid 8 8 in
+  let hier = Coarsen.build ~coarsest:8 g in
+  Alcotest.(check bool) "at least two levels" true (Coarsen.levels hier >= 2);
+  Alcotest.(check bool)
+    "coarsest level shrank" true
+    (Coarsen.coarsest_size hier < Graph.n g);
+  let region = Coarsen.select_region hier ~seeds:[ 0; 1 ] ~capacity:10 in
+  Alcotest.(check bool) "region covers capacity" true (List.length region >= 10);
+  let sorted = List.sort_uniq Int.compare region in
+  Alcotest.(check int) "region distinct" (List.length region) (List.length sorted);
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) "region in range" true (v >= 0 && v < Graph.n g))
+    region;
+  let region2 = Coarsen.select_region hier ~seeds:[ 0; 1 ] ~capacity:10 in
+  Alcotest.(check (list int)) "region deterministic" region region2;
+  (* A capacity beyond the base graph returns every vertex. *)
+  let all = Coarsen.select_region hier ~seeds:[ 0 ] ~capacity:1000 in
+  Alcotest.(check int) "full capacity covers the graph" (Graph.n g)
+    (List.length all)
+
+let suite =
+  [
+    Alcotest.test_case "random instances equivalent" `Slow
+      test_random_equivalence;
+    Alcotest.test_case "classic bit-identity" `Quick test_classic_bit_identity;
+    Alcotest.test_case "window=1 matches classic split" `Quick
+      test_window1_matches_classic_split;
+    Alcotest.test_case "windowed witnesses valid" `Quick
+      test_windowed_witnesses_valid;
+    Alcotest.test_case "grid scale structure" `Quick test_grid_scale_structure;
+    Alcotest.test_case "root-cap subsequence" `Quick test_root_cap_subsequence;
+    Alcotest.test_case "embeds-with budget" `Quick test_embeds_with_budget;
+    Alcotest.test_case "coarsen grid" `Quick test_coarsen_grid;
+  ]

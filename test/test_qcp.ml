@@ -28,4 +28,5 @@ let () =
       ("experiments", Suite_experiments.suite);
       ("crosscheck", Suite_crosscheck.suite);
       ("noisy", Suite_noisy.suite);
+      ("scale", Suite_scale.suite);
     ]
