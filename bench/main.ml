@@ -137,6 +137,24 @@ let micro_tests () =
       ~jobs:(Qcp_util.Task_pool.env_jobs ())
       ()
   in
+  (* Portfolio kernels: race {greedy, lookahead} on the Table 3 workload
+     over the shared incumbent, and the same race with per-strategy private
+     cells ([~share:false]) — the pair isolates exactly the cross-strategy
+     pruning effect.  Winner and runtime are identical either way (the
+     deterministic reduce is share-independent); only wall clock and
+     pruned-candidate counts move. *)
+  let portfolio_options =
+    {
+      (Qcp.Options.default ~threshold:100.0) with
+      Qcp.Options.portfolio = true;
+      portfolio_strategies = [ "greedy"; "lookahead" ];
+    }
+  in
+  let portfolio_kernel ~share () =
+    match Qcp.Portfolio.run ~share portfolio_options crotonic phaseest with
+    | Ok report -> report.Qcp.Portfolio.runtime
+    | Error _ -> nan
+  in
   (* Scale kernels: the windowed + hierarchical path on instances far past
      the classic pipeline's reach.  Environments, circuits and memoized
      threshold adjacencies are all built here, outside the staged closures,
@@ -204,6 +222,10 @@ let micro_tests () =
       Test.make ~name:"kernel/fine-tune" (Staged.stage fine_tune_kernel);
       Test.make ~name:"kernel/pool-overhead" (Staged.stage pool_overhead_kernel);
       Test.make ~name:"kernel/score-parallel" (Staged.stage score_parallel_kernel);
+      Test.make ~name:"portfolio/race-table3"
+        (Staged.stage (portfolio_kernel ~share:true));
+      Test.make ~name:"portfolio/cross-prune"
+        (Staged.stage (portfolio_kernel ~share:false));
       Test.make ~name:"batch/tables234" (Staged.stage tables234_kernel);
       Test.make ~name:"scale/place-grid1024" (Staged.stage scale_grid1024_kernel);
       Test.make ~name:"scale/place-heavyhex" (Staged.stage scale_heavyhex_kernel);

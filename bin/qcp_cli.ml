@@ -104,7 +104,8 @@ let threshold_arg =
 let options_term =
   let make threshold no_lookahead fine_tune no_override router no_cap
       sequential limit commute balance no_cache no_bounded window coarsen
-      root_cap jobs parallel parallel_enum env =
+      root_cap jobs parallel parallel_enum portfolio deadline strategies learn
+      env =
     let threshold =
       match threshold with
       | Some th -> th
@@ -143,6 +144,11 @@ let options_term =
       coarsen;
       root_cap;
       jobs;
+      portfolio = portfolio || deadline <> None || strategies <> None || learn;
+      deadline;
+      portfolio_strategies =
+        Option.value strategies ~default:Qcp.Options.all_strategies;
+      portfolio_learn = learn;
     }
   in
   Term.(
@@ -227,7 +233,29 @@ let options_term =
     $ Arg.(
         value & opt int 0
         & info [ "parallel-enum" ] ~docv:"DOMAINS"
-            ~doc:"Deprecated alias for $(b,--jobs)."))
+            ~doc:"Deprecated alias for $(b,--jobs).")
+    $ Arg.(
+        value & flag
+        & info [ "portfolio" ]
+            ~doc:
+              "Race every enabled placement strategy against a shared                incumbent and keep the deterministic winner (implied by                $(b,--deadline), $(b,--strategies) and $(b,--learn)).")
+    $ Arg.(
+        value
+        & opt (some float) None
+        & info [ "deadline" ] ~docv:"SECONDS"
+            ~doc:
+              "Anytime budget for the portfolio race: non-anchor strategies                abort once $(docv) of wall clock elapse (the canonical first                strategy always finishes, so a race still places).  Finite                deadlines trade determinism for latency.")
+    $ Arg.(
+        value
+        & opt (some (list string)) None
+        & info [ "strategies" ] ~docv:"NAMES"
+            ~doc:
+              "Comma-separated portfolio strategies to race (greedy,                lookahead, boundary, annealer); default all.")
+    $ Arg.(
+        value & flag
+        & info [ "learn" ]
+            ~doc:
+              "Bias per-strategy budgets from previously recorded wins on                similarly sized instances (in-process auto-tuner)."))
 
 (* ------------------------------------------------------------------ *)
 (* place                                                               *)
@@ -242,12 +270,47 @@ let place_run env circuit options_of_env auto verbose trace_file metrics_flag
     Qcp_obs.Metrics.set_enabled true;
   if trace_file <> None then Qcp_obs.Trace.start ();
   let t0 = Unix.gettimeofday () in
+  let race = ref None in
+  let race_run options =
+    match Qcp.Portfolio.run options env circuit with
+    | Ok report ->
+      race := Some report;
+      Qcp.Placer.Placed report.Qcp.Portfolio.program
+    | Error msg -> Qcp.Placer.Unplaceable msg
+  in
   let outcome =
-    if auto then
+    match (options.Qcp.Options.portfolio, auto) with
+    | false, false -> Qcp.Placer.place options env circuit
+    | false, true ->
       Qcp.Tuner.auto_place
         ~options:(fun ~threshold -> { options with Qcp.Options.threshold })
         env circuit
-    else Qcp.Placer.place options env circuit
+    | true, false -> race_run options
+    | true, true ->
+      (* Auto-threshold under the portfolio: race every candidate
+         threshold and keep the earliest one attaining the best runtime,
+         mirroring {!Qcp.Tuner.auto_place}'s tie-break. *)
+      let best =
+        List.fold_left
+          (fun acc threshold ->
+            let outcome = race_run { options with Qcp.Options.threshold } in
+            match (outcome, !race, acc) with
+            | Qcp.Placer.Placed p, Some report, Some (best, _)
+              when Qcp.Placer.runtime p < Qcp.Placer.runtime best ->
+              Some (p, report)
+            | Qcp.Placer.Placed _, _, Some _ -> acc
+            | Qcp.Placer.Placed p, Some report, None -> Some (p, report)
+            | _, _, acc -> acc)
+          None
+          (Qcp.Tuner.candidate_thresholds env)
+      in
+      (match best with
+      | Some (p, report) ->
+        race := Some report;
+        Qcp.Placer.Placed p
+      | None ->
+        race := None;
+        Qcp.Placer.Unplaceable "no candidate threshold admits a placement")
   in
   let wall = Unix.gettimeofday () -. t0 in
   (match trace_file with
@@ -317,6 +380,10 @@ let place_run env circuit options_of_env auto verbose trace_file metrics_flag
         *. float_of_int s.Qcp.Placer.candidates_pruned
         /. float_of_int (max 1 s.Qcp.Placer.candidates_scored))
         s.Qcp.Placer.lower_bound_skips s.Qcp.Placer.timing_early_exits;
+    (match !race with
+    | Some report when report.Qcp.Portfolio.program == p ->
+      Format.printf "portfolio  : %a@." Qcp.Portfolio.pp_report report
+    | Some _ | None -> ());
     if verbose then Format.printf "%a" Qcp.Placer.pp p;
     0
 
@@ -508,7 +575,7 @@ let gen_cmd =
 (* report                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let report_run target full jobs phases =
+let report_run target full jobs phases portfolio =
   let module E = Qcp_report.Experiments in
   (* The placer's phase clocks only run when telemetry is armed. *)
   if phases then Qcp_obs.Metrics.set_enabled true;
@@ -518,10 +585,10 @@ let report_run target full jobs phases =
   let text =
     match target with
     | "table1" -> E.table1 ()
-    | "table2" -> E.table2 ~jobs ~phases ()
-    | "table3" -> E.table3 ~jobs ~phases ()
-    | "table4" -> E.table4 ~full ~jobs ~phases ()
-    | "tables234" -> E.tables234 ~jobs ~phases ()
+    | "table2" -> E.table2 ~jobs ~phases ~portfolio ()
+    | "table3" -> E.table3 ~jobs ~phases ~portfolio ()
+    | "table4" -> E.table4 ~full ~jobs ~phases ~portfolio ()
+    | "tables234" -> E.tables234 ~jobs ~phases ~portfolio ()
     | "figure1" -> E.figure1 ()
     | "figure2" -> E.figure2 ()
     | "figure3" -> E.figure3 ()
@@ -566,7 +633,16 @@ let report_cmd =
              split/enumerate/greedy/lookahead/fine-tune/route/balance) \
              after tables 2-4.")
   in
-  let term = Term.(const report_run $ target $ full $ jobs $ phases) in
+  let portfolio =
+    Arg.(
+      value & flag
+      & info [ "portfolio" ]
+          ~doc:
+            "Place every table cell through the deterministic strategy              portfolio race instead of a single classic pipeline              (tables 2-4).")
+  in
+  let term =
+    Term.(const report_run $ target $ full $ jobs $ phases $ portfolio)
+  in
   Cmd.v
     (Cmd.info "report" ~doc:"Regenerate the paper's tables and figures.")
     term
@@ -575,8 +651,11 @@ let report_cmd =
 (* tune                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let tune_run env circuit =
-  let results = Qcp.Tuner.sweep env circuit in
+let tune_run env circuit jobs =
+  let jobs =
+    match jobs with Some j -> j | None -> Qcp_util.Task_pool.env_jobs ()
+  in
+  let results = Qcp.Tuner.sweep ~jobs env circuit in
   Printf.printf "%-14s %-16s %-12s %-12s\n" "threshold" "runtime" "subcircuits"
     "swap levels";
   List.iter
@@ -589,7 +668,7 @@ let tune_run env circuit =
           (Qcp.Placer.subcircuit_count p)
           (Qcp.Placer.swap_depth_total p))
     results;
-  match Qcp.Tuner.auto_place env circuit with
+  match Qcp.Tuner.auto_place ~jobs env circuit with
   | Qcp.Placer.Placed p ->
     Printf.printf "\nbest: threshold %g -> %.4f sec\n"
       p.Qcp.Placer.options.Qcp.Options.threshold
@@ -600,7 +679,15 @@ let tune_run env circuit =
     1
 
 let tune_cmd =
-  let term = Term.(const tune_run $ env_arg $ circuit_arg) in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N" ~env:(Cmd.Env.info "QCP_JOBS")
+          ~doc:
+            "Place the candidate thresholds concurrently on this many pool              domains.  The sweep and the selected best are identical at any              value.")
+  in
+  let term = Term.(const tune_run $ env_arg $ circuit_arg $ jobs) in
   Cmd.v
     (Cmd.info "tune"
        ~doc:"Sweep every meaningful Threshold and report the best placement.")

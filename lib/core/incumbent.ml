@@ -1,0 +1,17 @@
+type t = int Atomic.t
+
+(* Nonnegative floats order like their bit patterns compared unsigned;
+   [lxor min_int] maps unsigned order onto native signed int order. *)
+let score_bits f = Int64.to_int (Int64.bits_of_float f) lxor min_int
+
+let bits_score i =
+  Int64.float_of_bits (Int64.logand (Int64.of_int (i lxor min_int)) Int64.max_int)
+
+let make init = Atomic.make (score_bits init)
+let get cell = bits_score (Atomic.get cell)
+
+let rec submit cell score =
+  let bits = score_bits score in
+  let seen = Atomic.get cell in
+  if bits < seen && not (Atomic.compare_and_set cell seen bits) then
+    submit cell score

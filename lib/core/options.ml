@@ -17,7 +17,13 @@ type t = {
   coarsen : bool;
   root_cap : int option;
   jobs : int;
+  portfolio : bool;
+  deadline : float option;
+  portfolio_strategies : string list;
+  portfolio_learn : bool;
 }
+
+let all_strategies = [ "greedy"; "lookahead"; "boundary"; "annealer" ]
 
 let default ~threshold =
   {
@@ -37,6 +43,10 @@ let default ~threshold =
     coarsen = false;
     root_cap = None;
     jobs = Qcp_util.Task_pool.env_jobs ();
+    portfolio = false;
+    deadline = None;
+    portfolio_strategies = all_strategies;
+    portfolio_learn = false;
   }
 
 let deprecation_message ~alias =
@@ -75,6 +85,10 @@ let fast ~threshold =
     coarsen = false;
     root_cap = None;
     jobs = Qcp_util.Task_pool.env_jobs ();
+    portfolio = false;
+    deadline = None;
+    portfolio_strategies = all_strategies;
+    portfolio_learn = false;
   }
 
 let scale ~threshold =

@@ -107,6 +107,19 @@ type ctx = {
          coarsen-place-refine path; [None] when [Options.coarsen] is off,
          the environment is below the hierarchy cutoff, or matching made
          no progress.  Lazy so classic runs never pay for it. *)
+  c_shared : Incumbent.t option;
+      (* Cross-strategy incumbent of a portfolio race ({!Portfolio}):
+         holds the best *achieved* end-to-end runtime any racing strategy
+         has published so far.  Consulted to seed stage sweeps and to
+         abort this run once its running makespan provably exceeds the
+         cross-strategy best; [None] (single-strategy runs) changes
+         nothing. *)
+  c_deadline : float;
+      (* Absolute {!Qcp_util.Clock} instant after which the pipeline
+         aborts between stages ([infinity]: never, and no clock reads). *)
+  c_peer_pruned : Telemetry.counter;
+      (* Stage sweeps and pipeline aborts cut short by [c_shared] (as
+         opposed to this run's own incumbent). *)
 }
 
 (* The "per-run" registry is cached per domain and zeroed at the start of
@@ -124,6 +137,7 @@ type run_metrics = {
   rm_bound_skips : Telemetry.counter;
   rm_early_exits : Telemetry.counter;
   rm_routed : Telemetry.counter;
+  rm_peer_pruned : Telemetry.counter;
 }
 
 let run_metrics_key =
@@ -137,7 +151,15 @@ let run_metrics_key =
         rm_bound_skips = Telemetry.counter t "placer.lower_bound_skips";
         rm_early_exits = Telemetry.counter t "placer.timing_early_exits";
         rm_routed = Telemetry.counter t "placer.networks_routed";
+        rm_peer_pruned = Telemetry.counter t "placer.pruned_by_peer";
       })
+
+(* The registry is reset at the start of every [place] and runs never
+   migrate domains, so right after a [place] returns this reads that run's
+   value — including aborted runs, which produce no [program] (hence no
+   snapshot) to read it from. *)
+let last_peer_prunes () =
+  Telemetry.count (Domain.DLS.get run_metrics_key).rm_peer_pruned
 
 (* Accumulate the wall time of a candidate-scoring section. *)
 let timed ctx f =
@@ -433,26 +455,12 @@ let candidate_bound ctx ~scratch ~phys_start ~prev ~subcircuit placement =
   assert completed;
   Timing.stage_makespan scratch
 
-(* Monotone-min incumbent shared across scoring domains.  Makespans are
-   nonnegative, so the IEEE-754 sign bit is clear and the remaining 63 bits
-   order exactly like the float when compared as an *unsigned* integer;
-   flipping the top bit ([lxor min_int]) turns that into native signed int
-   order, giving an exact, allocation-free shared cell out of a single
-   [int Atomic.t].  The round-trip is lossless for every nonnegative float
-   including [infinity]. *)
-let score_bits f = Int64.to_int (Int64.bits_of_float f) lxor min_int
-
-let bits_score i =
-  Int64.float_of_bits (Int64.logand (Int64.of_int (i lxor min_int)) Int64.max_int)
-
-let incumbent_make init = Atomic.make (score_bits init)
-let incumbent_get cell = bits_score (Atomic.get cell)
-
-let rec incumbent_submit cell score =
-  let bits = score_bits score in
-  let seen = Atomic.get cell in
-  if bits < seen && not (Atomic.compare_and_set cell seen bits) then
-    incumbent_submit cell score
+(* Monotone-min incumbent shared across scoring domains (and, in portfolio
+   runs, across whole strategies) — see {!Incumbent} for the flipped-bits
+   encoding. *)
+let incumbent_make = Incumbent.make
+let incumbent_get = Incumbent.get
+let incumbent_submit = Incumbent.submit
 
 (* One timing scratch per domain: pool helpers are persistent, so each
    lazily allocates a scratch on first sweep and reuses it for every
@@ -466,7 +474,7 @@ let domain_scratch = Domain.DLS.new_key Timing.make_scratch
    result array is schedule-independent up to the monotonicity argument in
    {!candidate_scores}. *)
 let sweep_scores ctx total eval =
-  let jobs = min ctx.c_options.Options.jobs total in
+  let jobs = Int.min ctx.c_options.Options.jobs total in
   let out = Array.make total infinity in
   if jobs <= 1 then
     for i = 0 to total - 1 do
@@ -506,7 +514,10 @@ let candidate_scores ?(cutoff = infinity) ctx score arr =
 (* Earliest strict minimum -- the same tie-breaking as [Listx.min_by].
    Picks return the winner alongside its stage finish clocks when the sweep
    already computed them exactly (so the pipeline can skip re-timing the
-   winner); [None] clocks mean the caller must replay. *)
+   winner); [None] clocks mean the caller must replay.  The third component
+   is the winner's score under the sweep's cutoff: [infinity] means every
+   candidate pruned, so the "winner" is only the arbitrary earliest index
+   and the caller must widen the cutoff before trusting it. *)
 let pick_best ?cutoff ctx score candidates =
   match candidates with
   | [] -> None
@@ -515,7 +526,7 @@ let pick_best ?cutoff ctx score candidates =
     let scores = candidate_scores ?cutoff ctx score arr in
     let best = ref 0 in
     Array.iteri (fun i s -> if s < scores.(!best) then best := i) scores;
-    Some (arr.(!best), None)
+    Some (arr.(!best), None, scores.(!best))
 
 (* ------------------------------------------------------------------ *)
 (* Hierarchical coarsen-place-refine                                   *)
@@ -669,7 +680,7 @@ let scale_mappings ctx ~prev ~hint ~subcircuit =
     else if nactive > scale_enum_max_active then
       Option.map (fun m -> [ m ]) (witness_mapping ctx ~subcircuit hint)
     else begin
-      let target_size = max (4 * nactive) 16 in
+      let target_size = Int.max (4 * nactive) 16 in
       if target_size >= ctx.c_m then None
       else begin
         let images = function
@@ -780,7 +791,7 @@ let pick_greedy ?(cutoff = infinity) ctx ~phys_start ~prev ~subcircuit
       let finish =
         if Array.length clocks.(!best) = 0 then None else Some clocks.(!best)
       in
-      Some (arr.(!best), finish)
+      Some (arr.(!best), finish, scores.(!best))
 
 (* The next-stage half of a depth-2 lookahead score, starting from the
    current candidate's stage-1 [finish] clocks: the best completion of the
@@ -898,7 +909,13 @@ let pick_lookahead ?(cutoff = infinity) ctx ~phys_start ~prev ~subcircuit
       Array.iteri (fun i s -> if s < scores.(!best) then best := i) scores;
       (* The bound phase timed every candidate's own stage exactly, so the
          winner's finish clocks are already in hand. *)
-      Some (arr.(!best), Some clocks.(!best))
+      Some (arr.(!best), Some clocks.(!best), scores.(!best))
+
+(* Failure messages with load-bearing identity: {!Strategy} classifies a
+   pipeline abort as Expired/Pruned (rather than Infeasible) by matching
+   these exact strings, so they are exported from the interface. *)
+let msg_deadline = "deadline expired before the pipeline completed"
+let msg_peer_pruned = "a portfolio peer's incumbent refutes this pipeline"
 
 (* The main stage loop: place each subcircuit in order, connecting
    consecutive placements with SWAP networks.  Returns the stage list and
@@ -906,7 +923,17 @@ let pick_lookahead ?(cutoff = infinity) ctx ~phys_start ~prev ~subcircuit
    trials) seeds every stage's incumbent and aborts the whole pipeline as
    soon as the running makespan provably exceeds it: clocks are monotone
    across stages, so a stage makespan above the cutoff refutes the final
-   one. *)
+   one.
+
+   A portfolio peer's incumbent ([ctx.c_shared]) joins in the same way,
+   with one extra wrinkle: the peer value is an {e upper bound on the
+   race's final winner}, not on {e this} pipeline, so when it prunes every
+   candidate of a stage the pick is re-run under the caller's own cutoff —
+   reproducing the individual-run pick exactly — and only the post-stage
+   exact re-time is allowed to abort (proving this pipeline's final
+   makespan exceeds the published value, i.e. it can neither win nor tie
+   the race).  Completed pipelines are therefore bit-identical to their
+   individual (shared-free) runs; see {!Portfolio}. *)
 let run_pipeline ?(cutoff = infinity) ?hints ctx subcircuits =
   let options = ctx.c_options in
   let subs = Array.of_list subcircuits in
@@ -917,6 +944,10 @@ let run_pipeline ?(cutoff = infinity) ?hints ctx subcircuits =
   let failure = ref None in
   (try
      for i = 0 to count - 1 do
+       if Qcp_util.Clock.expired ctx.c_deadline then begin
+         failure := Some msg_deadline;
+         raise Exit
+       end;
        let subcircuit = subs.(i) in
        let hint =
          match hints with
@@ -934,7 +965,7 @@ let run_pipeline ?(cutoff = infinity) ?hints ctx subcircuits =
                 (fun () -> enumerate_mappings ctx ~subcircuit:subs.(i + 1)))
          else None
        in
-       let chosen =
+       let pick cutoff =
          timed ctx (fun () ->
              match next_mappings with
              | Some next_mappings ->
@@ -948,11 +979,30 @@ let run_pipeline ?(cutoff = infinity) ?hints ctx subcircuits =
                    pick_greedy ~cutoff ctx ~phys_start:!phys_start ~prev:!prev
                      ~subcircuit candidates))
        in
+       let chosen =
+         match ctx.c_shared with
+         | None -> pick cutoff
+         | Some shared -> (
+           let eff = Float.min cutoff (incumbent_get shared) in
+           if eff >= cutoff then pick cutoff
+           else begin
+             (* The peer value tightens this stage's sweep. *)
+             Telemetry.incr ctx.c_peer_pruned;
+             match pick eff with
+             | Some (_, _, best) when best = infinity ->
+               (* The peer bound pruned the whole sweep, which refutes
+                  nothing about *this* pipeline (only the exact post-stage
+                  re-time may abort it): redo the pick under our own cutoff
+                  so the choice matches the individual run exactly. *)
+               pick cutoff
+             | r -> r
+           end)
+       in
        match chosen with
        | None ->
          failure := Some "no monomorphism found for an alignable subcircuit";
          raise Exit
-       | Some (placement, picked_finish) ->
+       | Some (placement, picked_finish, _) ->
          (* Fine tuning optimizes the current stage only; under lookahead,
             keep it only if it does not undo the two-stage choice.  The
             baseline is judged exactly, then bounds the challenger: ties
@@ -1003,6 +1053,17 @@ let run_pipeline ?(cutoff = infinity) ?hints ctx subcircuits =
            failure := Some "makespan exceeds the evaluation cutoff";
            raise Exit
          end;
+         (* Exact stage re-time above a peer's *achieved* runtime: clocks
+            are monotone across stages, so this pipeline's final makespan
+            can neither win nor tie the race — abandon it.  Strict
+            comparison: a tying pipeline must complete so the portfolio's
+            seeded reduce stays schedule-independent. *)
+         (match ctx.c_shared with
+         | Some shared when makespan > incumbent_get shared ->
+           Telemetry.incr ctx.c_peer_pruned;
+           failure := Some msg_peer_pruned;
+           raise Exit
+         | Some _ | None -> ());
          (match network with
          | Some net when net <> [] -> stages := Permute net :: !stages
          | Some _ | None -> ());
@@ -1037,6 +1098,11 @@ let balance_boundaries ctx subcircuits =
          balance phase's, not enumerate/greedy/route time of the real
          pipeline.  Search counters intentionally stay shared. *)
       c_phases = make_phase_times ();
+      (* Structural split decisions must not depend on a racing peer's
+         schedule: trials prune only against their own incumbent makespan,
+         so the boundary choice — hence the placement — is the same with
+         or without the portfolio running alongside. *)
+      c_shared = None;
     }
   in
   let evaluate ?cutoff subs =
@@ -1156,7 +1222,7 @@ let finalize_metrics ctx =
   if Telemetry.enabled () then Telemetry.merge_into t ~into:Telemetry.global;
   (stats, snapshot)
 
-let place options env circuit =
+let place ?(deadline = infinity) ?shared options env circuit =
   Qcp_obs.Trace.with_span ~cat:"placer" "placer/place" @@ fun () ->
   let circuit =
     if options.Options.commute_prepass then
@@ -1192,6 +1258,9 @@ let place options env circuit =
           c_early_exits = rm.rm_early_exits;
           c_routed = rm.rm_routed;
           c_phases = make_phase_times ();
+          c_shared = shared;
+          c_deadline = deadline;
+          c_peer_pruned = rm.rm_peer_pruned;
           c_cache =
             Score_cache.create ~enabled:options.Options.score_cache
               ~register:m ();
@@ -1408,7 +1477,7 @@ let pp ppf program =
        skips, %d timing early exits@."
       s.candidates_pruned s.candidates_scored
       (100.0 *. float_of_int s.candidates_pruned
-      /. float_of_int (max 1 s.candidates_scored))
+      /. float_of_int (Int.max 1 s.candidates_scored))
       s.lower_bound_skips s.timing_early_exits;
   List.iteri
     (fun i stage ->

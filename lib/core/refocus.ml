@@ -40,7 +40,7 @@ let design ~nuclei ~keep =
           Hashtbl.add row_of_rep rep row;
           row)
   in
-  { slices = next_power_of_two (max 1 !next); rows }
+  { slices = next_power_of_two (Int.max 1 !next); rows }
 
 let effective_coupling scheme a b =
   let total = ref 0 in

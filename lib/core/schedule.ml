@@ -32,7 +32,7 @@ let asap_stage ~env ~reuse_cap ~emit ~clock circuit =
         clock.(v) <- start +. duration;
         emit gate [ v ] start clock.(v)
       | Gate.G2 (_, a, b) ->
-        let pair = Some (min a b, max a b) in
+        let pair = Some (Int.min a b, Int.max a b) in
         let t = Gate.duration gate in
         let effective =
           if current_pair.(a) = pair && current_pair.(b) = pair then begin
@@ -171,7 +171,7 @@ let render ?(width = 72) program =
        (event_count t) (t.total /. 10000.0));
   if t.total > 0.0 then begin
     let column time =
-      min (width - 1) (int_of_float (time /. t.total *. float_of_int width))
+      Int.min (width - 1) (int_of_float (time /. t.total *. float_of_int width))
     in
     for v = 0 to m - 1 do
       let row = Bytes.make width '-' in
@@ -179,7 +179,7 @@ let render ?(width = 72) program =
         (fun e ->
           if List.mem v e.vertices then begin
             let mark = if e.is_swap then 's' else '#' in
-            for c = column e.start to max (column e.start) (column (e.finish -. 1e-12)) do
+            for c = column e.start to Int.max (column e.start) (column (e.finish -. 1e-12)) do
               Bytes.set row c mark
             done
           end)

@@ -1,0 +1,176 @@
+module Circuit = Qcp_circuit.Circuit
+module Environment = Qcp_env.Environment
+module Telemetry = Qcp_obs.Metrics
+
+type result =
+  | Complete of Placer.program * float
+  | Pruned
+  | Expired
+  | Infeasible of string
+
+type verdict = { result : result; peer_prunes : int }
+
+type t = {
+  name : string;
+  solve :
+    deadline:float ->
+    shared:Incumbent.t ->
+    effort:float ->
+    Options.t ->
+    Qcp_env.Environment.t ->
+    Qcp_circuit.Circuit.t ->
+    verdict;
+}
+
+(* [effort] rounds onto an integer knob so 1.0 reproduces the unbiased
+   budget exactly (Float.round, not truncation: 0.999… must not lose a
+   unit). *)
+let scaled_budget base effort =
+  if effort = 1.0 then base
+  else Int.max 1 (int_of_float (Float.round (float_of_int base *. effort)))
+
+(* A classic-pipeline strategy: [tweak] fixes the pick flavor, the rest of
+   the caller's options pass through untouched so a single-strategy race
+   degenerates to exactly [Placer.place (tweak options)]. *)
+let classic name tweak =
+  let solve ~deadline ~shared ~effort options env circuit =
+    let options = (tweak options : Options.t) in
+    let options =
+      {
+        options with
+        Options.monomorphism_limit =
+          scaled_budget options.Options.monomorphism_limit effort;
+      }
+    in
+    let result =
+      match Placer.place ~deadline ~shared options env circuit with
+      | Placer.Placed program ->
+        let runtime = Placer.runtime program in
+        (* The pipeline's own makespan bookkeeping never enters the cell;
+           only this replayed end-to-end runtime is an achieved score. *)
+        Incumbent.submit shared runtime;
+        Complete (program, runtime)
+      | Placer.Unplaceable msg when String.equal msg Placer.msg_deadline ->
+        Expired
+      | Placer.Unplaceable msg when String.equal msg Placer.msg_peer_pruned ->
+        Pruned
+      | Placer.Unplaceable msg -> Infeasible msg
+    in
+    { result; peer_prunes = Placer.last_peer_prunes () }
+  in
+  { name; solve }
+
+let greedy =
+  classic "greedy" (fun o ->
+      { o with Options.lookahead = false; balance_boundaries = false })
+
+let lookahead =
+  classic "lookahead" (fun o ->
+      { o with Options.lookahead = true; balance_boundaries = false })
+
+let boundary =
+  classic "boundary" (fun o ->
+      { o with Options.lookahead = true; balance_boundaries = true })
+
+(* Fixed annealing budget (scaled by [effort]): modest restarts because the
+   portfolio already diversifies across strategies. *)
+let annealer_restarts = 2
+let annealer_iterations = 10_000
+
+let annealer =
+  let solve ~deadline ~shared ~effort options env circuit =
+    if Qcp_util.Clock.expired deadline then
+      { result = Expired; peer_prunes = 0 }
+    else if Circuit.qubits circuit > Environment.size env then
+      {
+        result =
+          Infeasible
+            (Printf.sprintf
+               "circuit needs %d qubits but the environment has %d"
+               (Circuit.qubits circuit) (Environment.size env));
+        peer_prunes = 0;
+      }
+    else begin
+      let placement, cost =
+        Annealer.solve_restarts ~restarts:annealer_restarts
+          ~jobs:options.Options.jobs
+          ~iterations:(scaled_budget annealer_iterations effort)
+          ~model:options.Options.model ?reuse_cap:options.Options.reuse_cap
+          ~publish:(Incumbent.submit shared)
+          env circuit
+      in
+      (* One computation stage over the full delay matrix — the paper's
+         "optimal placement when placed without insertion of SWAPs" shape.
+         [adjacency] keeps the environment's fast-interaction graph for
+         reporting, but the placement is free to use slow couplings; the
+         timing replay charges them at their true cost either way. *)
+      let adjacency =
+        match
+          Environment.connected_adjacency env
+            ~threshold:options.Options.threshold
+        with
+        | Some g -> g
+        | None -> Environment.adjacency env ~threshold:infinity
+      in
+      let program =
+        {
+          Placer.env;
+          source = circuit;
+          options;
+          adjacency;
+          stages = [ Placer.Compute { placement; circuit } ];
+          stats =
+            {
+              Placer.oracle_calls = 0;
+              enumerations = 0;
+              candidates_scored = 0;
+              candidates_pruned = 0;
+              lower_bound_skips = 0;
+              timing_early_exits = 0;
+              networks_routed = 0;
+              route_cache_hits = 0;
+              route_cache_misses = 0;
+              scoring_seconds = 0.0;
+            };
+          metrics = Telemetry.snapshot (Telemetry.create ());
+        }
+      in
+      let runtime = Placer.runtime program in
+      (* [cost] is {!Baselines.evaluate} of the same placement under the
+         same model and cap — the identical recurrence the replay runs —
+         so the mid-run [publish] values were genuine achieved runtimes.
+         Re-submit the replayed value anyway so the invariant holds even
+         if the two paths ever diverge. *)
+      ignore (cost : float);
+      Incumbent.submit shared runtime;
+      { result = Complete (program, runtime); peer_prunes = 0 }
+    end
+  in
+  { name = "annealer"; solve }
+
+let all = [ greedy; lookahead; boundary; annealer ]
+
+let find name =
+  match List.find_opt (fun s -> String.equal s.name name) all with
+  | Some s -> Ok s
+  | None ->
+    Error
+      (Printf.sprintf "unknown strategy %S (expected one of: %s)" name
+         (String.concat ", " Options.all_strategies))
+
+let resolve names =
+  match names with
+  | [] -> Error "no strategies selected"
+  | _ -> (
+    let rec validate = function
+      | [] -> Ok ()
+      | name :: rest -> (
+        match find name with Ok _ -> validate rest | Error e -> Error e)
+    in
+    match validate names with
+    | Error e -> Error e
+    | Ok () ->
+      Ok
+        (List.filter
+           (fun s -> List.exists (String.equal s.name) names)
+           all))

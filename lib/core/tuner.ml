@@ -11,14 +11,21 @@ let candidate_thresholds env =
   done;
   List.sort_uniq Float.compare !values |> List.map (fun d -> d +. 1e-9)
 
-let sweep ?(options = fun ~threshold -> Options.default ~threshold) env circuit =
-  List.map
-    (fun threshold ->
-      (threshold, Placer.place (options ~threshold) env circuit))
-    (candidate_thresholds env)
+let sweep ?(jobs = Qcp_util.Task_pool.env_jobs ())
+    ?(options = fun ~threshold -> Options.default ~threshold) env circuit =
+  let thresholds = candidate_thresholds env in
+  (* The whole sweep rides {!Placer.place_batch}: outcome order follows the
+     threshold order and each job is bit-identical to a sequential
+     {!Placer.place} call, so parallelizing the sweep cannot change which
+     threshold {!auto_place} selects. *)
+  let outcomes =
+    Placer.place_batch ~jobs
+      (List.map (fun threshold -> (options ~threshold, env, circuit)) thresholds)
+  in
+  List.combine thresholds outcomes
 
-let auto_place ?options env circuit =
-  let results = sweep ?options env circuit in
+let auto_place ?jobs ?options env circuit =
+  let results = sweep ?jobs ?options env circuit in
   let best =
     List.fold_left
       (fun acc (_, outcome) ->

@@ -13,17 +13,23 @@ val candidate_thresholds : Qcp_env.Environment.t -> float list
     graphs. *)
 
 val sweep :
+  ?jobs:int ->
   ?options:(threshold:float -> Options.t) ->
   Qcp_env.Environment.t ->
   Qcp_circuit.Circuit.t ->
   (float * Placer.outcome) list
 (** Place at every candidate threshold.  [options] builds the option record
-    per threshold (default {!Options.default}). *)
+    per threshold (default {!Options.default}).  The sweep maps over
+    {!Placer.place_batch} with at most [jobs] pool domains (default
+    {!Qcp_util.Task_pool.env_jobs}; [0] runs sequentially); outcomes keep
+    threshold order and are bit-identical at any [jobs] value. *)
 
 val auto_place :
+  ?jobs:int ->
   ?options:(threshold:float -> Options.t) ->
   Qcp_env.Environment.t ->
   Qcp_circuit.Circuit.t ->
   Placer.outcome
 (** The best-runtime placement over the sweep ([Unplaceable] only if every
-    candidate is). *)
+    candidate is): the earliest (lowest) candidate threshold attaining the
+    minimum runtime, independent of [jobs]. *)

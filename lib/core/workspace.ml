@@ -167,7 +167,7 @@ let split ?oracle_calls ~adjacency circuit =
       match Gate.qubits gate with
       | [ _ ] -> gates := gate :: !gates
       | [ a; b ] ->
-        let pair = (min a b, max a b) in
+        let pair = (Int.min a b, Int.max a b) in
         if Hashtbl.mem pair_set pair then gates := gate :: !gates
         else if o.o_extends pair then begin
           o.o_admit pair;
@@ -218,7 +218,7 @@ let split ?oracle_calls ~adjacency circuit =
 let split_windowed ?oracle_calls ?(budget = 10_000) ~window ~adjacency circuit
     =
   let qubits = Circuit.qubits circuit in
-  let window = max 1 window in
+  let window = Int.max 1 window in
   let o = make_oracle ?oracle_calls ~budget ~adjacency ~qubits () in
   let dag = Dag.build circuit in
   let gates = Array.of_list (Circuit.gates circuit) in
@@ -227,7 +227,7 @@ let split_windowed ?oracle_calls ?(budget = 10_000) ~window ~adjacency circuit
   for i = 0 to n - 1 do
     indeg.(i) <- List.length (Dag.preds dag i)
   done;
-  let ready = Qcp_util.Iheap.create (max 16 (n / 4)) in
+  let ready = Qcp_util.Iheap.create (Int.max 16 (n / 4)) in
   for i = 0 to n - 1 do
     if indeg.(i) = 0 then Qcp_util.Iheap.push ready i
   done;
@@ -268,7 +268,7 @@ let split_windowed ?oracle_calls ?(budget = 10_000) ~window ~adjacency circuit
       match Gate.qubits gates.(i) with
       | [ _ ] -> emit i
       | [ a; b ] ->
-        let pair = (min a b, max a b) in
+        let pair = (Int.min a b, Int.max a b) in
         if Hashtbl.mem pair_set pair then emit i
         else if o.o_extends pair then begin
           o.o_admit pair;

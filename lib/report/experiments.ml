@@ -103,7 +103,15 @@ let phase_section buf pbuf =
    consumes the outcomes in the same order — so the rendered text is
    byte-identical at any [jobs] value (outcomes are bit-identical and the
    formatting is order-preserving). *)
-let table2 ?(jobs = Qcp_util.Task_pool.env_jobs ()) ?(phases = false) () =
+(* [portfolio] swaps the batch engine for {!Qcp.Portfolio.place_batch}:
+   every cell becomes a strategy race instead of a single classic pipeline
+   (same outcome order, still deterministic without a deadline). *)
+let batch ~portfolio ~jobs specs =
+  if portfolio then Qcp.Portfolio.place_batch ~jobs specs
+  else Placer.place_batch ~jobs specs
+
+let table2 ?(jobs = Qcp_util.Task_pool.env_jobs ()) ?(phases = false)
+    ?(portfolio = false) () =
   let t =
     Text_table.create
       ~title:"Table 2: mapping experimentally constructed circuits into their environments"
@@ -123,7 +131,7 @@ let table2 ?(jobs = Qcp_util.Task_pool.env_jobs ()) ?(phases = false) () =
         (Options.default ~threshold, env, circuit))
       table2_rows
   in
-  let outcomes = Placer.place_batch ~jobs specs in
+  let outcomes = batch ~portfolio ~jobs specs in
   let pbuf = Buffer.create 256 in
   List.iter2
     (fun (name, circuit, env, _) outcome ->
@@ -167,7 +175,7 @@ let table3_sections =
   ]
 
 let table3 ?(monomorphism_limit = 100) ?(jobs = Qcp_util.Task_pool.env_jobs ())
-    ?(phases = false) () =
+    ?(phases = false) ?(portfolio = false) () =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf
     "Table 3: placement of potentially interesting circuits for different Thresholds\n\
@@ -199,7 +207,7 @@ let table3 ?(monomorphism_limit = 100) ?(jobs = Qcp_util.Task_pool.env_jobs ())
           rows)
       sections
   in
-  let outcomes = ref (Placer.place_batch ~jobs specs) in
+  let outcomes = ref (batch ~portfolio ~jobs specs) in
   let next_outcome () =
     match !outcomes with
     | [] -> assert false
@@ -255,7 +263,7 @@ let table3 ?(monomorphism_limit = 100) ?(jobs = Qcp_util.Task_pool.env_jobs ())
 (* ------------------------------------------------------------------ *)
 
 let table4 ?(full = false) ?(seed = 2007) ?(jobs = Qcp_util.Task_pool.env_jobs ())
-    ?(phases = false) () =
+    ?(phases = false) ?(portfolio = false) () =
   let sizes = if full then [ 8; 16; 32; 64; 128; 256; 512; 1024 ] else [ 8; 16; 32; 64; 128 ] in
   let t =
     Text_table.create
@@ -294,7 +302,10 @@ let table4 ?(full = false) ?(seed = 2007) ?(jobs = Qcp_util.Task_pool.env_jobs (
       let _, circuit, _, env = rows.(i) in
       let options = Options.fast ~threshold:50.0 in
       let t0 = Unix.gettimeofday () in
-      let outcome = Placer.place options env circuit in
+      let outcome =
+        if portfolio then Qcp.Portfolio.place options env circuit
+        else Placer.place options env circuit
+      in
       results.(i) <- Some (outcome, Unix.gettimeofday () -. t0))
     (Array.length rows);
   let pbuf = Buffer.create 256 in
@@ -325,12 +336,12 @@ let table4 ?(full = false) ?(seed = 2007) ?(jobs = Qcp_util.Task_pool.env_jobs (
 (* One driver for the bench harness: Tables 2-4 back to back, sharing the
    pool and the cross-run registries. *)
 let tables234 ?monomorphism_limit ?(jobs = Qcp_util.Task_pool.env_jobs ())
-    ?phases () =
+    ?phases ?portfolio () =
   String.concat "\n"
     [
-      table2 ~jobs ?phases ();
-      table3 ?monomorphism_limit ~jobs ?phases ();
-      table4 ~jobs ?phases ();
+      table2 ~jobs ?phases ?portfolio ();
+      table3 ?monomorphism_limit ~jobs ?phases ?portfolio ();
+      table4 ~jobs ?phases ?portfolio ();
     ]
 
 (* ------------------------------------------------------------------ *)

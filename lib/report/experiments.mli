@@ -7,20 +7,33 @@ val table1 : unit -> string
     placement (770) and the optimal placement (136) of the 3-qubit encoder
     on acetyl chloride. *)
 
-val table2 : ?jobs:int -> ?phases:bool -> unit -> string
+val table2 : ?jobs:int -> ?phases:bool -> ?portfolio:bool -> unit -> string
 (** Mapping experimentally constructed circuits into their environments:
     circuit, environment, estimated runtime, search-space size.  [jobs]
     (default {!Qcp_util.Task_pool.env_jobs}) maps the rows over the shared
     pool via {!Qcp.Placer.place_batch}; the rendered text is byte-identical
     at any value. *)
 
-val table3 : ?monomorphism_limit:int -> ?jobs:int -> ?phases:bool -> unit -> string
+val table3 :
+  ?monomorphism_limit:int ->
+  ?jobs:int ->
+  ?phases:bool ->
+  ?portfolio:bool ->
+  unit ->
+  string
 (** The Threshold sweep over molecules and circuits; cells are
     "runtime (subcircuits)" or N/A.  [monomorphism_limit] defaults to the
     paper's 100.  [jobs] as in {!table2}: all cells of all sections form
     one {!Qcp.Placer.place_batch} job list. *)
 
-val table4 : ?full:bool -> ?seed:int -> ?jobs:int -> ?phases:bool -> unit -> string
+val table4 :
+  ?full:bool ->
+  ?seed:int ->
+  ?jobs:int ->
+  ?phases:bool ->
+  ?portfolio:bool ->
+  unit ->
+  string
 (** Scalability on chain architectures: N, gates, hidden stages,
     subcircuits, placed circuit runtime and software wall-clock.  Default
     sweeps N = 8..128; [full] extends to 1024 (the paper needed two days for
@@ -29,14 +42,24 @@ val table4 : ?full:bool -> ?seed:int -> ?jobs:int -> ?phases:bool -> unit -> str
     value. *)
 
 val tables234 :
-  ?monomorphism_limit:int -> ?jobs:int -> ?phases:bool -> unit -> string
+  ?monomorphism_limit:int ->
+  ?jobs:int ->
+  ?phases:bool ->
+  ?portfolio:bool ->
+  unit ->
+  string
 (** Tables 2, 3 and 4 back to back over one shared pool — the batch
     regeneration workload benchmarked as [batch/tables234].
 
     For all of tables 2-4, [phases] (default [false]) appends a
     per-placed-row pipeline phase breakdown (wall seconds per phase, from
     {!Qcp.Placer.phase_seconds}) after each table; the tables themselves
-    are unchanged. *)
+    are unchanged.
+
+    [portfolio] (default [false]) places every cell through
+    {!Qcp.Portfolio.place} — a deterministic strategy race against a
+    shared incumbent — instead of a single classic pipeline.  Row order
+    and determinism guarantees are unchanged (no deadline is set). *)
 
 val figure1 : unit -> string
 (** Acetyl chloride interaction graph (DOT + delay listing). *)

@@ -1,0 +1,6 @@
+let now () = Unix.gettimeofday ()
+
+let deadline_after budget =
+  if budget = infinity then infinity else now () +. budget
+
+let expired deadline = deadline < infinity && now () > deadline

@@ -17,6 +17,7 @@ let () =
       ("workspace", Suite_workspace.suite);
       ("placer", Suite_placer.suite);
       ("score-cache", Suite_score_cache.suite);
+      ("portfolio", Suite_portfolio.suite);
       ("obs", Suite_obs.suite);
       ("baselines", Suite_baselines.suite);
       ("fidelity", Suite_fidelity.suite);
