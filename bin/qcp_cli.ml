@@ -104,8 +104,8 @@ let threshold_arg =
 let options_term =
   let make threshold no_lookahead fine_tune no_override router no_cap
       sequential limit commute balance no_cache no_bounded window coarsen
-      root_cap jobs parallel parallel_enum portfolio deadline strategies learn
-      env =
+      root_cap spill vcycle jobs parallel parallel_enum portfolio deadline
+      strategies learn env =
     let threshold =
       match threshold with
       | Some th -> th
@@ -143,6 +143,12 @@ let options_term =
       window;
       coarsen;
       root_cap;
+      spill =
+        (match spill with
+        | None -> Qcp.Options.No_spill
+        | Some "" -> Qcp.Options.Spill_drop
+        | Some path -> Qcp.Options.Spill_file path);
+      vcycle;
       jobs;
       portfolio = portfolio || deadline <> None || strategies <> None || learn;
       deadline;
@@ -219,6 +225,25 @@ let options_term =
                enumeration (sparse candidate generation on dense \
                environments).")
     $ Arg.(
+        value
+        & opt ~vopt:(Some "") (some string) None
+        & info [ "spill" ] ~docv:"FILE"
+            ~doc:
+              "Stream per-stage placements out of the hot loop instead of \
+               materializing the stage list (requires $(b,--window)): peak \
+               heap becomes independent of gate count.  With no $(docv) \
+               the stages are summarized and dropped; with one, each stage \
+               is appended to $(docv) as one JSON line.  Placements are \
+               identical to the same windowed run without spilling.")
+    $ Arg.(
+        value & opt int 0
+        & info [ "vcycle" ] ~docv:"PASSES"
+            ~doc:
+              "Run this many V-cycle refinement passes after placement: \
+               adjacency-restricted single-qubit re-assignments over \
+               adjacent stage pairs, committed only on strict end-to-end \
+               improvement (never regresses; 0 disables).")
+    $ Arg.(
         value & opt (some int) None
         & info [ "j"; "jobs" ] ~docv:"N" ~env:(Cmd.Env.info "QCP_JOBS")
             ~doc:
@@ -250,7 +275,7 @@ let options_term =
         & opt (some (list string)) None
         & info [ "strategies" ] ~docv:"NAMES"
             ~doc:
-              "Comma-separated portfolio strategies to race (greedy,                lookahead, boundary, annealer); default all.")
+              "Comma-separated portfolio strategies to race (greedy,                lookahead, boundary, annealer, scale); default all.")
     $ Arg.(
         value & flag
         & info [ "learn" ]
@@ -353,6 +378,11 @@ let place_run env circuit options_of_env auto verbose trace_file metrics_flag
       (Qcp.Placer.swap_depth_total p);
     Printf.printf "runtime    : %.4f sec (%.0f units of 1/10000 s)\n"
       (Qcp.Placer.runtime_seconds p) (Qcp.Placer.runtime p);
+    (match Qcp.Placer.spilled p with
+    | Some s ->
+      Printf.printf "spill      : stages streamed out of core (%d swaps total)\n"
+        s.Qcp.Placer.sm_swap_count
+    | None -> ());
     (match Qcp.Placer.initial_placement p with
     | Some placement ->
       Printf.printf "initial placement:";

@@ -1,5 +1,7 @@
 type router = Bisect | Bisect_weighted | Token | Odd_even
 
+type spill = No_spill | Spill_drop | Spill_file of string
+
 type t = {
   threshold : float;
   monomorphism_limit : int;
@@ -16,6 +18,8 @@ type t = {
   window : int option;
   coarsen : bool;
   root_cap : int option;
+  spill : spill;
+  vcycle : int;
   jobs : int;
   portfolio : bool;
   deadline : float option;
@@ -23,7 +27,7 @@ type t = {
   portfolio_learn : bool;
 }
 
-let all_strategies = [ "greedy"; "lookahead"; "boundary"; "annealer" ]
+let all_strategies = [ "greedy"; "lookahead"; "boundary"; "annealer"; "scale" ]
 
 let default ~threshold =
   {
@@ -42,6 +46,8 @@ let default ~threshold =
     window = None;
     coarsen = false;
     root_cap = None;
+    spill = No_spill;
+    vcycle = 0;
     jobs = Qcp_util.Task_pool.env_jobs ();
     portfolio = false;
     deadline = None;
@@ -84,6 +90,8 @@ let fast ~threshold =
     window = None;
     coarsen = false;
     root_cap = None;
+    spill = No_spill;
+    vcycle = 0;
     jobs = Qcp_util.Task_pool.env_jobs ();
     portfolio = false;
     deadline = None;

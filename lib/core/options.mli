@@ -7,6 +7,12 @@ type router = Bisect | Bisect_weighted | Token | Odd_even
     reference on chain architectures; falls back to [Bisect] on non-path
     adjacency graphs). *)
 
+type spill = No_spill | Spill_drop | Spill_file of string
+(** Destination of spilled per-stage placements (see the [spill] field):
+    [Spill_drop] streams stages through the placer and discards the
+    payloads after summarizing (pure memory-bound mode); [Spill_file f]
+    additionally appends one JSON line per stage to [f]. *)
+
 type t = {
   threshold : float;
       (** Interactions with delay strictly below this are "fast" and usable
@@ -85,6 +91,29 @@ type t = {
           of each monomorphism enumeration at this many images, preferring
           degree-similar targets ({!Qcp_graph.Monomorph.enumerate}).
           [None] (default) enumerates uncapped. *)
+  spill : spill;
+      (** [Spill_drop] / [Spill_file _]: stream per-stage placements out of
+          the hot loop through a {!Placer.Spill} sink instead of
+          accumulating the stage list in the program — peak heap for a
+          windowed place becomes O(window + environment) beyond the input
+          circuit, independent of gate count.  Requires [window]; ignored
+          (with classic accumulation) when [window = None].  The resulting
+          program carries a summary (makespan, stage and SWAP counts,
+          boundary placements) instead of materialized stages, so
+          stage-replaying accessors ({!Placer.stage_circuits},
+          {!Placer.placements}) return empty.  Placed stages and the
+          reported makespan are bit-identical to a non-spilled windowed
+          run.  [No_spill] (default). *)
+  vcycle : int;
+      (** Number of LONGPATH-style V-cycle refinement passes run after
+          placement: each pass sweeps adjacent stage pairs, probing
+          adjacency-restricted single-qubit re-assignments (guided through
+          the {!Qcp_graph.Coarsen} hierarchy when [coarsen] is on) and
+          keeping a move only when the full replayed runtime strictly
+          improves — the result never regresses below the unrefined
+          placement.  Skipped when stages were spilled (refinement needs
+          materialized stages).  [0] (default) disables; output is then
+          bit-identical to previous releases. *)
   jobs : int;
       (** Domain budget for every parallel layer of a placement run —
           candidate-scoring sweeps, monomorphism enumeration fan-out and
@@ -127,7 +156,7 @@ type t = {
 
 val all_strategies : string list
 (** Canonical strategy names (race order and reduce priority):
-    ["greedy"; "lookahead"; "boundary"; "annealer"]. *)
+    ["greedy"; "lookahead"; "boundary"; "annealer"; "scale"]. *)
 
 val default : threshold:float -> t
 (** Paper defaults: [monomorphism_limit = 100], lookahead and fine tuning

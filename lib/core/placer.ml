@@ -13,6 +13,57 @@ type stage =
   | Compute of { placement : int array; circuit : Circuit.t }
   | Permute of Swap_network.t
 
+module Spill = struct
+  type event =
+    | Stage of {
+        index : int;
+        placement : int array;
+        circuit : Circuit.t;
+        makespan : float;
+      }
+    | Network of { index : int; network : Swap_network.t }
+
+  type sink = { emit : event -> unit; close : unit -> unit }
+
+  let callback f = { emit = f; close = (fun () -> ()) }
+  let null = { emit = (fun _ -> ()); close = (fun () -> ()) }
+
+  (* One JSON object per line, appended in stage order; the file is the
+     placement, so a consumer can replay it without ever holding more than
+     one line.  Placements are physical-vertex indices. *)
+  let file path =
+    let oc = open_out path in
+    let emit = function
+      | Stage { index; placement; circuit; makespan } ->
+        Printf.fprintf oc
+          "{\"stage\": %d, \"kind\": \"compute\", \"gates\": %d, \
+           \"makespan\": %.6f, \"placement\": [%s]}\n"
+          index
+          (Circuit.gate_count circuit)
+          makespan
+          (String.concat ", "
+             (Array.to_list (Array.map string_of_int placement)))
+      | Network { index; network } ->
+        Printf.fprintf oc
+          "{\"stage\": %d, \"kind\": \"permute\", \"depth\": %d, \"swaps\": \
+           %d}\n"
+          index
+          (Swap_network.depth network)
+          (Swap_network.swap_count network)
+    in
+    { emit; close = (fun () -> close_out oc) }
+end
+
+type summary = {
+  sm_computes : int;
+  sm_networks : int;
+  sm_swap_depth : int;
+  sm_swap_count : int;
+  sm_makespan : float;
+  sm_first : int array option;
+  sm_last : int array option;
+}
+
 type stats = {
   oracle_calls : int;
   enumerations : int;
@@ -32,6 +83,7 @@ type program = {
   options : Options.t;
   adjacency : Graph.t;
   stages : stage list;
+  spilled : summary option;
   stats : stats;
   metrics : Qcp_obs.Metrics.snapshot;
 }
@@ -120,6 +172,15 @@ type ctx = {
   c_peer_pruned : Telemetry.counter;
       (* Stage sweeps and pipeline aborts cut short by [c_shared] (as
          opposed to this run's own incumbent). *)
+  c_stream_mode : bool;
+      (* Set by the spilled streaming driver: route entries bypass the
+         cross-run shared registry and go through this run's private
+         table, which {!run_streaming} trims after every stage.  On a
+         large register each cached entry carries a full-register SWAP
+         circuit, so letting a multi-thousand-stage run feed the
+         process-lifetime registry would grow the heap with gate count —
+         exactly what spill mode promises not to do.  Pure memoization
+         either way: placements are unaffected. *)
 }
 
 (* The "per-run" registry is cached per domain and zeroed at the start of
@@ -206,10 +267,12 @@ let route_network ctx perm =
           ~jobs ctx.c_adjacency ~perm)
   in
   match ctx.c_options.Options.router with
-  | Options.Bisect -> (
-    match shared_bisect () with
-    | Some entry -> entry
-    | None -> bisect_per_run ())
+  | Options.Bisect ->
+    if ctx.c_stream_mode then bisect_per_run ()
+    else (
+      match shared_bisect () with
+      | Some entry -> entry
+      | None -> bisect_per_run ())
   | Options.Bisect_weighted ->
     per_run (fun perm ->
         Qcp_route.Bisect_router.route ~leaf_override
@@ -917,13 +980,21 @@ let pick_lookahead ?(cutoff = infinity) ctx ~phys_start ~prev ~subcircuit
 let msg_deadline = "deadline expired before the pipeline completed"
 let msg_peer_pruned = "a portfolio peer's incumbent refutes this pipeline"
 
-(* The main stage loop: place each subcircuit in order, connecting
-   consecutive placements with SWAP networks.  Returns the stage list and
-   the final makespan.  A finite [cutoff] (used by the boundary-refinement
-   trials) seeds every stage's incumbent and aborts the whole pipeline as
-   soon as the running makespan provably exceeds it: clocks are monotone
-   across stages, so a stage makespan above the cutoff refutes the final
-   one.
+exception Pipeline_failure of string
+
+(* One pipeline stage, shared verbatim between the materialized driver
+   ({!run_pipeline}) and the streaming spill driver ({!run_streaming}):
+   enumerate candidates, pick (greedy, or depth-2 lookahead when a
+   successor stage is in hand), fine-tune under the lookahead judge,
+   route/re-time, and apply the cutoff / deadline / peer-incumbent abort
+   protocol.  Returns the connecting network (already filtered: [None]
+   when empty or first stage), the chosen placement and the stage's finish
+   clocks; raises {!Pipeline_failure} on any abort.
+
+   A finite [cutoff] (used by the boundary-refinement trials) seeds the
+   stage's incumbent and aborts as soon as the running makespan provably
+   exceeds it: clocks are monotone across stages, so a stage makespan
+   above the cutoff refutes the final one.
 
    A portfolio peer's incumbent ([ctx.c_shared]) joins in the same way,
    with one extra wrinkle: the peer value is an {e upper bound on the
@@ -934,147 +1005,233 @@ let msg_peer_pruned = "a portfolio peer's incumbent refutes this pipeline"
    makespan exceeds the published value, i.e. it can neither win nor tie
    the race).  Completed pipelines are therefore bit-identical to their
    individual (shared-free) runs; see {!Portfolio}. *)
-let run_pipeline ?(cutoff = infinity) ?hints ctx subcircuits =
+let place_one ?(cutoff = infinity) ctx ~phys_start ~prev ~hint ~subcircuit
+    ~next_subcircuit =
+  if Qcp_util.Clock.expired ctx.c_deadline then
+    raise (Pipeline_failure msg_deadline);
   let options = ctx.c_options in
+  let candidates =
+    in_phase ctx.c_phases.ph_enumerate ~name:"placer/enumerate" (fun () ->
+        enumerate_candidates ?hint ctx ~prev ~subcircuit)
+  in
+  let next_mappings =
+    match next_subcircuit with
+    | Some next when options.Options.lookahead ->
+      Some
+        ( next,
+          in_phase ctx.c_phases.ph_enumerate ~name:"placer/enumerate"
+            (fun () -> enumerate_mappings ctx ~subcircuit:next) )
+    | Some _ | None -> None
+  in
+  let pick cutoff =
+    timed ctx (fun () ->
+        match next_mappings with
+        | Some (next_subcircuit, next_mappings) ->
+          in_phase ctx.c_phases.ph_lookahead ~name:"placer/lookahead"
+            (fun () ->
+              pick_lookahead ~cutoff ctx ~phys_start ~prev ~subcircuit
+                ~next_subcircuit ~next_mappings candidates)
+        | None ->
+          in_phase ctx.c_phases.ph_greedy ~name:"placer/greedy" (fun () ->
+              pick_greedy ~cutoff ctx ~phys_start ~prev ~subcircuit candidates))
+  in
+  let chosen =
+    match ctx.c_shared with
+    | None -> pick cutoff
+    | Some shared -> (
+      let eff = Float.min cutoff (incumbent_get shared) in
+      if eff >= cutoff then pick cutoff
+      else begin
+        (* The peer value tightens this stage's sweep. *)
+        Telemetry.incr ctx.c_peer_pruned;
+        match pick eff with
+        | Some (_, _, best) when best = infinity ->
+          (* The peer bound pruned the whole sweep, which refutes
+             nothing about *this* pipeline (only the exact post-stage
+             re-time may abort it): redo the pick under our own cutoff
+             so the choice matches the individual run exactly. *)
+          pick cutoff
+        | r -> r
+      end)
+  in
+  match chosen with
+  | None ->
+    raise (Pipeline_failure "no monomorphism found for an alignable subcircuit")
+  | Some (placement, picked_finish, _) ->
+    (* Fine tuning optimizes the current stage only; under lookahead,
+       keep it only if it does not undo the two-stage choice.  The
+       baseline is judged exactly, then bounds the challenger: ties
+       keep the tuned candidate, and an aborted challenger is strictly
+       worse, so the decision matches the unbounded comparison. *)
+    let tune () =
+      let candidate = fine_tune ctx ~phys_start ~prev ~subcircuit placement in
+      match next_mappings with
+      | Some (next_subcircuit, next_mappings) when candidate <> placement ->
+        let judge ?cutoff p =
+          deep_score ?cutoff ctx ~scratch:ctx.c_scratch ~phys_start ~prev
+            ~subcircuit ~next_subcircuit ~next_mappings p
+        in
+        let baseline = judge placement in
+        if judge ~cutoff:baseline candidate <= baseline then candidate
+        else placement
+      | Some _ | None -> candidate
+    in
+    let tuned =
+      timed ctx (fun () ->
+          if options.Options.fine_tune_passes > 0 then
+            in_phase ctx.c_phases.ph_fine_tune ~name:"placer/fine-tune" tune
+          else placement)
+    in
+    let network, finish, makespan =
+      timed ctx (fun () ->
+          in_phase ctx.c_phases.ph_route ~name:"placer/route" (fun () ->
+              match picked_finish with
+              | Some finish when tuned = placement ->
+                (* The pick already timed this exact placement: the
+                   saved clocks are bit-identical to a fresh replay, so
+                   only the connecting network is fetched (a
+                   route-cache hit). *)
+                let entry = connecting_stage ctx ~prev tuned in
+                ( Option.map (fun e -> e.Score_cache.network) entry,
+                  finish,
+                  Array.fold_left Float.max 0.0 finish )
+              | _ -> score_candidate ctx ~phys_start ~prev ~subcircuit tuned))
+    in
+    if options.Options.bounded_search && makespan > cutoff then
+      raise (Pipeline_failure "makespan exceeds the evaluation cutoff");
+    (* Exact stage re-time above a peer's *achieved* runtime: clocks
+       are monotone across stages, so this pipeline's final makespan
+       can neither win nor tie the race — abandon it.  Strict
+       comparison: a tying pipeline must complete so the portfolio's
+       seeded reduce stays schedule-independent. *)
+    (match ctx.c_shared with
+    | Some shared when makespan > incumbent_get shared ->
+      Telemetry.incr ctx.c_peer_pruned;
+      raise (Pipeline_failure msg_peer_pruned)
+    | Some _ | None -> ());
+    let network =
+      match network with Some net when net <> [] -> Some net | _ -> None
+    in
+    (network, tuned, finish)
+
+(* The main stage loop: place each subcircuit in order, connecting
+   consecutive placements with SWAP networks.  Returns the stage list and
+   the final makespan. *)
+let run_pipeline ?cutoff ?hints ctx subcircuits =
   let subs = Array.of_list subcircuits in
   let count = Array.length subs in
   let stages = ref [] in
   let phys_start = ref (Array.make ctx.c_m 0.0) in
   let prev = ref None in
-  let failure = ref None in
-  (try
-     for i = 0 to count - 1 do
-       if Qcp_util.Clock.expired ctx.c_deadline then begin
-         failure := Some msg_deadline;
-         raise Exit
-       end;
-       let subcircuit = subs.(i) in
-       let hint =
-         match hints with
-         | Some h when i < Array.length h -> h.(i)
-         | Some _ | None -> None
-       in
-       let candidates =
-         in_phase ctx.c_phases.ph_enumerate ~name:"placer/enumerate" (fun () ->
-             enumerate_candidates ?hint ctx ~prev:!prev ~subcircuit)
-       in
-       let next_mappings =
-         if options.Options.lookahead && i + 1 < count then
-           Some
-             (in_phase ctx.c_phases.ph_enumerate ~name:"placer/enumerate"
-                (fun () -> enumerate_mappings ctx ~subcircuit:subs.(i + 1)))
-         else None
-       in
-       let pick cutoff =
-         timed ctx (fun () ->
-             match next_mappings with
-             | Some next_mappings ->
-               in_phase ctx.c_phases.ph_lookahead ~name:"placer/lookahead"
-                 (fun () ->
-                   pick_lookahead ~cutoff ctx ~phys_start:!phys_start
-                     ~prev:!prev ~subcircuit ~next_subcircuit:subs.(i + 1)
-                     ~next_mappings candidates)
-             | None ->
-               in_phase ctx.c_phases.ph_greedy ~name:"placer/greedy" (fun () ->
-                   pick_greedy ~cutoff ctx ~phys_start:!phys_start ~prev:!prev
-                     ~subcircuit candidates))
-       in
-       let chosen =
-         match ctx.c_shared with
-         | None -> pick cutoff
-         | Some shared -> (
-           let eff = Float.min cutoff (incumbent_get shared) in
-           if eff >= cutoff then pick cutoff
-           else begin
-             (* The peer value tightens this stage's sweep. *)
-             Telemetry.incr ctx.c_peer_pruned;
-             match pick eff with
-             | Some (_, _, best) when best = infinity ->
-               (* The peer bound pruned the whole sweep, which refutes
-                  nothing about *this* pipeline (only the exact post-stage
-                  re-time may abort it): redo the pick under our own cutoff
-                  so the choice matches the individual run exactly. *)
-               pick cutoff
-             | r -> r
-           end)
-       in
-       match chosen with
-       | None ->
-         failure := Some "no monomorphism found for an alignable subcircuit";
-         raise Exit
-       | Some (placement, picked_finish, _) ->
-         (* Fine tuning optimizes the current stage only; under lookahead,
-            keep it only if it does not undo the two-stage choice.  The
-            baseline is judged exactly, then bounds the challenger: ties
-            keep the tuned candidate, and an aborted challenger is strictly
-            worse, so the decision matches the unbounded comparison. *)
-         let tune () =
-           let candidate =
-             fine_tune ctx ~phys_start:!phys_start ~prev:!prev ~subcircuit
-               placement
-           in
-           match next_mappings with
-           | Some next_mappings when candidate <> placement ->
-             let judge ?cutoff p =
-               deep_score ?cutoff ctx ~scratch:ctx.c_scratch
-                 ~phys_start:!phys_start ~prev:!prev ~subcircuit
-                 ~next_subcircuit:subs.(i + 1) ~next_mappings p
-             in
-             let baseline = judge placement in
-             if judge ~cutoff:baseline candidate <= baseline then candidate
-             else placement
-           | Some _ | None -> candidate
-         in
-         let tuned =
-           timed ctx (fun () ->
-               if options.Options.fine_tune_passes > 0 then
-                 in_phase ctx.c_phases.ph_fine_tune ~name:"placer/fine-tune"
-                   tune
-               else placement)
-         in
-         let network, finish, makespan =
-           timed ctx (fun () ->
-               in_phase ctx.c_phases.ph_route ~name:"placer/route" (fun () ->
-                   match picked_finish with
-                   | Some finish when tuned = placement ->
-                     (* The pick already timed this exact placement: the
-                        saved clocks are bit-identical to a fresh replay, so
-                        only the connecting network is fetched (a
-                        route-cache hit). *)
-                     let entry = connecting_stage ctx ~prev:!prev tuned in
-                     ( Option.map (fun e -> e.Score_cache.network) entry,
-                       finish,
-                       Array.fold_left Float.max 0.0 finish )
-                   | _ ->
-                     score_candidate ctx ~phys_start:!phys_start ~prev:!prev
-                       ~subcircuit tuned))
-         in
-         if options.Options.bounded_search && makespan > cutoff then begin
-           failure := Some "makespan exceeds the evaluation cutoff";
-           raise Exit
-         end;
-         (* Exact stage re-time above a peer's *achieved* runtime: clocks
-            are monotone across stages, so this pipeline's final makespan
-            can neither win nor tie the race — abandon it.  Strict
-            comparison: a tying pipeline must complete so the portfolio's
-            seeded reduce stays schedule-independent. *)
-         (match ctx.c_shared with
-         | Some shared when makespan > incumbent_get shared ->
-           Telemetry.incr ctx.c_peer_pruned;
-           failure := Some msg_peer_pruned;
-           raise Exit
-         | Some _ | None -> ());
-         (match network with
-         | Some net when net <> [] -> stages := Permute net :: !stages
-         | Some _ | None -> ());
-         stages := Compute { placement = tuned; circuit = subcircuit } :: !stages;
-         phys_start := finish;
-         prev := Some tuned
-     done
-   with Exit -> ());
-  match !failure with
-  | Some msg -> Error msg
-  | None -> Ok (List.rev !stages, Array.fold_left Float.max 0.0 !phys_start)
+  try
+    for i = 0 to count - 1 do
+      let hint =
+        match hints with
+        | Some h when i < Array.length h -> h.(i)
+        | Some _ | None -> None
+      in
+      let next_subcircuit = if i + 1 < count then Some subs.(i + 1) else None in
+      let network, tuned, finish =
+        place_one ?cutoff ctx ~phys_start:!phys_start ~prev:!prev ~hint
+          ~subcircuit:subs.(i) ~next_subcircuit
+      in
+      (match network with
+      | Some net -> stages := Permute net :: !stages
+      | None -> ());
+      stages := Compute { placement = tuned; circuit = subs.(i) } :: !stages;
+      phys_start := finish;
+      prev := Some tuned
+    done;
+    Ok (List.rev !stages, Array.fold_left Float.max 0.0 !phys_start)
+  with Pipeline_failure msg -> Error msg
+
+(* Streaming spill driver: stages flow straight out of
+   {!Workspace.fold_windowed} into {!place_one} and leave through the
+   [sink] the moment they are placed, so the only per-stage state ever
+   live is a one-stage lag buffer — depth-2 lookahead needs the successor
+   subcircuit, so stage [i] is placed when stage [i+1] closes (the final
+   stage is placed lookahead-free, exactly like the materialized driver's
+   last iteration).  Stage formation is deterministic and independent of
+   placement, so the (subcircuit, hint, successor) triples handed to
+   {!place_one} are identical to the materialized windowed run's, and the
+   emitted placements are bit-identical to it.
+
+   Peak heap is O(window + environment) beyond the input circuit and
+   whatever the sink itself retains: the split's deferral window, the lag
+   buffer, one candidate set, and the score cache (bounded by distinct
+   interaction patterns and placements).  One honest caveat: because
+   splitting and placing interleave, the ["split"] phase gauge reads 0 in
+   this mode — split time is indistinguishable from pipeline time. *)
+let run_streaming ctx ~window ~sink circuit =
+  let phys_start = ref (Array.make ctx.c_m 0.0) in
+  let prev = ref None in
+  let index = ref 0 in
+  let computes = ref 0 in
+  let networks = ref 0 in
+  let swap_depth = ref 0 in
+  let swap_count = ref 0 in
+  let first = ref None in
+  let last = ref None in
+  let pending = ref None in
+  let flush ~next_subcircuit =
+    match !pending with
+    | None -> ()
+    | Some (subcircuit, hint) ->
+      let network, tuned, finish =
+        place_one ctx ~phys_start:!phys_start ~prev:!prev ~hint ~subcircuit
+          ~next_subcircuit
+      in
+      (match network with
+      | Some net ->
+        sink.Spill.emit (Spill.Network { index = !index; network = net });
+        incr index;
+        incr networks;
+        swap_depth := !swap_depth + Swap_network.depth net;
+        swap_count := !swap_count + Swap_network.swap_count net
+      | None -> ());
+      let makespan = Array.fold_left Float.max 0.0 finish in
+      sink.Spill.emit
+        (Spill.Stage { index = !index; placement = tuned; circuit = subcircuit;
+                       makespan });
+      incr index;
+      incr computes;
+      if !first = None then first := Some (Array.copy tuned);
+      last := Some tuned;
+      phys_start := finish;
+      prev := Some tuned;
+      pending := None;
+      (* Connecting permutations are rarely shared across stages, so the
+         per-run route table would otherwise be the one structure growing
+         with gate count; trimming costs only recomputation. *)
+      Score_cache.trim ctx.c_cache
+  in
+  let outcome =
+    Fun.protect ~finally:sink.Spill.close @@ fun () ->
+    try
+      Result.map
+        (fun () -> flush ~next_subcircuit:None)
+        (Workspace.fold_windowed ~oracle_calls:ctx.c_oracle ~window
+           ~adjacency:ctx.c_adjacency ~init:()
+           ~stage:(fun () (subcircuit, witness) ->
+             observe_scale ctx "placer.scale.window_fill"
+               (float_of_int (Circuit.gate_count subcircuit));
+             flush ~next_subcircuit:(Some subcircuit);
+             pending := Some (subcircuit, witness))
+           circuit)
+    with Pipeline_failure msg -> Error msg
+  in
+  Result.map
+    (fun () ->
+      {
+        sm_computes = !computes;
+        sm_networks = !networks;
+        sm_swap_depth = !swap_depth;
+        sm_swap_count = !swap_count;
+        sm_makespan = Array.fold_left Float.max 0.0 !phys_start;
+        sm_first = !first;
+        sm_last = !last;
+      })
+    outcome
 
 (* Boundary refinement (paper "further research"): the greedy split makes
    each computation stage maximal; donating a few trailing gates to the next
@@ -1162,6 +1319,162 @@ let balance_boundaries ctx subcircuits =
   let subs = Array.of_list subcircuits in
   Array.to_list (refine subs (evaluate subs) 0 max_donations_per_boundary)
 
+(* LONGPATH-style V-cycle refinement over the committed stage list
+   ([Options.vcycle] passes, opt-in): sweep the computation stages in
+   order, probing single-qubit re-assignments restricted to the adjacency
+   neighborhood of the qubit's current vertex — widened through a small
+   {!Coarsen.select_region} neighborhood when the hierarchy is in hand —
+   and commit a move only when the exact re-timed end-to-end makespan
+   strictly improves.  The refined program therefore never regresses below
+   the unrefined one, and with [vcycle = 0] this code never runs, keeping
+   knobs-off output bit-identical.
+
+   A move is judged in two steps.  The cheap local filter re-times only
+   the two-stage window the move influences directly (the connecting
+   network into the moved stage, the stage itself, and the following
+   network + stage); only window-improving moves are promoted to the exact
+   suffix re-time — sound regardless of what the filter passes, since the
+   suffix re-time alone decides.  Clocks are monotone across stages, so
+   the last stage's re-timed makespan {e is} the end-to-end makespan, and
+   a move at stage [j] cannot change clocks before [j] — the prefix
+   [f.(0..j)] stays valid across commits. *)
+let vcycle_refine ctx stage_list =
+  Qcp_obs.Trace.with_span ~cat:"placer" "placer/vcycle" @@ fun () ->
+  let computes =
+    Array.of_list
+      (List.filter_map
+         (function
+           | Compute { placement; circuit } -> Some (placement, circuit)
+           | Permute _ -> None)
+         stage_list)
+  in
+  let k = Array.length computes in
+  if k = 0 then stage_list
+  else begin
+    let p = Array.map (fun (pl, _) -> Array.copy pl) computes in
+    let c = Array.map snd computes in
+    let prev_of j = if j = 0 then None else Some p.(j - 1) in
+    (* f.(j): physical clocks entering stage [j]'s connecting network. *)
+    let f = Array.make (k + 1) (Array.make ctx.c_m 0.0) in
+    let retime_from j0 =
+      let total = ref 0.0 in
+      for j = j0 to k - 1 do
+        let _, finish, makespan =
+          score_candidate ctx ~phys_start:f.(j) ~prev:(prev_of j)
+            ~subcircuit:c.(j) p.(j)
+        in
+        f.(j + 1) <- finish;
+        total := makespan
+      done;
+      !total
+    in
+    let initial = retime_from 0 in
+    let total = ref initial in
+    let moves = ref 0 in
+    let passes = ref 0 in
+    let eps = 1e-9 in
+    let improved = ref true in
+    while !improved && !passes < ctx.c_options.Options.vcycle do
+      incr passes;
+      improved := false;
+      for j = 0 to k - 1 do
+        let pattern = Score_cache.interaction_graph ctx.c_cache c.(j) in
+        let occupied = Array.make ctx.c_m false in
+        Array.iter (fun v -> occupied.(v) <- true) p.(j);
+        let window_score placement =
+          let _, fin, m1 =
+            score_candidate ctx ~phys_start:f.(j) ~prev:(prev_of j)
+              ~subcircuit:c.(j) placement
+          in
+          if j + 1 < k then
+            let _, _, m2 =
+              score_candidate ctx ~phys_start:fin ~prev:(Some placement)
+                ~subcircuit:c.(j + 1)
+                p.(j + 1)
+            in
+            m2
+          else m1
+        in
+        let baseline = ref (window_score p.(j)) in
+        for q = 0 to ctx.c_n - 1 do
+          let partners = Graph.neighbors pattern q in
+          if Array.length partners > 0 then begin
+            let u = p.(j).(q) in
+            let pool = Array.to_list (Graph.neighbors ctx.c_adjacency u) in
+            let pool =
+              match Lazy.force ctx.c_hier with
+              | Some hier ->
+                List.rev_append
+                  (Coarsen.select_region hier ~seeds:[ u ] ~capacity:8)
+                  pool
+              | None -> pool
+            in
+            (* One committed move per qubit per stage per pass: [u], the
+               probe pool and [occupied] all describe the pre-move
+               placement, so further probes for this qubit would judge
+               against stale state. *)
+            let qdone = ref false in
+            List.iter
+              (fun v ->
+                let feasible =
+                  (not !qdone)
+                  && (not occupied.(v))
+                  && Array.for_all
+                       (fun r -> Graph.mem_edge ctx.c_adjacency v p.(j).(r))
+                       partners
+                in
+                if feasible then begin
+                  let candidate = Array.copy p.(j) in
+                  candidate.(q) <- v;
+                  if window_score candidate < !baseline -. eps then begin
+                    (* Promote: exact suffix re-time decides. *)
+                    let old = p.(j) in
+                    p.(j) <- candidate;
+                    let t = retime_from j in
+                    if t < !total -. eps then begin
+                      total := t;
+                      incr moves;
+                      improved := true;
+                      qdone := true;
+                      occupied.(u) <- false;
+                      occupied.(v) <- true;
+                      baseline := window_score candidate
+                    end
+                    else begin
+                      (* Restore the placement and the suffix clocks the
+                         trial re-time overwrote. *)
+                      p.(j) <- old;
+                      ignore (retime_from j : float)
+                    end
+                  end
+                end)
+              (List.sort_uniq Int.compare pool)
+          end
+        done
+      done
+    done;
+    observe_scale ctx "placer.scale.vcycle_moves" (float_of_int !moves);
+    Telemetry.set
+      (Telemetry.gauge ctx.c_metrics "placer.scale.vcycle_passes")
+      (float_of_int !passes);
+    Telemetry.set
+      (Telemetry.gauge ctx.c_metrics "placer.scale.vcycle_gain")
+      (initial -. !total);
+    if !moves = 0 then stage_list
+    else begin
+      let stages = ref [] in
+      for j = k - 1 downto 0 do
+        stages := Compute { placement = p.(j); circuit = c.(j) } :: !stages;
+        if j > 0 then
+          match connecting_stage ctx ~prev:(Some p.(j - 1)) p.(j) with
+          | Some entry when entry.Score_cache.network <> [] ->
+            stages := Permute entry.Score_cache.network :: !stages
+          | Some _ | None -> ()
+      done;
+      !stages
+    end
+  end
+
 (* Stamp the derived instruments into the per-run registry, snapshot it,
    and merge it into the process-global registry so cross-run tooling
    ([--metrics], bench snapshots) sees the accumulated totals.  The
@@ -1222,7 +1535,7 @@ let finalize_metrics ctx =
   if Telemetry.enabled () then Telemetry.merge_into t ~into:Telemetry.global;
   (stats, snapshot)
 
-let place ?(deadline = infinity) ?shared options env circuit =
+let place ?(deadline = infinity) ?shared ?spill options env circuit =
   Qcp_obs.Trace.with_span ~cat:"placer" "placer/place" @@ fun () ->
   let circuit =
     if options.Options.commute_prepass then
@@ -1261,6 +1574,7 @@ let place ?(deadline = infinity) ?shared options env circuit =
           c_shared = shared;
           c_deadline = deadline;
           c_peer_pruned = rm.rm_peer_pruned;
+          c_stream_mode = false;
           c_cache =
             Score_cache.create ~enabled:options.Options.score_cache
               ~register:m ();
@@ -1294,6 +1608,39 @@ let place ?(deadline = infinity) ?shared options env circuit =
                else None);
         }
       in
+      (* Spill mode: stream stages out of the windowed splitter straight
+         through the sink; nothing below this branch runs.  Armed only
+         when a window is set — a classic whole-circuit split has already
+         materialized everything, so spilling it would save nothing. *)
+      let want_spill =
+        Option.is_some spill || options.Options.spill <> Options.No_spill
+      in
+      match options.Options.window with
+      | Some window when want_spill -> (
+        let sink =
+          match spill with
+          | Some sink -> sink
+          | None -> (
+            match options.Options.spill with
+            | Options.Spill_file path -> Spill.file path
+            | Options.Spill_drop | Options.No_spill -> Spill.null)
+        in
+        match run_streaming { ctx with c_stream_mode = true } ~window ~sink circuit with
+        | Error msg -> Unplaceable msg
+        | Ok summary ->
+          let stats, snapshot = finalize_metrics ctx in
+          Placed
+            {
+              env;
+              source = circuit;
+              options;
+              adjacency;
+              stages = [];
+              spilled = Some summary;
+              stats;
+              metrics = snapshot;
+            })
+      | None | Some _ -> (
       let split_result =
         match options.Options.window with
         | None ->
@@ -1335,6 +1682,10 @@ let place ?(deadline = infinity) ?shared options env circuit =
         match run_pipeline ?hints ctx subcircuits with
         | Error msg -> Unplaceable msg
         | Ok (stage_list, _) ->
+          let stage_list =
+            if options.Options.vcycle > 0 then vcycle_refine ctx stage_list
+            else stage_list
+          in
           let stats, snapshot = finalize_metrics ctx in
           Placed
             {
@@ -1343,9 +1694,10 @@ let place ?(deadline = infinity) ?shared options env circuit =
               options;
               adjacency;
               stages = stage_list;
+              spilled = None;
               stats;
               metrics = snapshot;
-            }))
+            })))
 
 (* Jobs run as pool tasks, so their internal parallel layers (scoring
    sweeps, enumeration, subtree routing) serialize via the pool's nested-use
@@ -1383,35 +1735,67 @@ let stage_circuits program =
     program.stages
 
 let runtime program =
-  let m = Environment.size program.env in
-  let weights = Environment.weights program.env in
-  let finish =
-    List.fold_left
-      (fun start circuit ->
-        Timing.finish_times ~model:program.options.Options.model
-          ?reuse_cap:program.options.Options.reuse_cap ~start ~weights
-          ~place:Timing.identity_place circuit)
-      (Array.make m 0.0) (stage_circuits program)
-  in
-  Array.fold_left Float.max 0.0 finish
+  match program.spilled with
+  | Some s ->
+    (* Spilled stages are gone; the pipeline's final finish clocks — which
+       a replay would reproduce — were folded into the summary instead. *)
+    s.sm_makespan
+  | None ->
+    let m = Environment.size program.env in
+    let weights = Environment.weights program.env in
+    let finish =
+      List.fold_left
+        (fun start circuit ->
+          Timing.finish_times ~model:program.options.Options.model
+            ?reuse_cap:program.options.Options.reuse_cap ~start ~weights
+            ~place:Timing.identity_place circuit)
+        (Array.make m 0.0) (stage_circuits program)
+    in
+    Array.fold_left Float.max 0.0 finish
 
 let runtime_seconds program = runtime program /. units_per_second
 
+let spilled program = program.spilled
+
 let subcircuit_count program =
-  List.length
-    (List.filter (function Compute _ -> true | Permute _ -> false) program.stages)
+  match program.spilled with
+  | Some s -> s.sm_computes
+  | None ->
+    List.length
+      (List.filter
+         (function Compute _ -> true | Permute _ -> false)
+         program.stages)
 
 let swap_stage_count program =
-  List.length
-    (List.filter (function Permute _ -> true | Compute _ -> false) program.stages)
+  match program.spilled with
+  | Some s -> s.sm_networks
+  | None ->
+    List.length
+      (List.filter
+         (function Permute _ -> true | Compute _ -> false)
+         program.stages)
 
 let swap_depth_total program =
-  List.fold_left
-    (fun acc stage ->
-      match stage with
-      | Permute net -> acc + Swap_network.depth net
-      | Compute _ -> acc)
-    0 program.stages
+  match program.spilled with
+  | Some s -> s.sm_swap_depth
+  | None ->
+    List.fold_left
+      (fun acc stage ->
+        match stage with
+        | Permute net -> acc + Swap_network.depth net
+        | Compute _ -> acc)
+      0 program.stages
+
+let swap_count_total program =
+  match program.spilled with
+  | Some s -> s.sm_swap_count
+  | None ->
+    List.fold_left
+      (fun acc stage ->
+        match stage with
+        | Permute net -> acc + Swap_network.swap_count net
+        | Compute _ -> acc)
+      0 program.stages
 
 let placements program =
   List.filter_map
@@ -1419,10 +1803,16 @@ let placements program =
     program.stages
 
 let initial_placement program =
-  match placements program with [] -> None | first :: _ -> Some first
+  match program.spilled with
+  | Some s -> s.sm_first
+  | None -> (
+    match placements program with [] -> None | first :: _ -> Some first)
 
 let final_placement program =
-  match List.rev (placements program) with [] -> None | last :: _ -> Some last
+  match program.spilled with
+  | Some s -> s.sm_last
+  | None -> (
+    match List.rev (placements program) with [] -> None | last :: _ -> Some last)
 
 let to_physical_circuit program =
   let m = Environment.size program.env in
@@ -1463,8 +1853,17 @@ let pp_json ppf s =
 let pp ppf program =
   let env = program.env in
   let nucleus v = Environment.nucleus env v in
-  Format.fprintf ppf "placed program on %s (%d stages)@." (Environment.name env)
-    (List.length program.stages);
+  (match program.spilled with
+  | Some s ->
+    Format.fprintf ppf
+      "placed program on %s (spilled: %d compute stages, %d swap stages, %d \
+       swap levels, %d swaps, makespan %.1f)@."
+      (Environment.name env) s.sm_computes s.sm_networks s.sm_swap_depth
+      s.sm_swap_count s.sm_makespan
+  | None ->
+    Format.fprintf ppf "placed program on %s (%d stages)@."
+      (Environment.name env)
+      (List.length program.stages));
   let s = program.stats in
   Format.fprintf ppf
     "search: %d candidates scored, %d routing requests (%d cache hits, %d \

@@ -15,6 +15,53 @@ type stage =
   | Permute of Qcp_route.Swap_network.t
       (** SWAP levels over physical vertices. *)
 
+(** Streaming destination for per-stage placements (spill mode): with
+    {!Options.t.spill} (or the [?spill] argument of {!place}) set on a
+    windowed run, each placed stage leaves the pipeline through a sink the
+    moment it is ready instead of accumulating in the program — peak heap
+    becomes O(window + environment) beyond the input circuit, independent
+    of gate count. *)
+module Spill : sig
+  type event =
+    | Stage of {
+        index : int;  (** position in the combined stage sequence *)
+        placement : int array;
+        circuit : Qcp_circuit.Circuit.t;
+        makespan : float;  (** running makespan after this stage *)
+      }
+    | Network of { index : int; network : Qcp_route.Swap_network.t }
+
+  type sink = { emit : event -> unit; close : unit -> unit }
+  (** [emit] receives events strictly in stage order; [close] is called
+      exactly once when the run ends (normally or aborted).  An exception
+      raised by [emit] aborts the placement. *)
+
+  val callback : (event -> unit) -> sink
+  (** A sink from a plain callback ([close] is a no-op). *)
+
+  val null : sink
+  (** Discards every event — pure memory-bound mode ([Spill_drop]). *)
+
+  val file : string -> sink
+  (** Appends one JSON object per event to the file (truncating it first):
+      [{"stage": i, "kind": "compute", "gates": g, "makespan": m,
+      "placement": [...]}] or [{"stage": i, "kind": "permute", "depth": d,
+      "swaps": s}].  [close] closes the file. *)
+end
+
+type summary = {
+  sm_computes : int;  (** number of computation stages placed *)
+  sm_networks : int;  (** number of SWAP permutation stages *)
+  sm_swap_depth : int;  (** total SWAP levels across permutation stages *)
+  sm_swap_count : int;  (** total SWAPs across permutation stages *)
+  sm_makespan : float;
+      (** final makespan (delay units) — what a stage replay would give *)
+  sm_first : int array option;  (** first stage's placement *)
+  sm_last : int array option;  (** last stage's placement *)
+}
+(** What a spilled run retains about its stages: the aggregate a
+    non-spilled program's accessors would compute by walking [stages]. *)
+
 type stats = {
   oracle_calls : int;
       (** Monomorphism existence queries during workspace formation — the
@@ -61,6 +108,15 @@ type program = {
   adjacency : Qcp_graph.Graph.t;
       (** The (connected) fast-interaction graph actually used. *)
   stages : stage list;
+      (** Empty when [spilled] is [Some _] — the stages left through the
+          sink. *)
+  spilled : summary option;
+      (** [Some _] exactly when the run streamed its stages through a
+          {!Spill.sink}; the aggregate accessors ({!runtime},
+          {!subcircuit_count}, {!swap_stage_count}, {!swap_depth_total},
+          {!initial_placement}, {!final_placement}) consult it, while the
+          stage-materializing ones ({!placements}, {!stage_circuits},
+          {!to_physical_circuit}) return empty. *)
   stats : stats;
       (** Search-effort counters, a compatibility view over {!metrics}:
           both read the same per-run {!Qcp_obs.Metrics} registry. *)
@@ -80,11 +136,22 @@ type outcome =
 val place :
   ?deadline:float ->
   ?shared:Incumbent.t ->
+  ?spill:Spill.sink ->
   Options.t ->
   Qcp_env.Environment.t ->
   Qcp_circuit.Circuit.t ->
   outcome
 (** [place options env circuit] runs the full pipeline.
+
+    [spill] (or [options.spill <> No_spill]) arms spill mode on a windowed
+    run ([options.window = Some _]; without a window the knob is ignored —
+    a classic split has already materialized everything): stages stream
+    out of {!Workspace.fold_windowed} straight through {!place} into the
+    sink with a one-stage lag (depth-2 lookahead reads the successor), and
+    the returned program carries a {!summary} instead of stages.  Placed
+    stages and the reported makespan are bit-identical to the same
+    windowed run without spilling.  An explicit [?spill] sink takes
+    precedence over the options knob.
 
     [deadline] (absolute {!Qcp_util.Clock} instant, default [infinity]) is
     an anytime cutoff checked between stages: once it passes, the run
@@ -135,7 +202,12 @@ val place_batch :
 
 val runtime : program -> float
 (** End-to-end runtime in delay units (1/10000 s), computed by replaying all
-    stages through the timing model in the physical frame. *)
+    stages through the timing model in the physical frame; for a spilled
+    program, the summary's recorded final makespan (same value — the
+    pipeline computes it from the same finish clocks a replay rebuilds). *)
+
+val spilled : program -> summary option
+(** The [spilled] field, for callers that prefer an accessor. *)
 
 val runtime_seconds : program -> float
 
@@ -146,6 +218,9 @@ val swap_stage_count : program -> int
 
 val swap_depth_total : program -> int
 (** Total SWAP levels across all permutation stages. *)
+
+val swap_count_total : program -> int
+(** Total SWAP gates across all permutation stages. *)
 
 val initial_placement : program -> int array option
 (** Placement of the first computation stage ([None] for an empty program). *)

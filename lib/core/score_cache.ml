@@ -72,6 +72,21 @@ let count_miss t =
 
 let bisect_memo t = if t.enabled then Some t.bisect_memo else None
 
+(* The subcircuit memos are only touched from sequential orchestration
+   (see their doc below), so clearing them needs no lock. *)
+let trim t =
+  Mutex.protect t.lock (fun () -> Perm_tbl.reset t.routes);
+  t.graphs <- [];
+  t.mappings <- []
+
+(* The shared per-graph tables outlive any single run (they die with their
+   graph, and memoized adjacencies keep graphs alive), so they get a hard
+   entry cap instead of a caller-driven trim: a streaming run over
+   thousands of stages sees thousands of distinct connecting permutations,
+   and without the cap the tables — not the run — would carry O(stages)
+   full-register SWAP circuits.  Resetting loses only memoization. *)
+let shared_route_cap = 1024
+
 let entry_of t network =
   { network; swap_circuit = Swap_network.to_circuit ~qubits:t.register network }
 
@@ -140,6 +155,8 @@ let shared_route t graph ~leaf_override ~route perm =
            racers compute the same deterministic entry. *)
         let entry = entry_of t (route sh.sh_memo perm) in
         Mutex.protect sh.sh_lock (fun () ->
+            if Perm_tbl.length table >= shared_route_cap then
+              Perm_tbl.reset table;
             if not (Perm_tbl.mem table perm) then
               Perm_tbl.add table (Array.copy perm) entry);
         Some entry

@@ -80,6 +80,16 @@ val mappings :
     key); assumes [enumerate] is fixed for the cache's lifetime, as it is
     within one placement run.  Sequential callers only. *)
 
+val trim : t -> unit
+(** Drop this run's route table and subcircuit memos.  Every entry is a
+    deterministic pure function of its key, so trimming can only cost
+    recomputation, never change a placement.  The streaming spill driver
+    calls this after each placed stage: connecting permutations are
+    rarely shared across stages and the memos key whole stage
+    subcircuits, so without trimming these tables are the structures that
+    would grow with gate count on a multi-thousand-stage run.  Sequential
+    callers only (the memos are unlocked). *)
+
 val hits : t -> int
 (** Route-cache hits so far. *)
 

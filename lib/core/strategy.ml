@@ -72,6 +72,25 @@ let boundary =
   classic "boundary" (fun o ->
       { o with Options.lookahead = true; balance_boundaries = true })
 
+(* The scale-wall pipeline as a racing entrant: windowed stage formation,
+   coarsen-place-refine and sparse candidate roots, plus one V-cycle
+   refinement pass over the result.  Caller-set knobs win — a run already
+   configured for windowing or V-cycles keeps its own values — so solo
+   races through [Placer.place] degenerate predictably.  Spilling stays
+   off: a racing strategy's program must replay for the reduce. *)
+let scale =
+  classic "scale" (fun o ->
+      {
+        o with
+        Options.lookahead = false;
+        balance_boundaries = false;
+        window = (match o.Options.window with None -> Some 64 | w -> w);
+        coarsen = true;
+        root_cap = (match o.Options.root_cap with None -> Some 32 | c -> c);
+        spill = Options.No_spill;
+        vcycle = Int.max 1 o.Options.vcycle;
+      })
+
 (* Fixed annealing budget (scaled by [effort]): modest restarts because the
    portfolio already diversifies across strategies. *)
 let annealer_restarts = 2
@@ -119,6 +138,7 @@ let annealer =
           options;
           adjacency;
           stages = [ Placer.Compute { placement; circuit } ];
+          spilled = None;
           stats =
             {
               Placer.oracle_calls = 0;
@@ -148,7 +168,7 @@ let annealer =
   in
   { name = "annealer"; solve }
 
-let all = [ greedy; lookahead; boundary; annealer ]
+let all = [ greedy; lookahead; boundary; annealer; scale ]
 
 let find name =
   match List.find_opt (fun s -> String.equal s.name name) all with

@@ -75,6 +75,14 @@ val annealer : t
     stays a pure function of its seed), so it can seed peers' pruning yet
     cannot itself be pruned. *)
 
+val scale : t
+(** The scale-wall pipeline (greedy scoring, windowed stage formation,
+    coarsen-place-refine, sparse candidate roots, one V-cycle refinement
+    pass) — pays stage-formation overhead small instances don't need but
+    wins on large environments, where the full-graph strategies stall.
+    Caller-set [window]/[root_cap]/[vcycle] values are kept; spilling is
+    forced off so the resulting program replays for the reduce. *)
+
 val all : t list
 (** Every strategy, in canonical race order ({!Options.all_strategies}). *)
 

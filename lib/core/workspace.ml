@@ -214,58 +214,49 @@ let split ?oracle_calls ~adjacency circuit =
    is unembeddable on its own, which is the classic splitter's fatal case:
    the one-pair search either finds a witness among the first edges it
    touches or exhausts a tiny space, so [budget] cannot turn an embeddable
-   singleton into an error. *)
-let split_windowed ?oracle_calls ?(budget = 10_000) ~window ~adjacency circuit
-    =
+   singleton into an error.
+
+   Stage formation rides {!Dag.Stream}: the dependency frontier is pulled
+   lazily out of the gate array (O(qubits + live) state, never the offline
+   DAG's edge lists), and each closed stage is handed to the [stage] fold
+   immediately, so a spilling consumer never holds more than the stage in
+   flight.  The stream's pop order equals the offline heap's (gates are
+   pulled only while nothing pulled is ready), so stage boundaries are
+   identical to the materialized splitter's. *)
+let fold_windowed ?oracle_calls ?(budget = 10_000) ~window ~adjacency ~init
+    ~stage circuit =
   let qubits = Circuit.qubits circuit in
   let window = Int.max 1 window in
   let o = make_oracle ?oracle_calls ~budget ~adjacency ~qubits () in
-  let dag = Dag.build circuit in
-  let gates = Array.of_list (Circuit.gates circuit) in
-  let n = Array.length gates in
-  let indeg = Array.make (max 1 n) 0 in
-  for i = 0 to n - 1 do
-    indeg.(i) <- List.length (Dag.preds dag i)
-  done;
-  let ready = Qcp_util.Iheap.create (Int.max 16 (n / 4)) in
-  for i = 0 to n - 1 do
-    if indeg.(i) = 0 then Qcp_util.Iheap.push ready i
-  done;
+  let stream = Dag.Stream.create circuit in
   let emitted = ref [] in
-  let stages = ref [] in
+  let acc = ref init in
   let pair_set = Hashtbl.create 64 in
   let deferred = ref [] in
   let ndeferred = ref 0 in
   let error = ref None in
   let emit i =
-    emitted := gates.(i) :: !emitted;
-    List.iter
-      (fun j ->
-        indeg.(j) <- indeg.(j) - 1;
-        if indeg.(j) = 0 then Qcp_util.Iheap.push ready j)
-      (Dag.succs dag i)
+    emitted := Dag.Stream.gate stream i :: !emitted;
+    Dag.Stream.emit stream i
   in
   let close () =
     if !emitted <> [] then begin
-      stages :=
-        (Circuit.make ~qubits (List.rev !emitted), o.o_witness ()) :: !stages;
+      acc := stage !acc (Circuit.make ~qubits (List.rev !emitted), o.o_witness ());
       emitted := [];
       o.o_reset ();
       Hashtbl.reset pair_set
     end;
     (* Deferred gates become eligible again against the fresh pattern. *)
-    List.iter (fun i -> Qcp_util.Iheap.push ready i) !deferred;
+    List.iter (fun i -> Dag.Stream.requeue stream i) !deferred;
     deferred := [];
     ndeferred := 0
   in
-  while
-    !error = None
-    && ((not (Qcp_util.Iheap.is_empty ready)) || !ndeferred > 0)
-  do
-    if Qcp_util.Iheap.is_empty ready then close ()
-    else begin
-      let i = Qcp_util.Iheap.pop ready in
-      match Gate.qubits gates.(i) with
+  let running = ref true in
+  while !error = None && !running do
+    match Dag.Stream.next stream with
+    | None -> if !ndeferred > 0 then close () else running := false
+    | Some i -> (
+      match Gate.qubits (Dag.Stream.gate stream i) with
       | [ _ ] -> emit i
       | [ a; b ] ->
         let pair = (Int.min a b, Int.max a b) in
@@ -280,17 +271,22 @@ let split_windowed ?oracle_calls ?(budget = 10_000) ~window ~adjacency circuit
             Some
               (Printf.sprintf
                  "interaction %s cannot be aligned with any fast interaction"
-                 (Gate.name gates.(i)))
+                 (Gate.name (Dag.Stream.gate stream i)))
         else begin
           deferred := i :: !deferred;
           incr ndeferred;
           if !ndeferred >= window then close ()
         end
-      | _ -> assert false
-    end
+      | _ -> assert false)
   done;
   match !error with
   | Some msg -> Error msg
   | None ->
     close ();
-    Ok (List.rev !stages)
+    Ok !acc
+
+let split_windowed ?oracle_calls ?budget ~window ~adjacency circuit =
+  Result.map List.rev
+    (fold_windowed ?oracle_calls ?budget ~window ~adjacency ~init:[]
+       ~stage:(fun acc s -> s :: acc)
+       circuit)

@@ -19,6 +19,23 @@ val split :
     paper bounds this by twice the number of two-qubit gates, and this
     implementation consults the oracle only for *new* interaction pairs. *)
 
+val fold_windowed :
+  ?oracle_calls:int ref ->
+  ?budget:int ->
+  window:int ->
+  adjacency:Qcp_graph.Graph.t ->
+  init:'acc ->
+  stage:('acc -> Qcp_circuit.Circuit.t * int array option -> 'acc) ->
+  Qcp_circuit.Circuit.t ->
+  ('acc, string) result
+(** Streaming core of {!split_windowed}: identical stage formation, but
+    each stage (subcircuit, witness) is folded into [stage] the moment it
+    closes instead of being accumulated — the bounded-memory entry point.
+    Stage formation itself rides {!Qcp_circuit.Dag.Stream}, so only the
+    per-qubit dependency frontier, the deferral window and the current
+    stage's gates are ever live; the full DAG is never materialized.
+    Exceptions raised by [stage] propagate (aborting the fold). *)
+
 val split_windowed :
   ?oracle_calls:int ref ->
   ?budget:int ->
@@ -27,7 +44,7 @@ val split_windowed :
   Qcp_circuit.Circuit.t ->
   ((Qcp_circuit.Circuit.t * int array option) list, string) result
 (** Windowed subcircuit formation for million-gate circuits: gates stream
-    out of the dependency DAG ({!Qcp_circuit.Dag.build}, default
+    out of the dependency frontier ({!Qcp_circuit.Dag.Stream}, default
     commutation) smallest-ready-index first.  A gate whose interaction pair
     the oracle refuses is {e deferred} rather than closing the stage, so
     independent gates slide past it and stages pack fuller; once [window]

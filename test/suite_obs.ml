@@ -254,15 +254,26 @@ let test_bit_identity_10_seeds () =
           (label "swap depth")
           (Placer.swap_depth_total off)
           (Placer.swap_depth_total on);
+        (* At jobs >= 2 the pruning-side counters (candidates_pruned,
+           lower_bound_skips, timing_early_exits, networks_routed) are
+           schedule-dependent — which evaluations the shared incumbent
+           aborts depends on domain interleaving (see {!Placer.stats}) —
+           and so is candidates_scored: lookahead skips a candidate's
+           second-stage scoring when its stage-1 makespan already exceeds
+           the incumbent *at that moment*.  Only the truly
+           schedule-independent counters are compared there. *)
         let counters (p : Placer.program) =
           let s = p.Placer.stats in
-          ( s.Placer.oracle_calls,
-            s.Placer.enumerations,
-            s.Placer.candidates_scored,
-            s.Placer.candidates_pruned,
-            s.Placer.lower_bound_skips,
-            s.Placer.timing_early_exits,
-            s.Placer.networks_routed )
+          if jobs >= 2 then
+            (s.Placer.oracle_calls, s.Placer.enumerations, 0, 0, 0, 0, 0)
+          else
+            ( s.Placer.oracle_calls,
+              s.Placer.enumerations,
+              s.Placer.candidates_scored,
+              s.Placer.candidates_pruned,
+              s.Placer.lower_bound_skips,
+              s.Placer.timing_early_exits,
+              s.Placer.networks_routed )
         in
         Alcotest.(check bool)
           (label "search counters") true

@@ -103,7 +103,14 @@ let test_classic_bit_identity () =
   let circuit = Catalog.phase_estimation 4 in
   let defaults = Options.default ~threshold:100.0 in
   let explicit =
-    { defaults with Options.window = None; coarsen = false; root_cap = None }
+    {
+      defaults with
+      Options.window = None;
+      coarsen = false;
+      root_cap = None;
+      spill = Options.No_spill;
+      vcycle = 0;
+    }
   in
   let p1 = place_exn defaults env circuit in
   let p2 = place_exn explicit env circuit in
@@ -335,6 +342,204 @@ let test_coarsen_grid () =
   Alcotest.(check int) "full capacity covers the graph" (Graph.n g)
     (List.length all)
 
+(* ------------------------------------------------------------------ *)
+(* Spill mode: streamed stages are bit-identical to the materialized
+   windowed run, the summary agrees with the accessors, and the whole
+   reconstruction still implements the source circuit.                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Rebuild a stage list from spill events (they arrive in stage order). *)
+let collect_spill () =
+  let events = ref [] in
+  let sink = Placer.Spill.callback (fun e -> events := e :: !events) in
+  let stages () =
+    List.rev_map
+      (function
+        | Placer.Spill.Stage { placement; circuit; _ } ->
+          Placer.Compute { placement; circuit }
+        | Placer.Spill.Network { network; _ } -> Placer.Permute network)
+      !events
+  in
+  (sink, stages)
+
+let test_spill_matches_windowed () =
+  let env = Molecules.trans_crotonic_acid in
+  let circuit = Catalog.phase_estimation 4 in
+  let options = { (Options.fast ~threshold:100.0) with Options.window = Some 8 } in
+  let reference = place_exn options env circuit in
+  let sink, spilled_stages = collect_spill () in
+  let spilled =
+    match Placer.place ~spill:sink options env circuit with
+    | Placer.Placed p -> p
+    | Placer.Unplaceable msg -> Alcotest.failf "spilled run unplaceable: %s" msg
+  in
+  (* The streamed stages are the materialized run's, bit for bit. *)
+  let same_stage a b =
+    match (a, b) with
+    | ( Placer.Compute { placement = p1; circuit = c1 },
+        Placer.Compute { placement = p2; circuit = c2 } ) ->
+      p1 = p2 && Circuit.equal c1 c2
+    | Placer.Permute n1, Placer.Permute n2 -> n1 = n2
+    | _ -> false
+  in
+  let streamed = spilled_stages () in
+  Alcotest.(check int)
+    "same stage count"
+    (List.length reference.Placer.stages)
+    (List.length streamed);
+  List.iter2
+    (fun a b -> Alcotest.(check bool) "same stage" true (same_stage a b))
+    reference.Placer.stages streamed;
+  (* The program itself carries only the summary... *)
+  Alcotest.(check (list (array int))) "no materialized placements" []
+    (Placer.placements spilled);
+  Alcotest.(check bool) "summary present" true (Placer.spilled spilled <> None);
+  (* ...and the summary-backed accessors agree with the reference. *)
+  Alcotest.(check int) "subcircuit count"
+    (Placer.subcircuit_count reference)
+    (Placer.subcircuit_count spilled);
+  Alcotest.(check int) "swap stage count"
+    (Placer.swap_stage_count reference)
+    (Placer.swap_stage_count spilled);
+  Alcotest.(check int) "swap depth"
+    (Placer.swap_depth_total reference)
+    (Placer.swap_depth_total spilled);
+  Alcotest.(check int) "swap count"
+    (Placer.swap_count_total reference)
+    (Placer.swap_count_total spilled);
+  Alcotest.(check (option (array int))) "initial placement"
+    (Placer.initial_placement reference)
+    (Placer.initial_placement spilled);
+  Alcotest.(check (option (array int))) "final placement"
+    (Placer.final_placement reference)
+    (Placer.final_placement spilled);
+  Alcotest.(check bool) "runtime matches" true
+    (Float.equal (Placer.runtime reference) (Placer.runtime spilled));
+  (* The reconstruction is a faithful program: graft the streamed stages
+     back and check semantic equivalence against the source. *)
+  let reconstructed = { reference with Placer.stages = streamed } in
+  Alcotest.(check bool) "reconstruction equivalent" true
+    (Verify.equivalent reconstructed);
+  (* The options knob (Spill_drop) takes the same path as the sink. *)
+  let dropped =
+    place_exn { options with Options.spill = Options.Spill_drop } env circuit
+  in
+  Alcotest.(check bool) "drop-mode runtime matches" true
+    (Float.equal (Placer.runtime reference) (Placer.runtime dropped));
+  (* Without a window the knob is ignored: stages stay materialized. *)
+  let no_window =
+    place_exn
+      { (Options.fast ~threshold:100.0) with Options.spill = Options.Spill_drop }
+      env circuit
+  in
+  Alcotest.(check bool) "spill without window keeps stages" true
+    (Placer.placements no_window <> [])
+
+let test_spill_jobs_identity () =
+  let env = Environment.grid 5 5 in
+  let rng = Rng.create 11 in
+  let circuit =
+    Random_circuit.hidden_stages_custom rng ~n:10 ~stages:2 ~gates_per_stage:30
+  in
+  let base =
+    { (Options.scale ~threshold:50.0) with Options.spill = Options.Spill_drop }
+  in
+  let run jobs =
+    let sink, stages = collect_spill () in
+    match Placer.place ~spill:sink { base with Options.jobs = jobs } env circuit with
+    | Placer.Placed p -> (p, stages ())
+    | Placer.Unplaceable msg -> Alcotest.failf "jobs %d unplaceable: %s" jobs msg
+  in
+  let p0, s0 = run 0 in
+  let p2, s2 = run 2 in
+  Alcotest.(check int) "same stage count" (List.length s0) (List.length s2);
+  List.iter2
+    (fun a b ->
+      match (a, b) with
+      | ( Placer.Compute { placement = x; _ },
+          Placer.Compute { placement = y; _ } ) ->
+        Alcotest.(check (array int)) "same placement" x y
+      | Placer.Permute _, Placer.Permute _ -> ()
+      | _ -> Alcotest.fail "stage kinds diverge across jobs")
+    s0 s2;
+  Alcotest.(check bool) "same runtime" true
+    (Float.equal (Placer.runtime p0) (Placer.runtime p2))
+
+let test_spill_file () =
+  let env = Molecules.trans_crotonic_acid in
+  let circuit = Catalog.qft 5 in
+  let path = Filename.temp_file "qcp_spill" ".jsonl" in
+  let options =
+    {
+      (Options.fast ~threshold:100.0) with
+      Options.window = Some 8;
+      spill = Options.Spill_file path;
+    }
+  in
+  let p = place_exn options env circuit in
+  let lines = ref 0 in
+  let ic = open_in path in
+  (try
+     while true do
+       ignore (input_line ic : string);
+       incr lines
+     done
+   with End_of_file -> close_in ic);
+  Sys.remove path;
+  Alcotest.(check int) "one JSON line per stage"
+    (Placer.subcircuit_count p + Placer.swap_stage_count p)
+    !lines
+
+(* ------------------------------------------------------------------ *)
+(* V-cycle refinement: never regresses, stays semantically equivalent,
+   and is jobs-independent.                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_vcycle_improves_or_matches () =
+  for seed = 0 to 9 do
+    let rng = Rng.create (300 + seed) in
+    let env = Random_env.molecule rng ~n:(8 + (seed mod 4)) in
+    let threshold = Random_env.interesting_threshold rng env in
+    let circuit = random_simulable_circuit rng ~n:4 ~gates:24 in
+    let base = Options.default ~threshold in
+    match Placer.place base env circuit with
+    | Placer.Unplaceable _ -> ()
+    | Placer.Placed reference ->
+      let refined =
+        place_exn { base with Options.vcycle = 2 } env circuit
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: vcycle never regresses" seed)
+        true
+        (Placer.runtime refined <= Placer.runtime reference +. 1e-9);
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: vcycle equivalent" seed)
+        true
+        (Verify.equivalent refined)
+  done
+
+let test_vcycle_jobs_identity () =
+  let env = Environment.grid 5 5 in
+  let rng = Rng.create 23 in
+  let circuit =
+    Random_circuit.hidden_stages_custom rng ~n:10 ~stages:3 ~gates_per_stage:25
+  in
+  let base = { (Options.scale ~threshold:50.0) with Options.vcycle = 2 } in
+  let p0 = place_exn { base with Options.jobs = 0 } env circuit in
+  let p2 = place_exn { base with Options.jobs = 2 } env circuit in
+  check_structure circuit p0;
+  Alcotest.(check (list (array int)))
+    "vcycle jobs-independent placements"
+    (Placer.placements p0) (Placer.placements p2);
+  Alcotest.(check bool)
+    "vcycle jobs-independent runtime" true
+    (Float.equal (Placer.runtime p0) (Placer.runtime p2));
+  (* The refinement telemetry rides in the per-run registry. *)
+  Alcotest.(check bool)
+    "vcycle passes gauge recorded" true
+    (Qcp_obs.Metrics.find (Placer.metrics p0) "placer.scale.vcycle_passes"
+    <> None)
+
 let suite =
   [
     Alcotest.test_case "random instances equivalent" `Slow
@@ -348,4 +553,11 @@ let suite =
     Alcotest.test_case "root-cap subsequence" `Quick test_root_cap_subsequence;
     Alcotest.test_case "embeds-with budget" `Quick test_embeds_with_budget;
     Alcotest.test_case "coarsen grid" `Quick test_coarsen_grid;
+    Alcotest.test_case "spill matches windowed" `Quick
+      test_spill_matches_windowed;
+    Alcotest.test_case "spill jobs identity" `Quick test_spill_jobs_identity;
+    Alcotest.test_case "spill file sink" `Quick test_spill_file;
+    Alcotest.test_case "vcycle improves or matches" `Slow
+      test_vcycle_improves_or_matches;
+    Alcotest.test_case "vcycle jobs identity" `Quick test_vcycle_jobs_identity;
   ]

@@ -7,6 +7,7 @@ let () =
       ("monomorph", Suite_monomorph.suite);
       ("circuit", Suite_circuit.suite);
       ("transform", Suite_transform.suite);
+      ("dag", Suite_dag.suite);
       ("decompose", Suite_decompose.suite);
       ("library", Suite_library.suite);
       ("qasm", Suite_qasm.suite);
