@@ -318,6 +318,104 @@ let memory_probes ?(full = false) () =
   in
   stream_rows @ spill_rows
 
+(* One-shot load generator against a live [qcp serve] daemon, over a Unix
+   socket in a temp dir: per-request round-trip latencies (client-side
+   wall clock) summarized as mean / p50 / p99 ns plus req/s.  Two kernels:
+
+   - serve/throughput: 64 requests with distinct content keys (the
+     [monomorphisms] knob varies, so every request is a cold solve through
+     the batch path) — the daemon's sustained solve rate;
+   - serve/hit-path: 256 repeats of one warmed request — the exact-cache
+     hit path, which the acceptance criterion pins well below a cold
+     solve.
+
+   The [req-per-s] rows are rates (higher is better); regression.exe
+   special-cases the suffix. *)
+let serve_probes () =
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "qcp-bench-%d.sock" (Unix.getpid ()))
+  in
+  let config =
+    {
+      Qcp_serve.Server.default_config with
+      Qcp_serve.Server.socket_path = Some socket;
+      jobs = 0;
+      install_signals = false;
+      verbose = false;
+    }
+  in
+  let daemon = Domain.spawn (fun () -> Qcp_serve.Server.serve config) in
+  let client =
+    Qcp_serve.Client.connect (Qcp_serve.Client.Unix_socket socket)
+  in
+  let ok_needle = {|"status":"ok"|} in
+  let is_ok resp =
+    let n = String.length ok_needle and m = String.length resp in
+    let rec scan i =
+      i + n <= m && (String.sub resp i n = ok_needle || scan (i + 1))
+    in
+    scan 0
+  in
+  let roundtrip line =
+    let t0 = Unix.gettimeofday () in
+    let resp = Qcp_serve.Client.request client line in
+    let ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+    if not (is_ok resp) then failwith ("serve probe: non-ok response " ^ resp);
+    ns
+  in
+  let percentile samples p =
+    let arr = Array.of_list (List.sort compare samples) in
+    arr.(Int.min (Array.length arr - 1)
+           (int_of_float (p *. float_of_int (Array.length arr))))
+  in
+  let run name requests =
+    let t0 = Unix.gettimeofday () in
+    let samples = List.map roundtrip requests in
+    let total_s = Unix.gettimeofday () -. t0 in
+    let n = List.length samples in
+    [
+      (name, List.fold_left ( +. ) 0.0 samples /. float_of_int n);
+      (name ^ "/p50-ns", percentile samples 0.50);
+      (name ^ "/p99-ns", percentile samples 0.99);
+      (name ^ "/req-per-s", float_of_int n /. total_s);
+    ]
+  in
+  let place_line id options =
+    Printf.sprintf
+      "{\"id\":%S,\"op\":\"place\",\"env\":\"trans-crotonic\",\"circuit\":\"qft6\",\"options\":{%s}}"
+      id options
+  in
+  (* Hit kernel first, so its warming round trip is a genuinely cold
+     solve on a cold daemon — the baseline for the >=10x hit-speedup
+     criterion.  (Running throughput first would pre-warm the shared
+     adjacency/route registries and shrink the measured gap.) *)
+  let hit_line = place_line "h" "\"threshold\":100" in
+  let hit_cold_ns = roundtrip hit_line in
+  let hit_rows = run "serve/hit-path" (List.init 256 (fun _ -> hit_line)) in
+  let hit_rows = hit_rows @ [ ("serve/hit-path/cold-ns", hit_cold_ns) ] in
+  let throughput_rows =
+    run "serve/throughput"
+      (List.init 64 (fun i ->
+           place_line
+             (Printf.sprintf "t%d" i)
+             (Printf.sprintf "\"threshold\":100,\"monomorphisms\":%d" (8 + i))))
+  in
+  ignore (Qcp_serve.Client.request client "{\"op\":\"shutdown\"}" : string);
+  Qcp_serve.Client.close client;
+  Domain.join daemon;
+  throughput_rows @ hit_rows
+
+let print_serve_rows rows =
+  Printf.printf "%-40s %16s\n" "serving probe (one-shot)" "value";
+  Printf.printf "%-40s %16s\n" (String.make 40 '-') (String.make 16 '-');
+  List.iter
+    (fun (name, v) ->
+      if String.ends_with ~suffix:"/req-per-s" name then
+        Printf.printf "%-40s %12.1f /s\n" name v
+      else Printf.printf "%-40s %12.3f us\n" name (v /. 1e3))
+    rows
+
 let print_memory_rows rows =
   Printf.printf "%-40s %16s\n" "memory probe (one-shot)" "value";
   Printf.printf "%-40s %16s\n" (String.make 40 '-') (String.make 16 '-');
@@ -333,6 +431,9 @@ let run_micro ?(json = false) () =
   let open Bechamel.Toolkit in
   let mem_rows = memory_probes () in
   print_memory_rows mem_rows;
+  print_newline ();
+  let serve_rows = serve_probes () in
+  print_serve_rows serve_rows;
   print_newline ();
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) () in
   let raw = Benchmark.all cfg [ Instance.monotonic_clock ] (micro_tests ()) in
@@ -369,7 +470,7 @@ let run_micro ?(json = false) () =
     (* The memory-probe rows ride in the same JSON so the regression gate
        and the CI memory budget read one file; they are not ns/run, hence
        kept out of the time-formatted table above. *)
-    write_micro_json (List.sort compare (mem_rows @ rows));
+    write_micro_json (List.sort compare (mem_rows @ serve_rows @ rows));
     (* Snapshot the process-global metrics registry beside the timings.
        Aggregation is armed by QCP_METRICS=1 (off by default because the
        instrumentation perturbs the timings being measured); without it
@@ -449,6 +550,9 @@ let () =
     | "mem" ->
       section "Memory probes (Gc top-heap watermark, one-shot)" "";
       print_memory_rows (memory_probes ~full ())
+    | "serve" ->
+      section "Serving probes (daemon round-trip latency, one-shot)" "";
+      print_serve_rows (serve_probes ())
     | other ->
       Printf.eprintf
         "unknown target %S (expected table1..table4, figure1..figure4, npc, ablation, fidelity, micro)\n"

@@ -65,11 +65,16 @@ let () =
   in
   let baseline = parse_file baseline_path in
   let current = parse_file current_path in
-  let pretty ns =
-    if ns >= 1e9 then Printf.sprintf "%.3f s" (ns /. 1e9)
-    else if ns >= 1e6 then Printf.sprintf "%.3f ms" (ns /. 1e6)
-    else if ns >= 1e3 then Printf.sprintf "%.3f us" (ns /. 1e3)
-    else Printf.sprintf "%.0f ns" ns
+  (* Keys ending in "req-per-s" are rates: higher is better, so their
+     regression ratio is baseline/current (a halved rate trips the same
+     2x budget a doubled latency does), and they print as rates. *)
+  let is_rate name = String.ends_with ~suffix:"req-per-s" name in
+  let pretty name v =
+    if is_rate name then Printf.sprintf "%.1f /s" v
+    else if v >= 1e9 then Printf.sprintf "%.3f s" (v /. 1e9)
+    else if v >= 1e6 then Printf.sprintf "%.3f ms" (v /. 1e6)
+    else if v >= 1e3 then Printf.sprintf "%.3f us" (v /. 1e3)
+    else Printf.sprintf "%.0f ns" v
   in
   Printf.printf "%-40s %12s %12s %8s  %s\n" "kernel" "baseline" "current"
     "ratio" "status";
@@ -84,23 +89,26 @@ let () =
       match List.assoc_opt name current with
       | None ->
         incr failures;
-        Printf.printf "%-40s %12s %12s %8s  MISSING\n" name (pretty base_ns)
-          "-" "-"
+        Printf.printf "%-40s %12s %12s %8s  MISSING\n" name
+          (pretty name base_ns) "-" "-"
       | Some ns ->
-        let ratio = ns /. base_ns in
+        let ratio =
+          if is_rate name then base_ns /. ns else ns /. base_ns
+        in
         ratios := ratio :: !ratios;
         (match !worst with
         | Some (_, r) when r >= ratio -> ()
         | _ -> worst := Some (name, ratio));
         let status = if ratio > factor then "REGRESSED" else "ok" in
         if ratio > factor then incr failures;
-        Printf.printf "%-40s %12s %12s %7.2fx  %s\n" name (pretty base_ns)
-          (pretty ns) ratio status)
+        Printf.printf "%-40s %12s %12s %7.2fx  %s\n" name
+          (pretty name base_ns) (pretty name ns) ratio status)
     baseline;
   List.iter
     (fun (name, ns) ->
       if List.assoc_opt name baseline = None then
-        Printf.printf "%-40s %12s %12s %8s  NEW\n" name "-" (pretty ns) "-")
+        Printf.printf "%-40s %12s %12s %8s  NEW\n" name "-" (pretty name ns)
+          "-")
     current;
   let compared = List.length !ratios in
   if compared > 0 then begin

@@ -293,6 +293,22 @@ let place_run env circuit options_of_env auto verbose trace_file metrics_flag
      cache) before the run when any telemetry output was requested. *)
   if metrics_flag || metrics_json_file <> None then
     Qcp_obs.Metrics.set_enabled true;
+  (* --learn persists across processes: merge the dotfile's win history in
+     before racing, write the updated table back after.  A missing or
+     corrupt dotfile merges nothing (the unbiased race). *)
+  if options.Qcp.Options.portfolio_learn then
+    Option.iter
+      (fun path -> ignore (Qcp.Portfolio.Learn.load path : bool))
+      (Qcp.Portfolio.Learn.default_path ());
+  let save_learn () =
+    if options.Qcp.Options.portfolio_learn then
+      Option.iter
+        (fun path ->
+          try Qcp.Portfolio.Learn.save path
+          with Sys_error msg ->
+            Printf.eprintf "warning: could not save learn table: %s\n" msg)
+        (Qcp.Portfolio.Learn.default_path ())
+  in
   if trace_file <> None then Qcp_obs.Trace.start ();
   let t0 = Unix.gettimeofday () in
   let race = ref None in
@@ -338,6 +354,7 @@ let place_run env circuit options_of_env auto verbose trace_file metrics_flag
         Qcp.Placer.Unplaceable "no candidate threshold admits a placement")
   in
   let wall = Unix.gettimeofday () -. t0 in
+  save_learn ();
   (match trace_file with
   | None -> ()
   | Some path ->
@@ -762,6 +779,229 @@ let show_cmd =
     (Cmd.info "show" ~doc:"Render a circuit as an ASCII diagram or OpenQASM.")
     term
 
+(* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix socket to listen on.")
+
+let port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "port" ] ~docv:"PORT" ~doc:"TCP port to listen on.")
+
+let host_arg =
+  Arg.(
+    value & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"ADDR" ~doc:"TCP bind address.")
+
+let serve_run socket port host jobs cache_cap max_batch queue_cap deadline
+    max_requests learn telemetry verbose =
+  let jobs =
+    match jobs with Some j -> j | None -> Qcp_util.Task_pool.env_jobs ()
+  in
+  let config =
+    {
+      Qcp_serve.Server.default_config with
+      Qcp_serve.Server.socket_path = socket;
+      port;
+      host;
+      jobs;
+      cache_cap;
+      max_batch;
+      queue_cap;
+      default_deadline = deadline;
+      max_requests;
+      learn;
+      telemetry;
+      verbose;
+    }
+  in
+  match Qcp_serve.Server.serve config with
+  | () -> 0
+  | exception Invalid_argument msg ->
+    prerr_endline ("error: " ^ msg);
+    2
+  | exception Unix.Unix_error (e, fn, arg) ->
+    Printf.eprintf "error: %s: %s %s\n" (Unix.error_message e) fn arg;
+    1
+
+let serve_cmd =
+  let term =
+    Term.(
+      const serve_run $ socket_arg $ port_arg $ host_arg
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "j"; "jobs" ] ~docv:"N" ~env:(Cmd.Env.info "QCP_JOBS")
+              ~doc:
+                "Task-pool domains shared by every request batch (0 = \
+                 sequential).  Responses are identical at any value.")
+      $ Arg.(
+          value & opt int 512
+          & info [ "cache-cap" ] ~docv:"N"
+              ~doc:
+                "Result-cache entries held (deterministic LRU; 0 disables \
+                 the cache).")
+      $ Arg.(
+          value & opt int 16
+          & info [ "max-batch" ] ~docv:"N"
+              ~doc:"Requests solved per dispatch (in-flight bound).")
+      $ Arg.(
+          value & opt int 256
+          & info [ "queue-cap" ] ~docv:"N"
+              ~doc:
+                "Waiting requests admitted before answering \
+                 $(b,overloaded).")
+      $ Arg.(
+          value
+          & opt (some float) None
+          & info [ "deadline" ] ~docv:"SECONDS"
+              ~doc:
+                "Default per-request budget for requests that carry none; \
+                 expiry yields a clean $(b,timeout) response.")
+      $ Arg.(
+          value & opt int 0
+          & info [ "max-requests" ] ~docv:"N"
+              ~doc:
+                "Serve this many place requests, then drain and exit (0 = \
+                 unlimited).  For benches and CI smoke tests.")
+      $ Arg.(
+          value & flag
+          & info [ "learn" ]
+              ~doc:
+                "Load the portfolio win table from its dotfile at startup \
+                 and save it back on shutdown.")
+      $ Arg.(
+          value & flag
+          & info [ "telemetry" ]
+              ~doc:"Arm the hot-path metrics instruments for all requests.")
+      $ Arg.(
+          value & flag
+          & info [ "v"; "verbose" ] ~doc:"Log connections and batches."))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the placement daemon: line-delimited JSON requests over a \
+          Unix socket and/or TCP, batched onto one persistent task pool \
+          behind an exact result cache.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* request                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let request_run socket host port body =
+  let address =
+    match (socket, port) with
+    | Some path, _ -> Qcp_serve.Client.Unix_socket path
+    | None, Some port -> Qcp_serve.Client.Tcp (host, port)
+    | None, None ->
+      prerr_endline "error: give --socket PATH or --port PORT";
+      exit 2
+  in
+  match Qcp_serve.Client.connect address with
+  | exception Unix.Unix_error (e, fn, arg) ->
+    Printf.eprintf "error: %s: %s %s\n" (Unix.error_message e) fn arg;
+    1
+  | client ->
+    let ok = ref true in
+    let roundtrip line =
+      let response = Qcp_serve.Client.request client line in
+      print_endline response;
+      (* The exit status mirrors the response status so scripts can
+         branch without parsing JSON. *)
+      match Qcp_util.Json.parse response with
+      | Ok json
+        when Option.bind (Qcp_util.Json.member "status" json)
+               Qcp_util.Json.to_str
+             = Some "ok" ->
+        ()
+      | Ok _ | Error _ -> ok := false
+    in
+    (match body with
+    | Some line -> roundtrip line
+    | None -> (
+      (* No request argument: pipe mode, one request per stdin line. *)
+      try
+        while true do
+          let line = input_line stdin in
+          if String.trim line <> "" then roundtrip line
+        done
+      with End_of_file -> ()));
+    Qcp_serve.Client.close client;
+    if !ok then 0 else 1
+
+let request_cmd =
+  let body =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"JSON"
+          ~doc:
+            "One request line, e.g. '{\"op\":\"place\",\
+             \"env\":\"trans-crotonic\",\"circuit\":\"phaseest\"}'.  \
+             Omitted: read request lines from stdin.")
+  in
+  let term = Term.(const request_run $ socket_arg $ host_arg $ port_arg $ body) in
+  Cmd.v
+    (Cmd.info "request"
+       ~doc:
+         "Send request lines to a running $(b,qcp serve) daemon and print \
+          the responses (exit 0 when every response has status ok).")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* verify                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let verify_run spill register =
+  match Qcp.Verify.Stream.verify_file ?register spill with
+  | Error msg ->
+    Printf.printf "INVALID %s: %s\n" spill msg;
+    1
+  | Ok r ->
+    Printf.printf
+      "valid: %d compute stages, %d swap stages (%d levels, %d swaps), \
+       makespan %.4f sec (%.0f units), %d qubits\n"
+      r.Qcp.Verify.Stream.computes r.Qcp.Verify.Stream.networks
+      r.Qcp.Verify.Stream.swap_depth r.Qcp.Verify.Stream.swap_count
+      (r.Qcp.Verify.Stream.makespan /. 10000.0)
+      r.Qcp.Verify.Stream.makespan r.Qcp.Verify.Stream.qubits;
+    0
+
+let verify_cmd =
+  let spill =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "spill" ] ~docv:"FILE"
+          ~doc:"Line-JSON stage stream written by $(b,place --spill FILE).")
+  in
+  let register =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "register" ] ~docv:"N"
+          ~doc:
+            "Environment size: additionally check every placement entry \
+             lies in [0, $(docv)).")
+  in
+  let term = Term.(const verify_run $ spill $ register) in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Stream a spilled run's stage file at constant memory and check \
+          its structural invariants (stage shape, injective placements, \
+          monotone makespan).")
+    term
+
 let () =
   let info =
     Cmd.info "qcp" ~version:"1.0.0"
@@ -772,5 +1012,5 @@ let () =
        (Cmd.group info
           [
             place_cmd; route_cmd; runtime_cmd; gen_cmd; show_cmd; schedule_cmd;
-            tune_cmd; report_cmd;
+            tune_cmd; report_cmd; serve_cmd; request_cmd; verify_cmd;
           ]))

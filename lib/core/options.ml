@@ -55,6 +55,60 @@ let default ~threshold =
     portfolio_learn = false;
   }
 
+(* Canonical text form of every field, in declaration order: the serving
+   layer's content-hash request keys concatenate this with the canonical
+   environment and circuit texts, so two option records map to the same
+   key exactly when they are structurally equal. *)
+let canonical t =
+  let b = Buffer.create 256 in
+  let field name value = Buffer.add_string b (name ^ "=" ^ value ^ ";") in
+  let flag name v = field name (if v then "1" else "0") in
+  field "threshold" (Printf.sprintf "%h" t.threshold);
+  field "k" (string_of_int t.monomorphism_limit);
+  flag "lookahead" t.lookahead;
+  field "fine_tune" (string_of_int t.fine_tune_passes);
+  flag "leaf_override" t.leaf_override;
+  field "router"
+    (match t.router with
+    | Bisect -> "bisect"
+    | Bisect_weighted -> "weighted"
+    | Token -> "token"
+    | Odd_even -> "odd-even");
+  field "reuse_cap"
+    (match t.reuse_cap with
+    | None -> "none"
+    | Some c -> Printf.sprintf "%h" c);
+  field "model"
+    (match t.model with
+    | Qcp_circuit.Timing.Asap -> "asap"
+    | Qcp_circuit.Timing.Sequential -> "sequential");
+  flag "commute" t.commute_prepass;
+  flag "balance" t.balance_boundaries;
+  flag "score_cache" t.score_cache;
+  flag "bounded" t.bounded_search;
+  field "window"
+    (match t.window with None -> "none" | Some w -> string_of_int w);
+  flag "coarsen" t.coarsen;
+  field "root_cap"
+    (match t.root_cap with None -> "none" | Some c -> string_of_int c);
+  field "spill"
+    (match t.spill with
+    | No_spill -> "none"
+    | Spill_drop -> "drop"
+    | Spill_file path -> "file:" ^ path);
+  field "vcycle" (string_of_int t.vcycle);
+  (* [jobs] is deliberately excluded: placements are bit-identical at any
+     jobs value (the library's determinism contract), so a server may
+     answer a jobs=4 request from a jobs=0 solve and vice versa. *)
+  flag "portfolio" t.portfolio;
+  field "deadline"
+    (match t.deadline with
+    | None -> "none"
+    | Some d -> Printf.sprintf "%h" d);
+  field "strategies" (String.concat "," t.portfolio_strategies);
+  flag "learn" t.portfolio_learn;
+  Buffer.contents b
+
 let deprecation_message ~alias =
   Printf.sprintf
     "warning: %s is deprecated and will be removed; use --jobs (or QCP_JOBS) \

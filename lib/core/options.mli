@@ -171,6 +171,15 @@ val scale : threshold:float -> t
 (** [fast] plus the scale-wall machinery for 1000-qubit environments:
     [window = Some 64], [coarsen = true], [root_cap = Some 32]. *)
 
+val canonical : t -> string
+(** Deterministic text rendering of every field in declaration order
+    ([key=value;] pairs, floats in hex notation so round-trips are exact).
+    Structurally equal records render identically and any field difference
+    shows up in the text — the property the serving layer's content-hash
+    request keys rely on.  [jobs] is excluded on purpose: placements are
+    bit-identical at any jobs value, so results may be shared across
+    requests that differ only in their parallelism budget. *)
+
 val deprecation_message : alias:string -> string
 (** The exact warning text emitted for a deprecated CLI alias (e.g.
     ["--parallel"]), exposed so tests can pin it. *)

@@ -1707,11 +1707,14 @@ let place ?(deadline = infinity) ?shared ?spill options env circuit =
    ({!Environment.connected_adjacency}, mutex-protected) and therefore to
    the same {!Score_cache} per-graph registry entry (mutex-protected route
    tables and bisection memo). *)
-let place_batch ?(jobs = 0) specs =
+let place_batch ?(jobs = 0) ?(deadline_of = fun _ -> infinity) specs =
   let arr = Array.of_list specs in
   let total = Array.length arr in
   if jobs <= 1 || total <= 1 then
-    List.map (fun (options, env, circuit) -> place options env circuit) specs
+    List.mapi
+      (fun i (options, env, circuit) ->
+        place ~deadline:(deadline_of i) options env circuit)
+      specs
   else begin
     let out = Array.make total None in
     Qcp_util.Task_pool.parallel_for
@@ -1719,7 +1722,7 @@ let place_batch ?(jobs = 0) specs =
       ~jobs
       ~body:(fun ~worker:_ i ->
         let options, env, circuit = arr.(i) in
-        out.(i) <- Some (place options env circuit))
+        out.(i) <- Some (place ~deadline:(deadline_of i) options env circuit))
       total;
     Array.to_list
       (Array.map (function Some o -> o | None -> assert false) out)

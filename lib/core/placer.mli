@@ -185,6 +185,7 @@ val last_peer_prunes : unit -> int
 
 val place_batch :
   ?jobs:int ->
+  ?deadline_of:(int -> float) ->
   (Options.t * Qcp_env.Environment.t * Qcp_circuit.Circuit.t) list ->
   outcome list
 (** [place_batch ~jobs specs] places every [(options, env, circuit)] job,
@@ -198,7 +199,12 @@ val place_batch :
     Jobs sharing an environment and threshold share one physical adjacency
     graph and hence one cross-run route registry entry, so batch runs reuse
     routed SWAP networks across jobs exactly like repeated sequential
-    {!place} calls do. *)
+    {!place} calls do.
+
+    [deadline_of i] (default: [infinity] for every job) is job [i]'s
+    absolute anytime deadline, forwarded to {!place}'s [?deadline] — the
+    serving layer batches requests with per-request timeout budgets
+    through this. *)
 
 val runtime : program -> float
 (** End-to-end runtime in delay units (1/10000 s), computed by replaying all

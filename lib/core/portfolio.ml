@@ -73,6 +73,104 @@ module Learn = struct
     Float.min 2.0 (Float.max 0.5 (float_of_int arity *. share))
 
   let reset () = Mutex.protect mutex (fun () -> Hashtbl.reset table)
+
+  (* --------------------------------------------------------------- *)
+  (* Persistence: a versioned dotfile so the strategy bias survives   *)
+  (* process restarts (repeated CLI runs, daemon restarts).           *)
+  (* --------------------------------------------------------------- *)
+
+  let file_header = "qcp-learn v1"
+
+  let default_path () =
+    match Sys.getenv_opt "QCP_LEARN_FILE" with
+    | Some path when path <> "" -> Some path
+    | Some _ -> None
+    | None -> (
+      match Sys.getenv_opt "HOME" with
+      | Some home when home <> "" -> Some (Filename.concat home ".qcp_learn")
+      | Some _ | None -> None)
+
+  let save path =
+    (* Deterministic rendering: keys and strategies in sorted order, so
+       equal tables write byte-identical files. *)
+    let rows =
+      Mutex.protect mutex (fun () ->
+          Hashtbl.fold
+            (fun (nb, gb, db) wins acc ->
+              Hashtbl.fold
+                (fun strategy count acc ->
+                  (nb, gb, db, strategy, count) :: acc)
+                wins acc)
+            table [])
+    in
+    let rows = List.sort compare rows in
+    let oc = open_out path in
+    Fun.protect ~finally:(fun () -> close_out oc) @@ fun () ->
+    output_string oc (file_header ^ "\n");
+    List.iter
+      (fun (nb, gb, db, strategy, count) ->
+        Printf.fprintf oc "%d %d %d %s %d\n" nb gb db strategy count)
+      rows
+
+  let load path =
+    (* Ignore-on-parse-error: a missing, truncated, differently-versioned
+       or corrupted file merges nothing and returns [false] — a stale
+       format after an upgrade must never break a run.  Parsed rows merge
+       additively into the in-process table (counts accumulate), so
+       loading after some races have already been recorded loses
+       nothing. *)
+    match
+      (try Some (open_in path) with Sys_error _ -> None)
+    with
+    | None -> false
+    | Some ic ->
+      Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+      let parse () =
+        if (try input_line ic with End_of_file -> "") <> file_header then None
+        else begin
+          let rows = ref [] in
+          let ok = ref true in
+          (try
+             while !ok do
+               let line = input_line ic in
+               if String.trim line <> "" then
+                 match String.split_on_char ' ' line with
+                 | [ nb; gb; db; strategy; count ] -> (
+                   match
+                     ( int_of_string_opt nb,
+                       int_of_string_opt gb,
+                       int_of_string_opt db,
+                       int_of_string_opt count )
+                   with
+                   | Some nb, Some gb, Some db, Some count
+                     when count >= 0 && strategy <> "" ->
+                     rows := ((nb, gb, db), strategy, count) :: !rows
+                   | _ -> ok := false)
+                 | _ -> ok := false
+             done
+           with End_of_file -> ());
+          if !ok then Some (List.rev !rows) else None
+        end
+      in
+      (match parse () with
+      | None -> false
+      | Some rows ->
+        Mutex.protect mutex (fun () ->
+            List.iter
+              (fun (key, strategy, count) ->
+                let wins =
+                  match Hashtbl.find_opt table key with
+                  | Some wins -> wins
+                  | None ->
+                    let wins = Hashtbl.create 4 in
+                    Hashtbl.add table key wins;
+                    wins
+                in
+                Hashtbl.replace wins strategy
+                  (count
+                  + Option.value ~default:0 (Hashtbl.find_opt wins strategy)))
+              rows);
+        true)
 end
 
 let status_of_result = function

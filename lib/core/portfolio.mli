@@ -120,4 +120,30 @@ module Learn : sig
 
   val reset : unit -> unit
   (** Drop all history (tests). *)
+
+  (** {2 Persistence}
+
+      The win table can round-trip through a small versioned dotfile so
+      the strategy bias survives process restarts — both repeated CLI
+      runs and [qcp serve] restarts.  The format is one header line
+      ([qcp-learn v1]) followed by
+      [<qubit-bucket> <gate-bucket> <density-bucket> <strategy> <wins>]
+      rows.  Nothing here runs implicitly: callers that want persistence
+      (the CLI under [--learn], the daemon) load at startup and save at
+      exit. *)
+
+  val default_path : unit -> string option
+  (** [$QCP_LEARN_FILE] when set and non-empty; [None] when it is set but
+      empty (an explicit off switch); else [$HOME/.qcp_learn]; [None]
+      when neither variable offers a path. *)
+
+  val save : string -> unit
+  (** Write the current table (deterministic row order: equal tables
+      write byte-identical files).  Raises [Sys_error] on I/O failure. *)
+
+  val load : string -> bool
+  (** Merge a previously saved table additively into the in-process one
+      (counts accumulate).  Returns [false] — merging {e nothing} — on a
+      missing file, a version-header mismatch or any malformed row: a
+      stale or corrupt dotfile must never break a run. *)
 end

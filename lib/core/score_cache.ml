@@ -84,8 +84,15 @@ let trim t =
    entry cap instead of a caller-driven trim: a streaming run over
    thousands of stages sees thousands of distinct connecting permutations,
    and without the cap the tables — not the run — would carry O(stages)
-   full-register SWAP circuits.  Resetting loses only memoization. *)
+   full-register SWAP circuits.  Eviction is FIFO on insertion order, one
+   entry at a time: given the same insertion sequence the same keys
+   survive, so a daemon replaying identical traffic sees identical hit
+   patterns — a whole-table reset would instead tie the surviving set to
+   where in the stream the cap happened to trip.  Evicting loses only
+   memoization (every entry is a pure function of its key). *)
 let shared_route_cap = 1024
+
+let shared_route_capacity = shared_route_cap
 
 let entry_of t network =
   { network; swap_circuit = Swap_network.to_circuit ~qubits:t.register network }
@@ -98,13 +105,24 @@ let entry_of t network =
    cached state die with its graph.  Weighted routes keep the per-run memo
    above — their channel choice depends on the caller's edge-cost oracle,
    which the registry key cannot see. *)
+type shared_table = {
+  st_entries : route_entry Perm_tbl.t;
+  st_order : int array Queue.t;
+      (* insertion order; [Queue.length st_order = Perm_tbl.length
+         st_entries] outside the lock, the FIFO eviction victim is the
+         queue's head *)
+}
+
 type shared = {
   sh_memo : Bisect_router.memo;
   sh_register : int; (* the register width the cached circuits were built for *)
   sh_lock : Mutex.t;
-  sh_plain : route_entry Perm_tbl.t; (* leaf_override = false *)
-  sh_leaf : route_entry Perm_tbl.t; (* leaf_override = true *)
+  sh_plain : shared_table; (* leaf_override = false *)
+  sh_leaf : shared_table; (* leaf_override = true *)
 }
+
+let make_shared_table () =
+  { st_entries = Perm_tbl.create 64; st_order = Queue.create () }
 
 module Graph_registry = Ephemeron.K1.Make (struct
   type t = Graph.t
@@ -128,8 +146,8 @@ let shared_for t graph =
             sh_memo = Bisect_router.make_memo ();
             sh_register = t.register;
             sh_lock = Mutex.create ();
-            sh_plain = Perm_tbl.create 64;
-            sh_leaf = Perm_tbl.create 64;
+            sh_plain = make_shared_table ();
+            sh_leaf = make_shared_table ();
           }
         in
         Graph_registry.add shared_registry graph sh;
@@ -145,7 +163,10 @@ let shared_route t graph ~leaf_override ~route perm =
     if sh.sh_register <> t.register then None
     else begin
       let table = if leaf_override then sh.sh_leaf else sh.sh_plain in
-      match Mutex.protect sh.sh_lock (fun () -> Perm_tbl.find_opt table perm) with
+      match
+        Mutex.protect sh.sh_lock (fun () ->
+            Perm_tbl.find_opt table.st_entries perm)
+      with
       | Some entry ->
         count_hit t;
         Some entry
@@ -155,10 +176,18 @@ let shared_route t graph ~leaf_override ~route perm =
            racers compute the same deterministic entry. *)
         let entry = entry_of t (route sh.sh_memo perm) in
         Mutex.protect sh.sh_lock (fun () ->
-            if Perm_tbl.length table >= shared_route_cap then
-              Perm_tbl.reset table;
-            if not (Perm_tbl.mem table perm) then
-              Perm_tbl.add table (Array.copy perm) entry);
+            if not (Perm_tbl.mem table.st_entries perm) then begin
+              (* FIFO eviction: drop the oldest inserted entry, so the
+                 surviving set is a deterministic function of the
+                 insertion sequence. *)
+              if Perm_tbl.length table.st_entries >= shared_route_cap then begin
+                let victim = Queue.pop table.st_order in
+                Perm_tbl.remove table.st_entries victim
+              end;
+              let key = Array.copy perm in
+              Queue.push key table.st_order;
+              Perm_tbl.add table.st_entries key entry
+            end);
         Some entry
     end
 

@@ -67,6 +67,14 @@ val shared_route :
     is disabled or the registry entry was built for a different register
     width.  Hits and misses count into this cache's counters as usual. *)
 
+val shared_route_capacity : int
+(** Hard entry cap of each cross-run per-graph route table (one per
+    [leaf_override] value).  At the cap, inserting a new entry evicts the
+    {e oldest inserted} one (FIFO): the surviving set is a deterministic
+    function of the insertion sequence, so a daemon replaying identical
+    traffic sees identical hit patterns.  Exposed for the eviction-order
+    tests. *)
+
 val interaction_graph : t -> Qcp_circuit.Circuit.t -> Qcp_graph.Graph.t
 (** Memoized {!Qcp_circuit.Circuit.interaction_graph} (physical identity
     key).  Sequential callers only. *)

@@ -20,3 +20,46 @@ val equivalent : ?inputs:int list -> Placer.program -> bool
 val equivalent_sampled :
   Qcp_util.Rng.t -> samples:int -> Placer.program -> bool
 (** Check [samples] random basis inputs. *)
+
+(** Streaming structural verification of a spilled run's line-JSON file
+    ({!Options.t.spill} / [place --spill FILE]).
+
+    A spilled program never materializes its stages, so the state-vector
+    checks above cannot apply; what the spill file {e does} record per
+    stage — indices, kinds, placements and the running makespan — supports
+    a structural audit at constant memory: one line is held at a time,
+    plus O(qubits) scratch.  This closes the loop for spill consumers: a
+    file that passes came out of a well-formed placement stream. *)
+module Stream : sig
+  type report = {
+    computes : int;  (** compute stages seen *)
+    networks : int;  (** permute stages seen *)
+    swap_depth : int;  (** total SWAP levels *)
+    swap_count : int;  (** total SWAPs *)
+    makespan : float;  (** final running makespan (delay units) *)
+    qubits : int;  (** placement width *)
+    first : int array option;  (** first stage's placement *)
+    last : int array option;  (** last stage's placement *)
+  }
+  (** Mirrors {!Placer.summary}: for the file written by the run, the
+      corresponding fields agree exactly. *)
+
+  val verify_file : ?register:int -> string -> (report, string) result
+  (** Fold over the file's stage events, checking line by line:
+
+      - every line parses as a JSON object with a dense [stage] index
+        (0, 1, 2, ... in order) and a known [kind];
+      - the stage sequence has the placed-program shape
+        [compute (permute compute)*] — it opens with a compute stage,
+        permute stages are single and always followed by a compute;
+      - every placement is injective, non-negative, of constant width
+        and (when [register], the environment size, is given) within
+        [0, register);
+      - the running [makespan] never decreases (physical clocks are
+        monotone across stages);
+      - permute stages carry [swaps >= depth >= 0] (every level performs
+        at least one SWAP).
+
+      [Error] pinpoints the first offending line ([line N: ...]); [Ok]
+      returns the aggregate a {!Placer.summary} would carry. *)
+end

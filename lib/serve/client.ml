@@ -1,0 +1,63 @@
+type address =
+  | Unix_socket of string
+  | Tcp of string * int
+
+type t = {
+  fd : Unix.file_descr;
+  mutable pending : string;  (* received bytes past the last returned line *)
+}
+
+let connect ?(retries = 50) address =
+  let sockaddr, domain =
+    match address with
+    | Unix_socket path -> (Unix.ADDR_UNIX path, Unix.PF_UNIX)
+    | Tcp (host, port) ->
+      (Unix.ADDR_INET (Unix.inet_addr_of_string host, port), Unix.PF_INET)
+  in
+  let rec attempt remaining =
+    let fd = Unix.socket domain SOCK_STREAM 0 in
+    match Unix.connect fd sockaddr with
+    | () -> { fd; pending = "" }
+    | exception Unix.Unix_error ((ECONNREFUSED | ENOENT), _, _)
+      when remaining > 0 ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      (try ignore (Unix.select [] [] [] 0.1) with
+      | Unix.Unix_error _ -> ());
+      attempt (remaining - 1)
+    | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e
+  in
+  attempt retries
+
+let send_line t line =
+  let data = line ^ "\n" in
+  let len = String.length data in
+  let pos = ref 0 in
+  while !pos < len do
+    pos := !pos + Unix.write_substring t.fd data !pos (len - !pos)
+  done
+
+let recv_line t =
+  let chunk = Bytes.create 65536 in
+  let rec read_more () =
+    match String.index_opt t.pending '\n' with
+    | Some i ->
+      let line = String.sub t.pending 0 i in
+      t.pending <-
+        String.sub t.pending (i + 1) (String.length t.pending - i - 1);
+      line
+    | None -> (
+      match Unix.read t.fd chunk 0 (Bytes.length chunk) with
+      | 0 -> raise End_of_file
+      | n ->
+        t.pending <- t.pending ^ Bytes.sub_string chunk 0 n;
+        read_more ())
+  in
+  read_more ()
+
+let request t line =
+  send_line t line;
+  recv_line t
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

@@ -1,0 +1,77 @@
+type entry = { value : string; mutable tick : int }
+
+type t = {
+  cap : int;
+  table : (string, entry) Hashtbl.t;
+  mutable clock : int;
+  mutable hit_count : int;
+  mutable miss_count : int;
+  mutable eviction_count : int;
+  lock : Mutex.t;
+}
+
+let create cap =
+  {
+    cap;
+    table = Hashtbl.create (max 16 (min cap 4096));
+    clock = 0;
+    hit_count = 0;
+    miss_count = 0;
+    eviction_count = 0;
+    lock = Mutex.create ();
+  }
+
+let capacity t = t.cap
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let length t = with_lock t (fun () -> Hashtbl.length t.table)
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let find t key =
+  with_lock t @@ fun () ->
+  match Hashtbl.find_opt t.table key with
+  | Some entry ->
+    entry.tick <- tick t;
+    t.hit_count <- t.hit_count + 1;
+    Some entry.value
+  | None ->
+    t.miss_count <- t.miss_count + 1;
+    None
+
+(* Ticks are unique, so the minimum-tick victim is unambiguous: eviction
+   order depends only on the access history, never on hash-table layout. *)
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun key entry ->
+      match !victim with
+      | Some (_, oldest) when oldest.tick <= entry.tick -> ()
+      | _ -> victim := Some (key, entry))
+    t.table;
+  match !victim with
+  | Some (key, _) ->
+    Hashtbl.remove t.table key;
+    t.eviction_count <- t.eviction_count + 1
+  | None -> ()
+
+let add t key value =
+  if t.cap > 0 then
+    with_lock t @@ fun () ->
+    match Hashtbl.find_opt t.table key with
+    | Some _ ->
+      Hashtbl.replace t.table key { value; tick = tick t }
+    | None ->
+      if Hashtbl.length t.table >= t.cap then evict_lru t;
+      Hashtbl.add t.table key { value; tick = tick t }
+
+let hits t = with_lock t (fun () -> t.hit_count)
+
+let misses t = with_lock t (fun () -> t.miss_count)
+
+let evictions t = with_lock t (fun () -> t.eviction_count)

@@ -1,0 +1,534 @@
+module Json = Qcp_util.Json
+module Clock = Qcp_util.Clock
+module Metrics = Qcp_obs.Metrics
+module Placer = Qcp.Placer
+module Options = Qcp.Options
+
+type config = {
+  socket_path : string option;
+  port : int option;
+  host : string;
+  jobs : int;
+  cache_cap : int;
+  max_batch : int;
+  queue_cap : int;
+  default_deadline : float option;
+  max_requests : int;
+  learn : bool;
+  telemetry : bool;
+  install_signals : bool;
+  verbose : bool;
+}
+
+let default_config =
+  {
+    socket_path = None;
+    port = None;
+    host = "127.0.0.1";
+    jobs = 0;
+    cache_cap = 512;
+    max_batch = 16;
+    queue_cap = 256;
+    default_deadline = None;
+    max_requests = 0;
+    learn = false;
+    telemetry = false;
+    install_signals = true;
+    verbose = false;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Engine = struct
+  (* Bounded FIFO intern table: spec string -> resolved value.  Interning
+     makes repeated specs share one physical environment / circuit, which
+     is what keeps the per-env adjacency memo and the per-graph route
+     registries of {!Qcp.Score_cache} hot across requests.  FIFO keeps
+     eviction deterministic (same reasoning as the shared route tables). *)
+  type 'a intern = {
+    in_cap : int;
+    in_table : (string, 'a) Hashtbl.t;
+    in_order : string Queue.t;
+  }
+
+  let intern_create cap =
+    { in_cap = cap; in_table = Hashtbl.create 32; in_order = Queue.create () }
+
+  let intern it resolve spec =
+    match Hashtbl.find_opt it.in_table spec with
+    | Some v -> Ok v
+    | None -> (
+      match resolve spec with
+      | Error _ as e -> e
+      | Ok v ->
+        if Hashtbl.length it.in_table >= it.in_cap then (
+          match Queue.take_opt it.in_order with
+          | Some oldest -> Hashtbl.remove it.in_table oldest
+          | None -> ());
+        Hashtbl.add it.in_table spec v;
+        Queue.add spec it.in_order;
+        Ok v)
+
+  type counters = {
+    mutable c_requests : int;  (* request lines parsed *)
+    mutable c_placed : int;  (* "ok" responses *)
+    mutable c_errors : int;
+    mutable c_timeouts : int;
+    mutable c_unplaceable : int;
+    mutable c_overloaded : int;
+    mutable c_batches : int;
+    mutable c_max_batch : int;
+    qw_counts : int array;
+    mutable qw_sum : float;
+    mutable qw_count : int;
+  }
+
+  type t = {
+    config : config;
+    result_cache : Result_cache.t;
+    envs : Qcp_env.Environment.t intern;
+    circuits : Qcp_circuit.Circuit.t intern;
+    counters : counters;
+    started : float;
+  }
+
+  let qw_bounds = Metrics.default_time_bounds
+
+  let create config =
+    {
+      config;
+      result_cache = Result_cache.create config.cache_cap;
+      envs = intern_create 128;
+      circuits = intern_create 128;
+      counters =
+        {
+          c_requests = 0;
+          c_placed = 0;
+          c_errors = 0;
+          c_timeouts = 0;
+          c_unplaceable = 0;
+          c_overloaded = 0;
+          c_batches = 0;
+          c_max_batch = 0;
+          qw_counts = Array.make (Array.length qw_bounds + 1) 0;
+          qw_sum = 0.0;
+          qw_count = 0;
+        };
+      started = Clock.now ();
+    }
+
+  let cache t = t.result_cache
+
+  let requests_served t =
+    t.counters.c_placed + t.counters.c_timeouts + t.counters.c_unplaceable
+
+  let parse_line t line =
+    t.counters.c_requests <- t.counters.c_requests + 1;
+    Protocol.parse_line
+      ~resolve_env:(intern t.envs Protocol.resolve_env)
+      ~resolve_circuit:(intern t.circuits Protocol.resolve_circuit)
+      line
+
+  type job = {
+    j_id : string;
+    j_arrival : float;
+    j_place : Protocol.place;
+  }
+
+  let observe_wait c seconds =
+    let i = Metrics.bucket_index qw_bounds seconds in
+    c.qw_counts.(i) <- c.qw_counts.(i) + 1;
+    c.qw_sum <- c.qw_sum +. seconds;
+    c.qw_count <- c.qw_count + 1
+
+  (* The cache key adds the telemetry flag on top of the content key: the
+     flag changes the rendered result (metrics present or not) without
+     changing the instance, and cached bytes must match what the hit's
+     request would have produced cold. *)
+  let cache_key p =
+    p.Protocol.key ^ if p.Protocol.telemetry then "\n+telemetry" else ""
+
+  type assignment =
+    | Hit of string  (* cached result text *)
+    | Solve of int * bool  (* unique-solve index, first occurrence? *)
+
+  let dispatch t ~now jobs =
+    let c = t.counters in
+    let jobs = Array.of_list jobs in
+    let n = Array.length jobs in
+    c.c_batches <- c.c_batches + 1;
+    if n > c.c_max_batch then c.c_max_batch <- n;
+    Array.iter (fun j -> observe_wait c (Float.max 0.0 (now -. j.j_arrival))) jobs;
+    (* Lookup + dedup. *)
+    let unique = ref [] and unique_count = ref 0 in
+    let index_of_key = Hashtbl.create 16 in
+    let assignments =
+      Array.mapi
+        (fun i j ->
+          let p = j.j_place in
+          let cacheable = Protocol.cacheable p in
+          match
+            if cacheable then Result_cache.find t.result_cache (cache_key p)
+            else None
+          with
+          | Some text -> Hit text
+          | None ->
+            (* Non-cacheable (portfolio + finite deadline) requests never
+               dedupe: each gets its own race. *)
+            let dk = if cacheable then cache_key p else Printf.sprintf "!%d" i in
+            (match Hashtbl.find_opt index_of_key dk with
+            | Some u -> Solve (u, false)
+            | None ->
+              let u = !unique_count in
+              incr unique_count;
+              Hashtbl.add index_of_key dk u;
+              unique := j :: !unique;
+              Solve (u, true)))
+        jobs
+    in
+    let t_lookup = Clock.now () in
+    let unique = Array.of_list (List.rev !unique) in
+    (* Solve the misses: classic requests in one placer batch with per-job
+       absolute deadlines, portfolio requests in one portfolio batch
+       (their budget lives in [options.deadline]). *)
+    let outcomes = Array.make (Array.length unique) (Placer.Unplaceable "") in
+    let classic = ref [] and races = ref [] in
+    Array.iteri
+      (fun u j ->
+        if j.j_place.Protocol.options.Options.portfolio then
+          races := (u, j) :: !races
+        else classic := (u, j) :: !classic)
+      unique;
+    let classic = List.rev !classic and races = List.rev !races in
+    let spec j =
+      ( j.j_place.Protocol.options,
+        j.j_place.Protocol.env,
+        j.j_place.Protocol.circuit )
+    in
+    let budgets =
+      Array.of_list
+        (List.map
+           (fun (_, j) ->
+             match j.j_place.Protocol.deadline with
+             | Some b -> j.j_arrival +. b
+             | None -> (
+               match t.config.default_deadline with
+               | Some b -> j.j_arrival +. b
+               | None -> infinity))
+           classic)
+    in
+    let classic_outcomes =
+      Placer.place_batch ~jobs:t.config.jobs
+        ~deadline_of:(fun i -> budgets.(i))
+        (List.map (fun (_, j) -> spec j) classic)
+    in
+    List.iter2 (fun (u, _) o -> outcomes.(u) <- o) classic classic_outcomes;
+    let race_outcomes =
+      match races with
+      | [] -> []
+      | _ ->
+        Qcp.Portfolio.place_batch ~jobs:t.config.jobs
+          (List.map (fun (_, j) -> spec j) races)
+    in
+    List.iter2 (fun (u, _) o -> outcomes.(u) <- o) races race_outcomes;
+    let t_solve = Clock.now () in
+    (* Render unique results once; successful cacheable ones get stored. *)
+    let rendered =
+      Array.mapi
+        (fun u outcome ->
+          let j = unique.(u) in
+          let p = j.j_place in
+          match outcome with
+          | Placer.Placed program ->
+            let text =
+              Json.to_string
+                (Protocol.result_of_program ~telemetry:p.Protocol.telemetry
+                   program)
+            in
+            if Protocol.cacheable p then
+              Result_cache.add t.result_cache (cache_key p) text;
+            ("ok", Some text, None)
+          | Placer.Unplaceable msg when msg = Placer.msg_deadline ->
+            ("timeout", None, Some msg)
+          | Placer.Unplaceable msg -> ("unplaceable", None, Some msg))
+        outcomes
+    in
+    let count_status = function
+      | "ok" -> c.c_placed <- c.c_placed + 1
+      | "timeout" -> c.c_timeouts <- c.c_timeouts + 1
+      | _ -> c.c_unplaceable <- c.c_unplaceable + 1
+    in
+    Array.to_list
+      (Array.mapi
+         (fun i j ->
+           let p = j.j_place in
+           let queue_wait = Float.max 0.0 (now -. j.j_arrival) in
+           match assignments.(i) with
+           | Hit text ->
+             c.c_placed <- c.c_placed + 1;
+             Protocol.response ~id:j.j_id ~status:"ok" ~cached:true
+               ~key:p.Protocol.key ~queue_wait ~wall:(t_lookup -. now)
+               ~result:text ()
+           | Solve (u, first) ->
+             let status, result, error = rendered.(u) in
+             count_status status;
+             Protocol.response ~id:j.j_id ~status
+               ~cached:(not first && status = "ok")
+               ~key:p.Protocol.key ~queue_wait ~wall:(t_solve -. now) ?result
+               ?error ())
+         jobs)
+
+  let stats_json t =
+    let c = t.counters in
+    let num v = Json.Num (float_of_int v) in
+    let stats =
+      Json.Obj
+        [
+          ("uptime_s", Json.Num (Clock.now () -. t.started));
+          ("requests", num c.c_requests);
+          ("placed", num c.c_placed);
+          ("errors", num c.c_errors);
+          ("timeouts", num c.c_timeouts);
+          ("unplaceable", num c.c_unplaceable);
+          ("overloaded", num c.c_overloaded);
+          ("batches", num c.c_batches);
+          ("max_batch", num c.c_max_batch);
+          ( "cache",
+            Json.Obj
+              [
+                ("entries", num (Result_cache.length t.result_cache));
+                ("capacity", num (Result_cache.capacity t.result_cache));
+                ("hits", num (Result_cache.hits t.result_cache));
+                ("misses", num (Result_cache.misses t.result_cache));
+                ("evictions", num (Result_cache.evictions t.result_cache));
+              ] );
+          ( "queue_wait",
+            Json.Obj
+              [
+                ( "bounds",
+                  Json.Arr
+                    (Array.to_list
+                       (Array.map (fun b -> Json.Num b) qw_bounds)) );
+                ( "counts",
+                  Json.Arr (Array.to_list (Array.map num c.qw_counts)) );
+                ("sum", Json.Num c.qw_sum);
+                ("count", num c.qw_count);
+              ] );
+        ]
+    in
+    Json.to_string stats
+
+  let control t ~id request =
+    match request with
+    | Protocol.Ping -> Some (Protocol.response ~id ~status:"ok" ())
+    | Protocol.Stats ->
+      Some (Protocol.response ~id ~status:"ok" ~result:(stats_json t) ())
+    | Protocol.Place _ | Protocol.Shutdown -> None
+
+  let count_error t = t.counters.c_errors <- t.counters.c_errors + 1
+
+  let count_overloaded t =
+    t.counters.c_overloaded <- t.counters.c_overloaded + 1
+end
+
+(* ------------------------------------------------------------------ *)
+(* Socket loop                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type client = {
+  fd : Unix.file_descr;
+  buf : Buffer.t;  (* bytes received, not yet split into lines *)
+  mutable alive : bool;
+}
+
+let log config fmt =
+  if config.verbose then Printf.eprintf (fmt ^^ "\n%!")
+  else Printf.ifprintf stderr fmt
+
+let write_all client line =
+  let data = line ^ "\n" in
+  let len = String.length data in
+  let pos = ref 0 in
+  try
+    while !pos < len do
+      pos := !pos + Unix.write_substring client.fd data !pos (len - !pos)
+    done
+  with Unix.Unix_error ((EPIPE | ECONNRESET), _, _) -> client.alive <- false
+
+(* Split complete lines out of a client's receive buffer. *)
+let take_lines buf =
+  let data = Buffer.contents buf in
+  match String.rindex_opt data '\n' with
+  | None -> []
+  | Some last ->
+    Buffer.clear buf;
+    Buffer.add_substring buf data (last + 1) (String.length data - last - 1);
+    String.split_on_char '\n' (String.sub data 0 last)
+    |> List.filter (fun l -> String.trim l <> "")
+
+type queued = {
+  q_client : client;
+  q_job : Engine.job;
+}
+
+let listeners config =
+  let unix_listener path =
+    (* A stale socket file from a crashed daemon would make bind fail;
+       connect-probing it is racy, so takeover is explicit: unlink only
+       what is a socket. *)
+    (try
+       if (Unix.stat path).Unix.st_kind = Unix.S_SOCK then Unix.unlink path
+     with Unix.Unix_error (ENOENT, _, _) -> ());
+    let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+    Unix.bind fd (ADDR_UNIX path);
+    Unix.listen fd 64;
+    fd
+  in
+  let tcp_listener port =
+    let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+    Unix.setsockopt fd SO_REUSEADDR true;
+    Unix.bind fd (ADDR_INET (Unix.inet_addr_of_string config.host, port));
+    Unix.listen fd 64;
+    fd
+  in
+  let fds =
+    Option.to_list (Option.map unix_listener config.socket_path)
+    @ Option.to_list (Option.map tcp_listener config.port)
+  in
+  if fds = [] then
+    invalid_arg "Server.serve: config names no listener (socket_path or port)";
+  fds
+
+let serve config =
+  let engine = Engine.create config in
+  if config.telemetry then Metrics.set_enabled true;
+  if config.learn then
+    Option.iter
+      (fun path -> ignore (Qcp.Portfolio.Learn.load path : bool))
+      (Qcp.Portfolio.Learn.default_path ());
+  let listening = listeners config in
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let stop = ref false in
+  if config.install_signals then begin
+    let handler = Sys.Signal_handle (fun _ -> stop := true) in
+    Sys.set_signal Sys.sigint handler;
+    Sys.set_signal Sys.sigterm handler
+  end;
+  let clients : (Unix.file_descr, client) Hashtbl.t = Hashtbl.create 16 in
+  let queue : queued Queue.t = Queue.create () in
+  let drop client =
+    client.alive <- false;
+    Hashtbl.remove clients client.fd;
+    try Unix.close client.fd with Unix.Unix_error _ -> ()
+  in
+  let handle_line client line =
+    let envelope = Engine.parse_line engine line in
+    let id = envelope.Protocol.id in
+    match envelope.Protocol.request with
+    | Error msg ->
+      Engine.count_error engine;
+      write_all client (Protocol.response ~id ~status:"error" ~error:msg ())
+    | Ok Protocol.Shutdown ->
+      stop := true;
+      write_all client (Protocol.response ~id ~status:"ok" ())
+    | Ok ((Protocol.Ping | Protocol.Stats) as req) ->
+      Option.iter (write_all client) (Engine.control engine ~id req)
+    | Ok (Protocol.Place place) ->
+      if !stop then
+        write_all client (Protocol.response ~id ~status:"shutting-down" ())
+      else if Queue.length queue >= config.queue_cap then begin
+        Engine.count_overloaded engine;
+        write_all client
+          (Protocol.response ~id ~status:"overloaded"
+             ~error:"request queue is full" ())
+      end
+      else
+        Queue.add
+          {
+            q_client = client;
+            q_job =
+              {
+                Engine.j_id = id;
+                j_arrival = Clock.now ();
+                j_place = place;
+              };
+          }
+          queue
+  in
+  let dispatch_some () =
+    let batch = ref [] in
+    while Queue.length queue > 0 && List.length !batch < config.max_batch do
+      batch := Queue.pop queue :: !batch
+    done;
+    let batch = List.rev !batch in
+    if batch <> [] then begin
+      log config "qcp serve: dispatching %d request(s)" (List.length batch);
+      let responses =
+        Engine.dispatch engine ~now:(Clock.now ())
+          (List.map (fun q -> q.q_job) batch)
+      in
+      List.iter2
+        (fun q response -> if q.q_client.alive then write_all q.q_client response)
+        batch responses
+    end
+  in
+  let budget_exhausted () =
+    config.max_requests > 0
+    && Engine.requests_served engine
+       + Queue.length queue >= config.max_requests
+  in
+  while not (!stop && Queue.is_empty queue) do
+    if !stop then
+      (* Draining: no new work, just answer what is queued. *)
+      dispatch_some ()
+    else begin
+      let fds =
+        listening @ Hashtbl.fold (fun fd _ acc -> fd :: acc) clients []
+      in
+      let readable, _, _ =
+        try Unix.select fds [] [] 0.2
+        with Unix.Unix_error (EINTR, _, _) -> ([], [], [])
+      in
+      List.iter
+        (fun fd ->
+          if List.mem fd listening then begin
+            match (try Some (Unix.accept fd) with Unix.Unix_error _ -> None) with
+            | Some (cfd, _) ->
+              log config "qcp serve: client connected";
+              Hashtbl.replace clients cfd
+                { fd = cfd; buf = Buffer.create 256; alive = true }
+            | None -> ()
+          end
+          else
+            match Hashtbl.find_opt clients fd with
+            | None -> ()
+            | Some client -> (
+              let chunk = Bytes.create 65536 in
+              match
+                try Unix.read fd chunk 0 (Bytes.length chunk)
+                with Unix.Unix_error ((ECONNRESET | EPIPE), _, _) -> 0
+              with
+              | 0 -> drop client
+              | n ->
+                Buffer.add_subbytes client.buf chunk 0 n;
+                List.iter (handle_line client) (take_lines client.buf)))
+        readable;
+      dispatch_some ();
+      if budget_exhausted () then stop := true
+    end
+  done;
+  List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) listening;
+  Hashtbl.iter (fun _ c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+    clients;
+  Option.iter
+    (fun path -> try Unix.unlink path with Unix.Unix_error _ -> ())
+    config.socket_path;
+  if config.learn then
+    Option.iter
+      (fun path ->
+        try Qcp.Portfolio.Learn.save path with Sys_error _ -> ())
+      (Qcp.Portfolio.Learn.default_path ());
+  log config "qcp serve: drained, exiting (%s)" (Engine.stats_json engine)

@@ -1,0 +1,114 @@
+(** The [qcp serve] daemon: a long-running placement service over
+    line-delimited JSON (see {!Protocol}).
+
+    The daemon exists to amortize everything the one-shot CLI rebuilds per
+    process: the {!Qcp_util.Task_pool} domains, the per-threshold
+    adjacency memo, the cross-run route registries of {!Qcp.Score_cache},
+    the {!Qcp.Portfolio.Learn} win table — and, above them all, an exact
+    {!Result_cache} answering repeated requests with the bit-identical
+    bytes a cold solve would produce.
+
+    {b Architecture.}  A single-threaded [select] loop owns the sockets:
+    it accepts clients, splits their byte streams into request lines, and
+    feeds complete requests through admission control into a FIFO queue.
+    Each loop turn drains up to [max_batch] queued requests into one
+    {!Engine.dispatch} call, which runs cache lookups, dedupes identical
+    keys, and solves the misses through {!Qcp.Placer.place_batch} /
+    {!Qcp.Portfolio.place_batch} on the shared pool — so concurrency
+    comes from batching inside the engine, never from racing threads over
+    shared placement state (which is what keeps responses deterministic).
+
+    {b Admission control.}  Three invariants bound resource use: at most
+    [queue_cap] requests wait (excess gets an immediate ["overloaded"]
+    response — backpressure, not silent queuing); at most [max_batch]
+    placements are in flight (one engine dispatch); and every request
+    carries an absolute deadline (its own budget or [default_deadline]),
+    enforced between pipeline stages, so a stuck instance returns a clean
+    ["timeout"] instead of wedging the batch forever.
+
+    {b Shutdown.}  SIGINT/SIGTERM, a ["shutdown"] request, or the
+    [max_requests] budget flips the loop into draining: listeners close,
+    queued requests are still solved and answered, then the learn table
+    is saved (under [learn]) and the process exits.  Nothing is dropped
+    silently. *)
+
+type config = {
+  socket_path : string option;  (** Unix socket path to listen on. *)
+  port : int option;  (** TCP port on [host]. *)
+  host : string;  (** TCP bind address (default ["127.0.0.1"]). *)
+  jobs : int;  (** Task-pool domains shared by every batch. *)
+  cache_cap : int;  (** Result-cache entries ([<= 0] disables). *)
+  max_batch : int;  (** Requests solved per engine dispatch. *)
+  queue_cap : int;  (** Queued requests before ["overloaded"]. *)
+  default_deadline : float option;
+      (** Budget (seconds) for requests that carry none. *)
+  max_requests : int;
+      (** Serve this many place requests, then drain and exit
+          ([0] = unlimited) — benches and CI smoke tests. *)
+  learn : bool;
+      (** Load {!Qcp.Portfolio.Learn} from its default path at startup
+          and save it back when draining. *)
+  telemetry : bool;  (** Arm {!Qcp_obs.Metrics} hot-path instruments. *)
+  install_signals : bool;
+      (** Install SIGINT/SIGTERM drain handlers (off when the daemon runs
+          inside a test or bench domain: signals are process-global). *)
+  verbose : bool;  (** Log connections and batches to stderr. *)
+}
+
+val default_config : config
+(** No listeners (callers pick at least one), [jobs = 0],
+    [cache_cap = 512], [max_batch = 16], [queue_cap = 256], no default
+    deadline, unlimited requests, [learn = false], [telemetry = false],
+    [install_signals = true], quiet. *)
+
+(** The socket-free core: parsing, caching, batching, counters.  Tests
+    and benches drive it directly; {!serve} wraps it in the socket
+    loop. *)
+module Engine : sig
+  type t
+
+  val create : config -> t
+
+  val parse_line : t -> string -> Protocol.envelope
+  (** {!Protocol.parse_line} with this engine's interning resolvers:
+      repeated env / circuit specs resolve to the same physical value
+      (bounded FIFO intern tables), which keeps the adjacency memo and
+      the per-graph route registries hot across requests. *)
+
+  type job = {
+    j_id : string;  (** Echoed client correlation id. *)
+    j_arrival : float;  (** {!Qcp_util.Clock.now} at admission. *)
+    j_place : Protocol.place;
+  }
+
+  val dispatch : t -> now:float -> job list -> string list
+  (** Solve one batch, returning response lines in job order.  Cache
+      hits answer immediately (the stored bytes); misses dedupe by cache
+      key (duplicate jobs in one batch solve once and share the result),
+      then solve through {!Qcp.Placer.place_batch} — classic requests with
+      per-job absolute deadlines ([arrival + budget]) via [deadline_of] —
+      and {!Qcp.Portfolio.place_batch} for portfolio requests.  Successful
+      cacheable results are rendered once and stored; [status] maps
+      deadline aborts to ["timeout"] and placement failures to
+      ["unplaceable"]. *)
+
+  val control : t -> id:string -> Protocol.request -> string option
+  (** Serve [Ping] and [Stats] inline ([None] for [Place] and
+      [Shutdown] — the loop owns those). *)
+
+  val stats_json : t -> string
+  (** Server counters as a JSON object: uptime, request/response counts
+      by status, batch stats, cache occupancy and hit/miss/eviction
+      counts, and the queue-wait histogram
+      ({!Qcp_obs.Metrics.default_time_bounds} buckets). *)
+
+  val cache : t -> Result_cache.t
+
+  val requests_served : t -> int
+  (** Place responses sent (the [max_requests] budget meter). *)
+end
+
+val serve : config -> unit
+(** Run the daemon until shutdown (see above).  Raises
+    [Invalid_argument] when the config names no listener, [Unix_error]
+    on socket setup failures (e.g. the socket path is in use). *)

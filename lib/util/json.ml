@@ -1,0 +1,257 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Parser: strict recursive descent over a string with one index.      *)
+(* ------------------------------------------------------------------ *)
+
+exception Fail of int * string
+
+let fail i msg = raise (Fail (i, msg))
+
+let is_ws = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let rec skip_ws s i =
+  if i < String.length s && is_ws s.[i] then skip_ws s (i + 1) else i
+
+let expect s i c =
+  if i < String.length s && s.[i] = c then i + 1
+  else fail i (Printf.sprintf "expected %C" c)
+
+(* Fold a \uXXXX code unit (surrogate pairs combined by the caller) into
+   UTF-8 bytes. *)
+let add_utf8 buf cp =
+  if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else if cp < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+
+let hex4 s i =
+  if i + 4 > String.length s then fail i "truncated \\u escape";
+  let digit j =
+    match s.[i + j] with
+    | '0' .. '9' as c -> Char.code c - Char.code '0'
+    | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+    | _ -> fail (i + j) "invalid hex digit"
+  in
+  (digit 0 lsl 12) lor (digit 1 lsl 8) lor (digit 2 lsl 4) lor digit 3
+
+let parse_string s i =
+  let i = expect s i '"' in
+  let buf = Buffer.create 16 in
+  let rec go i =
+    if i >= String.length s then fail i "unterminated string"
+    else
+      match s.[i] with
+      | '"' -> (Buffer.contents buf, i + 1)
+      | '\\' ->
+        if i + 1 >= String.length s then fail i "truncated escape"
+        else (
+          match s.[i + 1] with
+          | '"' -> Buffer.add_char buf '"'; go (i + 2)
+          | '\\' -> Buffer.add_char buf '\\'; go (i + 2)
+          | '/' -> Buffer.add_char buf '/'; go (i + 2)
+          | 'b' -> Buffer.add_char buf '\b'; go (i + 2)
+          | 'f' -> Buffer.add_char buf '\012'; go (i + 2)
+          | 'n' -> Buffer.add_char buf '\n'; go (i + 2)
+          | 'r' -> Buffer.add_char buf '\r'; go (i + 2)
+          | 't' -> Buffer.add_char buf '\t'; go (i + 2)
+          | 'u' ->
+            let cp = hex4 s (i + 2) in
+            if cp >= 0xD800 && cp <= 0xDBFF
+               && i + 7 < String.length s
+               && s.[i + 6] = '\\' && s.[i + 7] = 'u'
+            then begin
+              let lo = hex4 s (i + 8) in
+              if lo >= 0xDC00 && lo <= 0xDFFF then begin
+                add_utf8 buf
+                  (0x10000 + ((cp - 0xD800) lsl 10) + (lo - 0xDC00));
+                go (i + 12)
+              end
+              else begin
+                add_utf8 buf cp;
+                go (i + 6)
+              end
+            end
+            else begin
+              add_utf8 buf cp;
+              go (i + 6)
+            end
+          | c -> fail (i + 1) (Printf.sprintf "invalid escape %C" c))
+      | c -> Buffer.add_char buf c; go (i + 1)
+  in
+  go i
+
+let parse_number s i =
+  let len = String.length s in
+  let j = ref i in
+  let accept p = if !j < len && p s.[!j] then (incr j; true) else false in
+  let digits () =
+    let start = !j in
+    while !j < len && s.[!j] >= '0' && s.[!j] <= '9' do incr j done;
+    !j > start
+  in
+  ignore (accept (fun c -> c = '-') : bool);
+  if not (digits ()) then fail !j "expected digit";
+  if accept (fun c -> c = '.') && not (digits ()) then
+    fail !j "expected fraction digit";
+  if accept (fun c -> c = 'e' || c = 'E') then begin
+    ignore (accept (fun c -> c = '+' || c = '-') : bool);
+    if not (digits ()) then fail !j "expected exponent digit"
+  end;
+  match float_of_string_opt (String.sub s i (!j - i)) with
+  | Some v -> (v, !j)
+  | None -> fail i "invalid number"
+
+let parse_literal s i word value =
+  let n = String.length word in
+  if i + n <= String.length s && String.sub s i n = word then (value, i + n)
+  else fail i (Printf.sprintf "expected %s" word)
+
+let rec parse_value s i =
+  let i = skip_ws s i in
+  if i >= String.length s then fail i "unexpected end of input"
+  else
+    match s.[i] with
+    | '{' ->
+      let rec members acc i =
+        let i = skip_ws s i in
+        let name, i = parse_string s i in
+        let i = expect s (skip_ws s i) ':' in
+        let v, i = parse_value s i in
+        let i = skip_ws s i in
+        if i < String.length s && s.[i] = ',' then
+          members ((name, v) :: acc) (i + 1)
+        else (List.rev ((name, v) :: acc), expect s i '}')
+      in
+      let j = skip_ws s (i + 1) in
+      if j < String.length s && s.[j] = '}' then (Obj [], j + 1)
+      else
+        let fields, i = members [] (i + 1) in
+        (Obj fields, i)
+    | '[' ->
+      let rec elements acc i =
+        let v, i = parse_value s i in
+        let i = skip_ws s i in
+        if i < String.length s && s.[i] = ',' then elements (v :: acc) (i + 1)
+        else (List.rev (v :: acc), expect s i ']')
+      in
+      let j = skip_ws s (i + 1) in
+      if j < String.length s && s.[j] = ']' then (Arr [], j + 1)
+      else
+        let items, i = elements [] (i + 1) in
+        (Arr items, i)
+    | '"' ->
+      let str, i = parse_string s i in
+      (Str str, i)
+    | 't' -> parse_literal s i "true" (Bool true)
+    | 'f' -> parse_literal s i "false" (Bool false)
+    | 'n' -> parse_literal s i "null" Null
+    | '-' | '0' .. '9' ->
+      let v, i = parse_number s i in
+      (Num v, i)
+    | c -> fail i (Printf.sprintf "unexpected %C" c)
+
+let parse s =
+  match parse_value s 0 with
+  | v, i ->
+    let i = skip_ws s i in
+    if i = String.length s then Ok v
+    else Error (Printf.sprintf "offset %d: trailing garbage" i)
+  | exception Fail (i, msg) -> Error (Printf.sprintf "offset %d: %s" i msg)
+
+(* ------------------------------------------------------------------ *)
+(* Printer: compact and deterministic.                                 *)
+(* ------------------------------------------------------------------ *)
+
+let add_escaped buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let add_number buf v =
+  (* JSON has no NaN/infinity; these never appear in well-formed payloads,
+     so mapping them to null beats emitting invalid output. *)
+  if not (Float.is_finite v) then Buffer.add_string buf "null"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Buffer.add_string buf (string_of_int (int_of_float v))
+  else Buffer.add_string buf (Printf.sprintf "%.12g" v)
+
+let rec to_buffer buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Num v -> add_number buf v
+  | Str s -> add_escaped buf s
+  | Arr items ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i v ->
+        if i > 0 then Buffer.add_char buf ',';
+        to_buffer buf v)
+      items;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (name, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        add_escaped buf name;
+        Buffer.add_char buf ':';
+        to_buffer buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  to_buffer buf v;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let member name = function
+  | Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let to_float = function Num v -> Some v | _ -> None
+
+let to_int = function
+  | Num v when Float.is_integer v && Float.abs v <= 1e15 ->
+    Some (int_of_float v)
+  | _ -> None
+
+let to_bool = function Bool b -> Some b | _ -> None
+
+let to_str = function Str s -> Some s | _ -> None
+
+let to_list = function Arr items -> Some items | _ -> None

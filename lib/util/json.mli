@@ -1,0 +1,47 @@
+(** Minimal zero-dependency JSON: the value type, a strict recursive-descent
+    parser and a deterministic compact printer.
+
+    Exists for the line-delimited JSON surfaces of the serving path (the
+    [qcp serve] request/response protocol and the streaming verifier over
+    [--spill] files).  It is deliberately small: UTF-8 pass-through for
+    strings (escapes decoded, [\uXXXX] folded to UTF-8), numbers as OCaml
+    floats, no streaming parser — callers feed it one line at a time.
+
+    The printer is deterministic: object members print in the order given,
+    numbers print as integers when exactly integral (so round-trips of
+    counters stay stable) and as ["%.12g"] otherwise.  Equal values
+    therefore render to equal strings — the property the serving result
+    cache's bit-identity contract rests on. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse one JSON document.  Trailing whitespace is allowed, trailing
+    garbage is an error; errors carry a character offset and message. *)
+
+val to_buffer : Buffer.t -> t -> unit
+
+val to_string : t -> string
+(** Compact rendering (no whitespace beyond string contents). *)
+
+(** {1 Accessors} — total, [None] on shape mismatch. *)
+
+val member : string -> t -> t option
+(** First binding of the name in an object ([None] on non-objects). *)
+
+val to_float : t -> float option
+
+val to_int : t -> int option
+(** [Num] values that are exactly integral. *)
+
+val to_bool : t -> bool option
+
+val to_str : t -> string option
+
+val to_list : t -> t list option

@@ -247,6 +247,76 @@ let test_place_batch_identical () =
         (List.combine sequential batch))
     [ 0; 4 ]
 
+(* The cross-run shared route registry is bounded by a FIFO cap: at
+   [shared_route_capacity] entries, inserting a new permutation evicts the
+   oldest *inserted* one, so the surviving set is a deterministic function
+   of the insertion sequence (a daemon replaying identical traffic sees
+   identical hit patterns).  A fresh graph owns a fresh registry table
+   (physical-identity key), so this test controls its table completely; a
+   trivial router keeps the fill cheap. *)
+let test_shared_route_fifo_eviction () =
+  let register = 8 in
+  let cap = Qcp.Score_cache.shared_route_capacity in
+  let graph =
+    Qcp_graph.Graph.of_edges register
+      [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 5); (5, 6); (6, 7) ]
+  in
+  let cache = Qcp.Score_cache.create ~register () in
+  let route _memo _perm = [] in
+  (* Lehmer-code unranking: a distinct permutation of [register] elements
+     per rank (all ranks used stay far below 8! = 40320). *)
+  let fact = Array.make register 1 in
+  for i = 1 to register - 1 do
+    fact.(i) <- fact.(i - 1) * i
+  done;
+  let perm_of_rank rank =
+    let rec pick avail r i =
+      if i = register then []
+      else
+        let f = fact.(register - 1 - i) in
+        let d = r / f in
+        List.nth avail d
+        :: pick (List.filteri (fun j _ -> j <> d) avail) (r mod f) (i + 1)
+    in
+    Array.of_list (pick (List.init register Fun.id) rank 0)
+  in
+  let query rank =
+    match
+      Qcp.Score_cache.shared_route cache graph ~leaf_override:false ~route
+        (perm_of_rank rank)
+    with
+    | Some _ -> ()
+    | None -> Alcotest.fail "shared registry unavailable"
+  in
+  let total = cap + 16 in
+  for rank = 0 to total - 1 do
+    query rank
+  done;
+  Alcotest.(check int) "every insert missed" total (Qcp.Score_cache.misses cache);
+  (* The newest [cap] insertions survive the fill... *)
+  let h0 = Qcp.Score_cache.hits cache in
+  for rank = 16 to total - 1 do
+    query rank
+  done;
+  Alcotest.(check int) "newest cap entries hit" cap
+    (Qcp.Score_cache.hits cache - h0);
+  (* ...and the oldest 16 were evicted.  Re-querying them misses and
+     re-inserts, which in FIFO order must evict precisely the next-oldest
+     16 (ranks 16..31) — an LRU registry would have refreshed those on the
+     hit pass above and evicted something else. *)
+  let m0 = Qcp.Score_cache.misses cache in
+  for rank = 0 to 15 do
+    query rank
+  done;
+  Alcotest.(check int) "oldest 16 evicted first" 16
+    (Qcp.Score_cache.misses cache - m0);
+  let m1 = Qcp.Score_cache.misses cache in
+  for rank = 16 to 31 do
+    query rank
+  done;
+  Alcotest.(check int) "eviction follows insertion order" 16
+    (Qcp.Score_cache.misses cache - m1)
+
 let suite =
   [
     Alcotest.test_case "engine variants identical over 50 seeds" `Quick
@@ -259,4 +329,6 @@ let suite =
       test_cache_actually_hits;
     Alcotest.test_case "bounded search prunes on table3 workload" `Quick
       test_bounded_actually_prunes;
+    Alcotest.test_case "shared route registry evicts FIFO at the cap" `Quick
+      test_shared_route_fifo_eviction;
   ]

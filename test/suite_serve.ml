@@ -1,0 +1,438 @@
+(* The serving layer: wire protocol, content-hash request keys, the exact
+   result cache and the batching engine.
+
+   The central contract under test is bit-identity: a cache hit must
+   return byte-for-byte the response body a cold solve of the same
+   request produced, at any [jobs] value, for any interleaving of
+   requests — the daemon is a performance layer, never a semantic one. *)
+
+module Json = Qcp_util.Json
+module Rng = Qcp_util.Rng
+module Protocol = Qcp_serve.Protocol
+module Server = Qcp_serve.Server
+module Engine = Server.Engine
+module Result_cache = Qcp_serve.Result_cache
+module Client = Qcp_serve.Client
+
+(* ------------------------------------------------------------------ *)
+(* JSON round trips                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_roundtrip () =
+  let cases =
+    [
+      "null";
+      "true";
+      "[1,2,3]";
+      "{\"a\":1,\"b\":[true,null],\"c\":\"x\"}";
+      "{\"nested\":{\"deep\":{\"deeper\":[{\"k\":-1.5}]}}}";
+      "\"\\u00e9\\n\\t\\\"\\\\\"";
+      "-0.125";
+      "1e3";
+    ]
+  in
+  List.iter
+    (fun text ->
+      match Json.parse text with
+      | Error msg -> Alcotest.failf "%s: parse error %s" text msg
+      | Ok v -> (
+        let printed = Json.to_string v in
+        match Json.parse printed with
+        | Error msg -> Alcotest.failf "%s: reparse error %s" printed msg
+        | Ok v' ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: print/parse fixpoint" text)
+            true (v = v')))
+    cases;
+  List.iter
+    (fun bad ->
+      match Json.parse bad with
+      | Ok _ -> Alcotest.failf "%S: should not parse" bad
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "1 2"; "\"unterminated"; "nan" ]
+
+let test_json_numbers () =
+  (* Integral values print without a fractional part (stable counters);
+     non-finite values cannot arise from [parse] but must print as null
+     rather than invalid JSON. *)
+  Alcotest.(check string) "int" "42" (Json.to_string (Json.Num 42.0));
+  Alcotest.(check string) "neg" "-7" (Json.to_string (Json.Num (-7.0)));
+  Alcotest.(check string) "frac" "0.5" (Json.to_string (Json.Num 0.5));
+  Alcotest.(check string) "inf is null" "null"
+    (Json.to_string (Json.Num infinity));
+  Alcotest.(check string) "nan is null" "null"
+    (Json.to_string (Json.Num Float.nan))
+
+(* ------------------------------------------------------------------ *)
+(* Content-hash keys                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let place_of_line line =
+  match (Protocol.parse_line line).Protocol.request with
+  | Ok (Protocol.Place p) -> p
+  | Ok _ -> Alcotest.failf "%s: not a place request" line
+  | Error msg -> Alcotest.failf "%s: %s" line msg
+
+(* A random request line over the option surface the protocol accepts.
+   [mutate] (0 = none) flips exactly one dimension, so the derived line
+   denotes a different instance. *)
+let request_line rng ~mutate =
+  let pick_with m base alts =
+    if mutate = m then List.nth alts (Rng.int rng (List.length alts)) else base
+  in
+  let env = pick_with 1 "trans-crotonic" [ "acetyl-chloride"; "chain:7" ] in
+  let circuit = pick_with 2 "qft6" [ "phaseest"; "qec3" ] in
+  let threshold = if mutate = 3 then 150.0 else 100.0 in
+  let k = if mutate = 4 then 25 else 100 in
+  let lookahead = mutate <> 5 in
+  let fine_tune = if mutate = 6 then 1 else 3 in
+  let router = pick_with 7 "bisect" [ "weighted"; "token"; "odd-even" ] in
+  let commute = mutate = 8 in
+  let vcycle = if mutate = 9 then 2 else 0 in
+  let window = if mutate = 10 then ",\"window\":64" else "" in
+  Printf.sprintf
+    "{\"op\":\"place\",\"env\":\"%s\",\"circuit\":\"%s\",\"options\":{\"threshold\":%g,\"monomorphisms\":%d,\"lookahead\":%b,\"fine_tune\":%d,\"router\":\"%s\",\"commute\":%b,\"vcycle\":%d%s}}"
+    env circuit threshold k lookahead fine_tune router commute vcycle window
+
+let test_keys_collide_iff_equal () =
+  for seed = 1 to 50 do
+    let rng = Rng.create seed in
+    let base = request_line rng ~mutate:0 in
+    let p1 = place_of_line base and p2 = place_of_line base in
+    Alcotest.(check string)
+      (Printf.sprintf "seed %d: equal requests, equal keys" seed)
+      p1.Protocol.key p2.Protocol.key;
+    let mutate = 1 + Rng.int rng 10 in
+    let p3 = place_of_line (request_line rng ~mutate) in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: mutation %d changes the key" seed mutate)
+      true
+      (p1.Protocol.key <> p3.Protocol.key)
+  done;
+  (* Spec spelling must not matter: a named environment and its inline
+     .env text denote the same instance, hence the same key. *)
+  let named = place_of_line (request_line (Rng.create 0) ~mutate:0) in
+  let inline_env =
+    String.concat "\\n"
+      (String.split_on_char '\n'
+         (Qcp_env.Env_format.print Qcp_env.Molecules.trans_crotonic_acid))
+  in
+  let inline =
+    place_of_line
+      (Printf.sprintf
+         "{\"op\":\"place\",\"env\":\"%s\",\"circuit\":\"qft6\",\"options\":{\"threshold\":100,\"monomorphisms\":100,\"fine_tune\":3}}"
+         inline_env)
+  in
+  Alcotest.(check string) "named and inline env share a key"
+    named.Protocol.key inline.Protocol.key
+
+let test_key_hash_format () =
+  let h = Protocol.key_hash "qcp" in
+  Alcotest.(check int) "16 hex chars" 16 (String.length h);
+  String.iter
+    (fun c ->
+      Alcotest.(check bool) "hex digit" true
+        ((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')))
+    h;
+  Alcotest.(check bool) "distinct inputs, distinct digests" true
+    (Protocol.key_hash "a" <> Protocol.key_hash "b")
+
+(* ------------------------------------------------------------------ *)
+(* Result cache                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_result_cache_lru () =
+  let c = Result_cache.create 3 in
+  Result_cache.add c "a" "1";
+  Result_cache.add c "b" "2";
+  Result_cache.add c "c" "3";
+  (* Touch "a": "b" becomes the least recently used. *)
+  Alcotest.(check (option string)) "hit a" (Some "1") (Result_cache.find c "a");
+  Result_cache.add c "d" "4";
+  Alcotest.(check (option string)) "b evicted" None (Result_cache.find c "b");
+  Alcotest.(check (option string)) "a survives" (Some "1")
+    (Result_cache.find c "a");
+  Alcotest.(check (option string)) "d present" (Some "4")
+    (Result_cache.find c "d");
+  Alcotest.(check int) "bounded" 3 (Result_cache.length c);
+  Alcotest.(check int) "one eviction" 1 (Result_cache.evictions c);
+  let disabled = Result_cache.create 0 in
+  Result_cache.add disabled "a" "1";
+  Alcotest.(check (option string)) "cap 0 disables" None
+    (Result_cache.find disabled "a")
+
+(* ------------------------------------------------------------------ *)
+(* Engine: hits bit-identical to cold solves                           *)
+(* ------------------------------------------------------------------ *)
+
+let engine ?(cache_cap = 64) ~jobs () =
+  Engine.create
+    { Server.default_config with Server.jobs; cache_cap }
+
+let job_of_line eng ?(id = "t") line =
+  let envelope = Engine.parse_line eng line in
+  match envelope.Protocol.request with
+  | Ok (Protocol.Place p) ->
+    { Engine.j_id = id; j_arrival = Qcp_util.Clock.now (); j_place = p }
+  | Ok _ -> Alcotest.failf "%s: not a place request" line
+  | Error msg -> Alcotest.failf "%s: %s" line msg
+
+(* The stable tail of a response line: everything from "result": on.
+   (The prefix carries per-delivery fields: queue wait, wall time.) *)
+let result_part response =
+  match Helpers.substring_index response "\"result\":" with
+  | Some i -> String.sub response i (String.length response - i)
+  | None -> Alcotest.failf "no result in %s" response
+
+(* For comparing *separate* solves of one instance: the placement is
+   bit-identical but [scoring_seconds] is wall clock, so it is cut out.
+   (Cache-hit comparisons use [result_part] unstripped — hits return the
+   stored bytes, wall field included.) *)
+let strip_wall s =
+  match Helpers.substring_index s ",\"scoring_seconds\":" with
+  | None -> s
+  | Some i ->
+    let j = String.index_from s i '}' in
+    String.sub s 0 i ^ String.sub s j (String.length s - j)
+
+let member_exn name response =
+  match Json.parse response with
+  | Error msg -> Alcotest.failf "%s: %s" response msg
+  | Ok json -> (
+    match Json.member name json with
+    | Some v -> v
+    | None -> Alcotest.failf "no %S in %s" name response)
+
+let line_qft6 =
+  "{\"op\":\"place\",\"env\":\"trans-crotonic\",\"circuit\":\"qft6\",\"options\":{\"threshold\":100}}"
+
+let line_phaseest =
+  "{\"op\":\"place\",\"env\":\"trans-crotonic\",\"circuit\":\"phaseest\",\"options\":{\"threshold\":100}}"
+
+let test_hit_bit_identical () =
+  (* The acceptance criterion, at both batch parallelism levels: solve
+     cold, ask again, and the hit's result bytes must equal the cold
+     solve's exactly. *)
+  List.iter
+    (fun jobs ->
+      let eng = engine ~jobs () in
+      let dispatch line =
+        match
+          Engine.dispatch eng ~now:(Qcp_util.Clock.now ())
+            [ job_of_line eng line ]
+        with
+        | [ r ] -> r
+        | rs -> Alcotest.failf "expected 1 response, got %d" (List.length rs)
+      in
+      let cold = dispatch line_qft6 in
+      let hit = dispatch line_qft6 in
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs %d: cold is uncached" jobs)
+        true
+        (member_exn "cached" cold = Json.Bool false);
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs %d: repeat is cached" jobs)
+        true
+        (member_exn "cached" hit = Json.Bool true);
+      Alcotest.(check string)
+        (Printf.sprintf "jobs %d: hit result bit-identical" jobs)
+        (result_part cold) (result_part hit);
+      Alcotest.(check int)
+        (Printf.sprintf "jobs %d: one entry" jobs)
+        1
+        (Result_cache.length (Engine.cache eng)))
+    [ 0; 2 ];
+  (* And across parallelism levels: the daemon may answer a jobs=2
+     request from a jobs=0 solve, so the results themselves must agree. *)
+  let result_at jobs =
+    let eng = engine ~jobs () in
+    strip_wall
+      (result_part
+         (List.hd
+            (Engine.dispatch eng ~now:(Qcp_util.Clock.now ())
+               [ job_of_line eng line_qft6 ])))
+  in
+  Alcotest.(check string) "jobs 0 and 2 solves agree" (result_at 0)
+    (result_at 2)
+
+let test_batch_dedup () =
+  let eng = engine ~jobs:0 () in
+  let jobs =
+    [
+      job_of_line eng ~id:"a" line_qft6;
+      job_of_line eng ~id:"b" line_phaseest;
+      job_of_line eng ~id:"c" line_qft6;
+    ]
+  in
+  match Engine.dispatch eng ~now:(Qcp_util.Clock.now ()) jobs with
+  | [ ra; rb; rc ] ->
+    Alcotest.(check bool) "first occurrence solves" true
+      (member_exn "cached" ra = Json.Bool false);
+    Alcotest.(check bool) "duplicate shares the solve" true
+      (member_exn "cached" rc = Json.Bool true);
+    Alcotest.(check string) "shared result identical" (result_part ra)
+      (result_part rc);
+    Alcotest.(check bool) "ids echoed" true
+      (member_exn "id" ra = Json.Str "a"
+      && member_exn "id" rb = Json.Str "b"
+      && member_exn "id" rc = Json.Str "c");
+    (* Two distinct keys solved; the duplicate neither solved nor probed
+       the cache as a hit (it arrived before the solve completed). *)
+    Alcotest.(check int) "two entries" 2 (Result_cache.length (Engine.cache eng))
+  | rs -> Alcotest.failf "expected 3 responses, got %d" (List.length rs)
+
+let test_concurrent_clients_deterministic () =
+  (* Two daemons fed the same requests in different interleavings (one
+     batch vs. request-at-a-time, different order) must report the same
+     result for every request — placement results depend only on the
+     request content, never on arrival order or batch shape. *)
+  let lines = [ line_qft6; line_phaseest; line_qft6 ] in
+  let results_of responses =
+    List.map
+      (fun r -> (Json.to_string (member_exn "id" r), strip_wall (result_part r)))
+      responses
+  in
+  let eng_batch = engine ~jobs:2 () in
+  let batch =
+    Engine.dispatch eng_batch ~now:(Qcp_util.Clock.now ())
+      (List.mapi (fun i l -> job_of_line eng_batch ~id:(string_of_int i) l) lines)
+  in
+  let eng_seq = engine ~jobs:0 () in
+  let seq =
+    (* Reverse arrival order, one dispatch per request. *)
+    List.rev
+      (List.mapi
+         (fun i l ->
+           List.hd
+             (Engine.dispatch eng_seq ~now:(Qcp_util.Clock.now ())
+                [ job_of_line eng_seq ~id:(string_of_int (2 - i)) l ]))
+         (List.rev lines))
+  in
+  List.iter2
+    (fun (id_b, result_b) (id_s, result_s) ->
+      Alcotest.(check string) "same request" id_b id_s;
+      Alcotest.(check string)
+        (Printf.sprintf "request %s: same result at any interleaving" id_b)
+        result_b result_s)
+    (List.sort compare (results_of batch))
+    (List.sort compare (results_of seq))
+
+let test_timeout_response () =
+  let eng = engine ~jobs:0 () in
+  let line =
+    "{\"id\":\"t\",\"op\":\"place\",\"env\":\"trans-crotonic\",\"circuit\":\"phaseest\",\"deadline\":0}"
+  in
+  match Engine.dispatch eng ~now:(Qcp_util.Clock.now ()) [ job_of_line eng line ] with
+  | [ r ] ->
+    Alcotest.(check bool) "status timeout" true
+      (member_exn "status" r = Json.Str "timeout");
+    Alcotest.(check bool) "nothing cached" true
+      (Result_cache.length (Engine.cache eng) = 0);
+    (* The same request with budget must still place (and not be poisoned
+       by the timed-out attempt). *)
+    let ok =
+      List.hd
+        (Engine.dispatch eng ~now:(Qcp_util.Clock.now ())
+           [ job_of_line eng line_phaseest ])
+    in
+    Alcotest.(check bool) "subsequent solve ok" true
+      (member_exn "status" ok = Json.Str "ok")
+  | rs -> Alcotest.failf "expected 1 response, got %d" (List.length rs)
+
+let test_request_validation () =
+  let eng = engine ~jobs:0 () in
+  let expect_error line needle =
+    match (Engine.parse_line eng line).Protocol.request with
+    | Error msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s mentions %s" line needle)
+        true
+        (Helpers.contains ~needle msg)
+    | Ok _ -> Alcotest.failf "%s: should be rejected" line
+  in
+  expect_error "{\"op\":\"place\",\"circuit\":\"qft6\"}" "env";
+  expect_error "{\"op\":\"place\",\"env\":\"nope\",\"circuit\":\"qft6\"}"
+    "unknown environment";
+  expect_error
+    "{\"op\":\"place\",\"env\":\"chain:6\",\"circuit\":\"qft6\",\"options\":{\"jobs\":4}}"
+    "server-side";
+  expect_error
+    "{\"op\":\"place\",\"env\":\"chain:6\",\"circuit\":\"qft6\",\"options\":{\"spill\":\"x\"}}"
+    "spill";
+  expect_error
+    "{\"op\":\"place\",\"env\":\"chain:6\",\"circuit\":\"qft6\",\"options\":{\"typo\":1}}"
+    "unknown option";
+  expect_error "{\"op\":\"dance\"}" "unknown op";
+  expect_error "not json" "bad JSON"
+
+(* ------------------------------------------------------------------ *)
+(* Socket daemon smoke                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let temp_socket name =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "qcp-%s-%d.sock" name (Unix.getpid ()))
+
+let with_daemon name config f =
+  let path = temp_socket name in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let config =
+    { config with Server.socket_path = Some path; install_signals = false }
+  in
+  let daemon = Domain.spawn (fun () -> Server.serve config) in
+  Fun.protect ~finally:(fun () -> Domain.join daemon) @@ fun () ->
+  let client = Client.connect (Client.Unix_socket path) in
+  Fun.protect ~finally:(fun () -> Client.close client) @@ fun () -> f client
+
+let test_socket_roundtrip () =
+  with_daemon "smoke" Server.default_config @@ fun client ->
+  let ping = Client.request client "{\"id\":\"p\",\"op\":\"ping\"}" in
+  Alcotest.(check bool) "ping ok" true
+    (member_exn "status" ping = Json.Str "ok");
+  let cold = Client.request client line_qft6 in
+  let hit = Client.request client line_qft6 in
+  Alcotest.(check bool) "cold ok" true
+    (member_exn "status" cold = Json.Str "ok");
+  Alcotest.(check bool) "repeat cached" true
+    (member_exn "cached" hit = Json.Bool true);
+  Alcotest.(check string) "hit bytes identical over the wire"
+    (result_part cold) (result_part hit);
+  let stats = Client.request client "{\"op\":\"stats\"}" in
+  let cache_stats =
+    Option.get (Json.member "cache" (member_exn "result" stats))
+  in
+  Alcotest.(check (option Alcotest.int)) "one cache hit" (Some 1)
+    (Option.bind (Json.member "hits" cache_stats) Json.to_int);
+  let bye = Client.request client "{\"op\":\"shutdown\"}" in
+  Alcotest.(check bool) "shutdown acknowledged" true
+    (member_exn "status" bye = Json.Str "ok")
+
+let test_socket_overload () =
+  with_daemon "overload"
+    { Server.default_config with Server.queue_cap = 0 }
+  @@ fun client ->
+  let r = Client.request client line_qft6 in
+  Alcotest.(check bool) "overloaded" true
+    (member_exn "status" r = Json.Str "overloaded");
+  ignore (Client.request client "{\"op\":\"shutdown\"}" : string)
+
+let suite =
+  [
+    Alcotest.test_case "json print/parse fixpoint" `Quick test_json_roundtrip;
+    Alcotest.test_case "json number rendering" `Quick test_json_numbers;
+    Alcotest.test_case "keys collide iff equal over 50 seeds" `Quick
+      test_keys_collide_iff_equal;
+    Alcotest.test_case "key digest format" `Quick test_key_hash_format;
+    Alcotest.test_case "result cache LRU deterministic" `Quick
+      test_result_cache_lru;
+    Alcotest.test_case "hit bit-identical to cold solve (jobs 0/2)" `Quick
+      test_hit_bit_identical;
+    Alcotest.test_case "batch dedup solves once" `Quick test_batch_dedup;
+    Alcotest.test_case "interleaving never changes results" `Quick
+      test_concurrent_clients_deterministic;
+    Alcotest.test_case "deadline expiry yields timeout" `Quick
+      test_timeout_response;
+    Alcotest.test_case "request validation" `Quick test_request_validation;
+    Alcotest.test_case "socket daemon round trip" `Quick test_socket_roundtrip;
+    Alcotest.test_case "admission control overload" `Quick test_socket_overload;
+  ]

@@ -135,6 +135,150 @@ let qcheck_random_small_programs_equivalent =
       | Placer.Unplaceable _ -> false
       | Placer.Placed p -> Verify.equivalent ~inputs:[ 0; 1; 3 ] p)
 
+(* Streaming structural audit of a spilled run's line-JSON file: the
+   report must agree with the run's own summary field for field, and each
+   structural rule must actually reject a file violating it. *)
+
+let with_temp_file f =
+  let path = Filename.temp_file "qcp_spill" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let write_lines path lines =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun line ->
+          output_string oc line;
+          output_char oc '\n')
+        lines)
+
+let test_stream_matches_spilled_summary () =
+  with_temp_file (fun path ->
+      let env = Molecules.trans_crotonic_acid in
+      let circuit = Catalog.qft 6 in
+      let options =
+        {
+          (Options.default ~threshold:100.0) with
+          Options.window = Some 4;
+          spill = Options.Spill_file path;
+        }
+      in
+      let p = place_exn options env circuit in
+      let s =
+        match Placer.spilled p with
+        | Some s -> s
+        | None -> Alcotest.fail "windowed spill run carries no summary"
+      in
+      match
+        Verify.Stream.verify_file ~register:(Environment.size env) path
+      with
+      | Error msg -> Alcotest.failf "own spill file rejected: %s" msg
+      | Ok r ->
+        Alcotest.(check int) "computes" s.Placer.sm_computes
+          r.Verify.Stream.computes;
+        Alcotest.(check int) "networks" s.Placer.sm_networks
+          r.Verify.Stream.networks;
+        Alcotest.(check int) "swap depth" s.Placer.sm_swap_depth
+          r.Verify.Stream.swap_depth;
+        Alcotest.(check int) "swap count" s.Placer.sm_swap_count
+          r.Verify.Stream.swap_count;
+        Alcotest.(check (float 0.0)) "makespan" s.Placer.sm_makespan
+          r.Verify.Stream.makespan;
+        Alcotest.(check int) "qubits" (Circuit.qubits circuit)
+          r.Verify.Stream.qubits;
+        Alcotest.(check (option (array int))) "first placement"
+          s.Placer.sm_first r.Verify.Stream.first;
+        Alcotest.(check (option (array int))) "last placement"
+          s.Placer.sm_last r.Verify.Stream.last)
+
+(* Each rule of the audit, probed with a hand-crafted minimal file: the
+   valid base passes, and every single-line perturbation is pinned to its
+   specific complaint. *)
+let stream_base =
+  [
+    {|{"stage": 0, "kind": "compute", "gates": 3, "makespan": 10.0, "placement": [0, 1, 2]}|};
+    {|{"stage": 1, "kind": "permute", "depth": 1, "swaps": 2}|};
+    {|{"stage": 2, "kind": "compute", "gates": 1, "makespan": 12.5, "placement": [1, 0, 2]}|};
+  ]
+
+let check_stream_rejects name lines needle =
+  with_temp_file (fun path ->
+      write_lines path lines;
+      match Verify.Stream.verify_file ~register:3 path with
+      | Ok _ -> Alcotest.failf "%s: invalid file accepted" name
+      | Error msg ->
+        if not (Helpers.contains ~needle msg) then
+          Alcotest.failf "%s: %S does not mention %S" name msg needle)
+
+let test_stream_accepts_minimal_valid () =
+  with_temp_file (fun path ->
+      write_lines path stream_base;
+      match Verify.Stream.verify_file ~register:3 path with
+      | Error msg -> Alcotest.failf "valid file rejected: %s" msg
+      | Ok r ->
+        Alcotest.(check int) "computes" 2 r.Verify.Stream.computes;
+        Alcotest.(check int) "networks" 1 r.Verify.Stream.networks;
+        Alcotest.(check int) "swap depth" 1 r.Verify.Stream.swap_depth;
+        Alcotest.(check int) "swap count" 2 r.Verify.Stream.swap_count;
+        Alcotest.(check (float 0.0)) "makespan" 12.5 r.Verify.Stream.makespan;
+        Alcotest.(check (option (array int))) "first" (Some [| 0; 1; 2 |])
+          r.Verify.Stream.first;
+        Alcotest.(check (option (array int))) "last" (Some [| 1; 0; 2 |])
+          r.Verify.Stream.last)
+
+let test_stream_detects_corruption () =
+  let replace i line = List.mapi (fun j l -> if i = j then line else l) stream_base in
+  check_stream_rejects "empty file" [] "empty spill file";
+  check_stream_rejects "bad JSON"
+    (stream_base @ [ "not json at all" ])
+    "bad JSON";
+  check_stream_rejects "stage index gap"
+    (replace 2
+       {|{"stage": 7, "kind": "compute", "gates": 1, "makespan": 12.5, "placement": [1, 0, 2]}|})
+    "stage index 7, expected 2";
+  check_stream_rejects "unknown kind"
+    (replace 2
+       {|{"stage": 2, "kind": "measure", "gates": 1, "makespan": 12.5, "placement": [1, 0, 2]}|})
+    "unknown stage kind";
+  check_stream_rejects "permute before any compute"
+    [ {|{"stage": 0, "kind": "permute", "depth": 1, "swaps": 1}|} ]
+    "permute stage before any compute";
+  check_stream_rejects "consecutive permutes"
+    [
+      List.nth stream_base 0;
+      List.nth stream_base 1;
+      {|{"stage": 2, "kind": "permute", "depth": 1, "swaps": 1}|};
+    ]
+    "two consecutive permute stages";
+  check_stream_rejects "trailing permute"
+    [ List.nth stream_base 0; List.nth stream_base 1 ]
+    "trailing permute";
+  check_stream_rejects "decreasing makespan"
+    (replace 2
+       {|{"stage": 2, "kind": "compute", "gates": 1, "makespan": 9.0, "placement": [1, 0, 2]}|})
+    "below the running makespan";
+  check_stream_rejects "duplicate placement vertex"
+    (replace 2
+       {|{"stage": 2, "kind": "compute", "gates": 1, "makespan": 12.5, "placement": [1, 1, 2]}|})
+    "maps two qubits to vertex 1";
+  check_stream_rejects "placement outside register"
+    (replace 2
+       {|{"stage": 2, "kind": "compute", "gates": 1, "makespan": 12.5, "placement": [1, 0, 5]}|})
+    "entry 5 outside register 3";
+  check_stream_rejects "negative placement entry"
+    (replace 0
+       {|{"stage": 0, "kind": "compute", "gates": 3, "makespan": 10.0, "placement": [0, -1, 2]}|})
+    "negative placement entry";
+  check_stream_rejects "placement width changes"
+    (replace 2
+       {|{"stage": 2, "kind": "compute", "gates": 1, "makespan": 12.5, "placement": [1, 0]}|})
+    "placement width 2, expected 3";
+  check_stream_rejects "swapless level"
+    (replace 1 {|{"stage": 1, "kind": "permute", "depth": 3, "swaps": 2}|})
+    "every level swaps"
+
 let suite =
   [
     Alcotest.test_case "qec3 on acetyl" `Quick test_qec3_acetyl;
@@ -147,4 +291,10 @@ let suite =
     Alcotest.test_case "no leaf override semantics" `Quick test_no_leaf_override_semantics;
     Alcotest.test_case "corruption detected" `Quick test_corrupted_program_detected;
     QCheck_alcotest.to_alcotest qcheck_random_small_programs_equivalent;
+    Alcotest.test_case "stream report matches spilled summary" `Quick
+      test_stream_matches_spilled_summary;
+    Alcotest.test_case "stream accepts a minimal valid file" `Quick
+      test_stream_accepts_minimal_valid;
+    Alcotest.test_case "stream rejects each structural violation" `Quick
+      test_stream_detects_corruption;
   ]

@@ -31,4 +31,5 @@ let () =
       ("crosscheck", Suite_crosscheck.suite);
       ("noisy", Suite_noisy.suite);
       ("scale", Suite_scale.suite);
+      ("serve", Suite_serve.suite);
     ]
