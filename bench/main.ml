@@ -327,7 +327,11 @@ let memory_probes ?(full = false) () =
      the batch path) — the daemon's sustained solve rate;
    - serve/hit-path: 256 repeats of one warmed request — the exact-cache
      hit path, which the acceptance criterion pins well below a cold
-     solve.
+     solve;
+   - serve/log-overhead: the same hit kernel against a second daemon with
+     the full observability stack armed (debug logging to a file, flight
+     recorder) — the regression gate holds its p50 within 2x of the quiet
+     hit path, keeping telemetry cost honest.
 
    The [req-per-s] rows are rates (higher is better); regression.exe
    special-cases the suffix. *)
@@ -357,7 +361,7 @@ let serve_probes () =
     in
     scan 0
   in
-  let roundtrip line =
+  let roundtrip client line =
     let t0 = Unix.gettimeofday () in
     let resp = Qcp_serve.Client.request client line in
     let ns = (Unix.gettimeofday () -. t0) *. 1e9 in
@@ -369,9 +373,9 @@ let serve_probes () =
     arr.(Int.min (Array.length arr - 1)
            (int_of_float (p *. float_of_int (Array.length arr))))
   in
-  let run name requests =
+  let run client name requests =
     let t0 = Unix.gettimeofday () in
-    let samples = List.map roundtrip requests in
+    let samples = List.map (roundtrip client) requests in
     let total_s = Unix.gettimeofday () -. t0 in
     let n = List.length samples in
     [
@@ -391,11 +395,13 @@ let serve_probes () =
      criterion.  (Running throughput first would pre-warm the shared
      adjacency/route registries and shrink the measured gap.) *)
   let hit_line = place_line "h" "\"threshold\":100" in
-  let hit_cold_ns = roundtrip hit_line in
-  let hit_rows = run "serve/hit-path" (List.init 256 (fun _ -> hit_line)) in
+  let hit_cold_ns = roundtrip client hit_line in
+  let hit_rows =
+    run client "serve/hit-path" (List.init 256 (fun _ -> hit_line))
+  in
   let hit_rows = hit_rows @ [ ("serve/hit-path/cold-ns", hit_cold_ns) ] in
   let throughput_rows =
-    run "serve/throughput"
+    run client "serve/throughput"
       (List.init 64 (fun i ->
            place_line
              (Printf.sprintf "t%d" i)
@@ -404,7 +410,37 @@ let serve_probes () =
   ignore (Qcp_serve.Client.request client "{\"op\":\"shutdown\"}" : string);
   Qcp_serve.Client.close client;
   Domain.join daemon;
-  throughput_rows @ hit_rows
+  (* Second daemon with the observability stack armed: every request
+     emits an access-log line to a file and lands in the flight ring.
+     The server restores the process-global logger on drain, so later
+     kernels run quiet. *)
+  let armed_socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "qcp-bench-armed-%d.sock" (Unix.getpid ()))
+  in
+  let log_file = Filename.temp_file "qcp-bench-serve" ".log" in
+  let armed_config =
+    {
+      config with
+      Qcp_serve.Server.socket_path = Some armed_socket;
+      log_level = Some Qcp_obs.Log.Debug;
+      log_file = Some log_file;
+      flight_cap = 64;
+    }
+  in
+  let daemon = Domain.spawn (fun () -> Qcp_serve.Server.serve armed_config) in
+  let client =
+    Qcp_serve.Client.connect (Qcp_serve.Client.Unix_socket armed_socket)
+  in
+  ignore (roundtrip client hit_line : float);
+  let log_rows =
+    run client "serve/log-overhead" (List.init 256 (fun _ -> hit_line))
+  in
+  ignore (Qcp_serve.Client.request client "{\"op\":\"shutdown\"}" : string);
+  Qcp_serve.Client.close client;
+  Domain.join daemon;
+  (try Sys.remove log_file with Sys_error _ -> ());
+  throughput_rows @ hit_rows @ log_rows
 
 let print_serve_rows rows =
   Printf.printf "%-40s %16s\n" "serving probe (one-shot)" "value";

@@ -801,7 +801,8 @@ let host_arg =
     & info [ "host" ] ~docv:"ADDR" ~doc:"TCP bind address.")
 
 let serve_run socket port host jobs cache_cap max_batch queue_cap deadline
-    max_requests learn telemetry verbose =
+    max_requests learn telemetry verbose log_level log_file flight_cap
+    slow_dump dump_dir =
   let jobs =
     match jobs with Some j -> j | None -> Qcp_util.Task_pool.env_jobs ()
   in
@@ -820,6 +821,11 @@ let serve_run socket port host jobs cache_cap max_batch queue_cap deadline
       learn;
       telemetry;
       verbose;
+      log_level;
+      log_file;
+      flight_cap;
+      slow_dump;
+      dump_dir;
     }
   in
   match Qcp_serve.Server.serve config with
@@ -883,7 +889,47 @@ let serve_cmd =
               ~doc:"Arm the hot-path metrics instruments for all requests.")
       $ Arg.(
           value & flag
-          & info [ "v"; "verbose" ] ~doc:"Log connections and batches."))
+          & info [ "v"; "verbose" ]
+              ~doc:"Alias for $(b,--log debug): log everything.")
+      $ Arg.(
+          let levels =
+            [
+              ("debug", Qcp_obs.Log.Debug);
+              ("info", Qcp_obs.Log.Info);
+              ("warn", Qcp_obs.Log.Warn);
+              ("error", Qcp_obs.Log.Error);
+            ]
+          in
+          value
+          & opt (some (enum levels)) None
+          & info [ "log" ] ~docv:"LEVEL"
+              ~doc:
+                "Emit structured line-JSON log events at $(docv) and above \
+                 (debug, info, warn, error).  Off by default.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "log-file" ] ~docv:"FILE"
+              ~doc:"Append log events to $(docv) instead of stderr.")
+      $ Arg.(
+          value & opt int 0
+          & info [ "flight" ] ~docv:"N"
+              ~doc:
+                "Keep a flight recorder of the last $(docv) requests with \
+                 their solve spans, dumpable as a Chrome trace via the \
+                 $(b,dump) op (0 disables).")
+      $ Arg.(
+          value
+          & opt (some float) None
+          & info [ "slow-dump" ] ~docv:"SECONDS"
+              ~doc:
+                "Auto-dump the flight recorder to $(b,--dump-dir) whenever \
+                 a dispatch takes longer than $(docv) seconds end-to-end or \
+                 answers a non-ok status.")
+      $ Arg.(
+          value & opt string "."
+          & info [ "dump-dir" ] ~docv:"DIR"
+              ~doc:"Directory for auto-dumped flight traces."))
   in
   Cmd.v
     (Cmd.info "serve"
@@ -958,6 +1004,91 @@ let request_cmd =
     term
 
 (* ------------------------------------------------------------------ *)
+(* stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let stats_run socket host port prom watch =
+  let address =
+    match (socket, port) with
+    | Some path, _ -> Qcp_serve.Client.Unix_socket path
+    | None, Some port -> Qcp_serve.Client.Tcp (host, port)
+    | None, None ->
+      prerr_endline "error: give --socket PATH or --port PORT";
+      exit 2
+  in
+  match Qcp_serve.Client.connect address with
+  | exception Unix.Unix_error (e, fn, arg) ->
+    Printf.eprintf "error: %s: %s %s\n" (Unix.error_message e) fn arg;
+    1
+  | client ->
+    let line =
+      if prom then {|{"op":"stats","format":"prometheus"}|}
+      else {|{"op":"stats"}|}
+    in
+    let once () =
+      let response = Qcp_serve.Client.request client line in
+      match Qcp_util.Json.parse response with
+      | Ok json
+        when Option.bind (Qcp_util.Json.member "status" json)
+               Qcp_util.Json.to_str
+             = Some "ok" -> (
+        match Qcp_util.Json.member "result" json with
+        | Some (Qcp_util.Json.Str text) when prom ->
+          (* The Prometheus exposition rides the protocol as one JSON
+             string; print it raw so the output is scrapeable as-is. *)
+          print_string text;
+          flush stdout;
+          true
+        | Some result ->
+          print_endline (Qcp_util.Json.to_string result);
+          true
+        | None ->
+          prerr_endline "error: stats response carried no result";
+          false)
+      | Ok _ | Error _ ->
+        prerr_endline ("error: " ^ response);
+        false
+    in
+    let rc =
+      match watch with
+      | None -> if once () then 0 else 1
+      | Some seconds ->
+        let ok = ref true in
+        while !ok do
+          ok := once ();
+          if !ok then Unix.sleepf (Float.max 0.05 seconds)
+        done;
+        1
+    in
+    Qcp_serve.Client.close client;
+    rc
+
+let stats_cmd =
+  let prom =
+    Arg.(
+      value & flag
+      & info [ "prom"; "prometheus" ]
+          ~doc:"Print Prometheus text exposition instead of JSON.")
+  in
+  let watch =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "watch" ] ~docv:"SECONDS"
+          ~doc:"Poll the daemon every $(docv) seconds until interrupted.")
+  in
+  let term =
+    Term.(const stats_run $ socket_arg $ host_arg $ port_arg $ prom $ watch)
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Fetch a running daemon's counters: JSON by default, \
+          $(b,--prom) for Prometheus text exposition (scrape target via \
+          a one-line exporter), $(b,--watch) to poll.")
+    term
+
+(* ------------------------------------------------------------------ *)
 (* verify                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1012,5 +1143,6 @@ let () =
        (Cmd.group info
           [
             place_cmd; route_cmd; runtime_cmd; gen_cmd; show_cmd; schedule_cmd;
-            tune_cmd; report_cmd; serve_cmd; request_cmd; verify_cmd;
+            tune_cmd; report_cmd; serve_cmd; request_cmd; stats_cmd;
+            verify_cmd;
           ]))

@@ -143,6 +143,67 @@ let write_metrics_file path snap =
   Buffer.output_buffer oc buf;
   close_out oc
 
+(* ------------------------------------------------------------------ *)
+(* Prometheus text exposition (version 0.0.4)                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Metric names admit [a-zA-Z0-9_:]; the registry's dotted/slashed names
+   (placer.scale.window_fill, portfolio/race) mangle every other byte to
+   '_'.  A leading digit gets an underscore prefix so the result is a
+   valid name whatever the input. *)
+let prometheus_name ~namespace raw =
+  let buf = Buffer.create (String.length namespace + String.length raw + 2) in
+  Buffer.add_string buf namespace;
+  Buffer.add_char buf '_';
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char buf c
+      | _ -> Buffer.add_char buf '_')
+    raw;
+  Buffer.contents buf
+
+let prometheus_value v =
+  if Float.is_nan v then "0"
+  else if v = Float.infinity then "+Inf"
+  else if v = Float.neg_infinity then "-Inf"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    string_of_int (int_of_float v)
+  else Printf.sprintf "%.9g" v
+
+let prometheus ?(namespace = "qcp") buf (snap : Metrics.snapshot) =
+  List.iter
+    (fun (raw, value) ->
+      let name = prometheus_name ~namespace raw in
+      match value with
+      | Metrics.Counter n ->
+        Buffer.add_string buf
+          (Printf.sprintf "# TYPE %s_total counter\n%s_total %d\n" name name n)
+      | Metrics.Gauge v ->
+        Buffer.add_string buf
+          (Printf.sprintf "# TYPE %s gauge\n%s %s\n" name name
+             (prometheus_value v))
+      | Metrics.Histogram { bounds; counts; sum; count } ->
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" name);
+        (* Buckets are cumulative in the exposition format (the registry
+           stores per-bucket counts); the running sum makes them monotone
+           by construction, and the +Inf bucket equals the sample count. *)
+        let running = ref 0 in
+        Array.iteri
+          (fun i n ->
+            running := !running + n;
+            let le =
+              if i >= Array.length bounds then "+Inf"
+              else Printf.sprintf "%g" bounds.(i)
+            in
+            Buffer.add_string buf
+              (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" name le !running))
+          counts;
+        Buffer.add_string buf
+          (Printf.sprintf "%s_sum %s\n%s_count %d\n" name
+             (prometheus_value sum) name count))
+    snap
+
 let pp_metrics ppf (snap : Metrics.snapshot) =
   List.iter
     (fun (name, value) ->

@@ -25,6 +25,16 @@ val metrics_json : Buffer.t -> Metrics.snapshot -> unit
 
 val write_metrics_file : string -> Metrics.snapshot -> unit
 
+val prometheus : ?namespace:string -> Buffer.t -> Metrics.snapshot -> unit
+(** Append the snapshot in Prometheus text exposition format (0.0.4),
+    scrapeable as-is.  Registry names are mangled to valid metric names
+    ([placer.scale.window_fill] becomes
+    [qcp_placer_scale_window_fill]; [namespace] defaults to ["qcp"]).
+    Counters append [_total]; histograms render {e cumulative} buckets
+    ([_bucket{le="..."}], monotone by construction, [+Inf] equal to
+    [_count]) plus [_sum] and [_count].  Each family is preceded by its
+    [# TYPE] line. *)
+
 val pp_metrics : Format.formatter -> Metrics.snapshot -> unit
 (** Human-readable snapshot: one aligned [name value] row per instrument;
     histograms print count, sum and mean. *)

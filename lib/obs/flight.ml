@@ -1,0 +1,93 @@
+type record = {
+  f_seq : int;
+  f_id : string;
+  f_op : string;
+  f_status : string;
+  f_cached : bool;
+  f_shed : bool;
+  f_key : string;
+  f_arrival : float;
+  f_queue_wait : float;
+  f_wall : float;
+  f_phases : (string * float) list;
+  f_spans : Trace.event list;
+}
+
+(* Same ring discipline as {!Trace}: a circular buffer indexed by
+   [pushed mod capacity].  Unlike trace rings this one is shared across
+   domains (the serve loop records, a dump request reads), so pushes and
+   snapshots take the lock — both are per-request, never per-candidate. *)
+type t = {
+  cap : int;
+  buf : record option array;
+  mutable pushed : int;
+  lock : Mutex.t;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Flight.create: capacity must be positive";
+  { cap = capacity; buf = Array.make capacity None; pushed = 0; lock = Mutex.create () }
+
+let capacity t = t.cap
+
+let record t r =
+  Mutex.protect t.lock (fun () ->
+      t.buf.(t.pushed mod t.cap) <- Some r;
+      t.pushed <- t.pushed + 1)
+
+let recorded t = Mutex.protect t.lock (fun () -> t.pushed)
+
+let records t =
+  Mutex.protect t.lock (fun () ->
+      let first = max 0 (t.pushed - t.cap) in
+      let out = ref [] in
+      for i = t.pushed - 1 downto first do
+        match t.buf.(i mod t.cap) with
+        | Some r -> out := r :: !out
+        | None -> ()
+      done;
+      !out)
+
+let length t = List.length (records t)
+
+(* Each request becomes one complete ("X") event on a synthetic request
+   lane (tid 0 is the serve loop's domain): queued from arrival, then the
+   dispatch wall.  Solve spans ride along verbatim — their timestamps were
+   rebased onto the recorder's timeline when the record was made, so the
+   dump is one coherent Chrome trace across batches. *)
+let to_events t =
+  List.concat_map
+    (fun r ->
+      let args =
+        [
+          ("id", r.f_id);
+          ("key", r.f_key);
+          ("status", r.f_status);
+          ("cached", string_of_bool r.f_cached);
+        ]
+        @ (if r.f_shed then [ ("shed", "true") ] else [])
+        @ List.map
+            (fun (phase, s) -> ("phase_" ^ phase ^ "_s", Printf.sprintf "%.6f" s))
+            r.f_phases
+      in
+      {
+        Trace.name = Printf.sprintf "request#%d" r.f_seq;
+        cat = "serve";
+        tid = 0;
+        seq = r.f_seq;
+        ts = r.f_arrival;
+        dur = r.f_queue_wait +. r.f_wall;
+        self = r.f_wall;
+        args;
+      }
+      :: r.f_spans)
+    (records t)
+
+let dump buf t = Export.trace_json buf (to_events t)
+
+let dump_file path t =
+  let buf = Buffer.create 65536 in
+  dump buf t;
+  let oc = open_out path in
+  Buffer.output_buffer oc buf;
+  close_out oc

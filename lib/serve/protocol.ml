@@ -14,10 +14,13 @@ type place = {
   key : string;
 }
 
+type stats_format = Stats_json | Stats_prometheus
+
 type request =
   | Place of place
   | Ping
-  | Stats
+  | Stats of stats_format
+  | Dump
   | Shutdown
 
 type envelope = {
@@ -334,7 +337,13 @@ let parse_line ?(resolve_env = resolve_env) ?(resolve_circuit = resolve_circuit)
       match Option.bind (Json.member "op" json) Json.to_str with
       | None | Some "place" -> parse_place ~resolve_env ~resolve_circuit json
       | Some "ping" -> Ok Ping
-      | Some "stats" -> Ok Stats
+      | Some "stats" -> (
+        match Option.bind (Json.member "format" json) Json.to_str with
+        | None | Some "json" -> Ok (Stats Stats_json)
+        | Some ("prometheus" | "prom") -> Ok (Stats Stats_prometheus)
+        | Some other ->
+          Error (Printf.sprintf "unknown stats format %S (json, prometheus)" other))
+      | Some "dump" -> Ok Dump
       | Some "shutdown" -> Ok Shutdown
       | Some other -> Error (Printf.sprintf "unknown op %S" other)
     in

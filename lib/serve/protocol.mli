@@ -48,10 +48,16 @@ type place = {
   key : string;  (** Canonical content key (see above). *)
 }
 
+type stats_format = Stats_json | Stats_prometheus
+    (** The ["format"] member of a stats request: ["json"] (default) for
+        the engine's counter object, ["prometheus"] (or ["prom"]) for the
+        text exposition format rendered by {!Qcp_obs.Export.prometheus}. *)
+
 type request =
   | Place of place
   | Ping
-  | Stats
+  | Stats of stats_format
+  | Dump  (** Flight-recorder dump: the last N requests as a Chrome trace. *)
   | Shutdown
 
 type envelope = {

@@ -1,6 +1,9 @@
 module Json = Qcp_util.Json
 module Clock = Qcp_util.Clock
 module Metrics = Qcp_obs.Metrics
+module Trace = Qcp_obs.Trace
+module Log = Qcp_obs.Log
+module Flight = Qcp_obs.Flight
 module Placer = Qcp.Placer
 module Options = Qcp.Options
 
@@ -18,6 +21,11 @@ type config = {
   telemetry : bool;
   install_signals : bool;
   verbose : bool;
+  log_level : Log.level option;
+  log_file : string option;
+  flight_cap : int;
+  slow_dump : float option;
+  dump_dir : string;
 }
 
 let default_config =
@@ -35,6 +43,11 @@ let default_config =
     telemetry = false;
     install_signals = true;
     verbose = false;
+    log_level = None;
+    log_file = None;
+    flight_cap = 0;
+    slow_dump = None;
+    dump_dir = ".";
   }
 
 (* ------------------------------------------------------------------ *)
@@ -76,6 +89,7 @@ module Engine = struct
     mutable c_placed : int;  (* "ok" responses *)
     mutable c_errors : int;
     mutable c_timeouts : int;
+    mutable c_shed : int;  (* of the timeouts, dropped at dispatch *)
     mutable c_unplaceable : int;
     mutable c_overloaded : int;
     mutable c_batches : int;
@@ -91,6 +105,8 @@ module Engine = struct
     envs : Qcp_env.Environment.t intern;
     circuits : Qcp_circuit.Circuit.t intern;
     counters : counters;
+    flight : Flight.t option;
+    mutable seq : int;  (* next request sequence number *)
     started : float;
   }
 
@@ -108,6 +124,7 @@ module Engine = struct
           c_placed = 0;
           c_errors = 0;
           c_timeouts = 0;
+          c_shed = 0;
           c_unplaceable = 0;
           c_overloaded = 0;
           c_batches = 0;
@@ -116,10 +133,17 @@ module Engine = struct
           qw_sum = 0.0;
           qw_count = 0;
         };
+      flight =
+        (if config.flight_cap > 0 then
+           Some (Flight.create ~capacity:config.flight_cap)
+         else None);
+      seq = 0;
       started = Clock.now ();
     }
 
   let cache t = t.result_cache
+
+  let flight t = t.flight
 
   let requests_served t =
     t.counters.c_placed + t.counters.c_timeouts + t.counters.c_unplaceable
@@ -132,10 +156,16 @@ module Engine = struct
       line
 
   type job = {
+    j_seq : int;
     j_id : string;
     j_arrival : float;
     j_place : Protocol.place;
   }
+
+  let make_job t ~id ~arrival place =
+    let seq = t.seq in
+    t.seq <- t.seq + 1;
+    { j_seq = seq; j_id = id; j_arrival = arrival; j_place = place }
 
   let observe_wait c seconds =
     let i = Metrics.bucket_index qw_bounds seconds in
@@ -150,7 +180,22 @@ module Engine = struct
   let cache_key p =
     p.Protocol.key ^ if p.Protocol.telemetry then "\n+telemetry" else ""
 
+  (* A request's absolute timeout budget.  Portfolio races ignore the
+     out-of-band budget (their anchor strategy must finish); everything
+     else counts its own deadline — or the server default — from
+     arrival. *)
+  let budget config j =
+    if j.j_place.Protocol.options.Options.portfolio then infinity
+    else
+      match j.j_place.Protocol.deadline with
+      | Some b -> j.j_arrival +. b
+      | None -> (
+        match config.default_deadline with
+        | Some b -> j.j_arrival +. b
+        | None -> infinity)
+
   type assignment =
+    | Shed  (* budget expired before dispatch: answered without solving *)
     | Hit of string  (* cached result text *)
     | Solve of int * bool  (* unique-solve index, first occurrence? *)
 
@@ -161,38 +206,58 @@ module Engine = struct
     c.c_batches <- c.c_batches + 1;
     if n > c.c_max_batch then c.c_max_batch <- n;
     Array.iter (fun j -> observe_wait c (Float.max 0.0 (now -. j.j_arrival))) jobs;
-    (* Lookup + dedup. *)
+    (* Shed check, then lookup + dedup.  A job whose budget expired while
+       it queued is answered immediately — solving it would waste batch
+       capacity on a response the client already gave up on, and the
+       placer would only abort it at the next pipeline stage anyway. *)
     let unique = ref [] and unique_count = ref 0 in
     let index_of_key = Hashtbl.create 16 in
     let assignments =
       Array.mapi
         (fun i j ->
-          let p = j.j_place in
-          let cacheable = Protocol.cacheable p in
-          match
-            if cacheable then Result_cache.find t.result_cache (cache_key p)
-            else None
-          with
-          | Some text -> Hit text
-          | None ->
-            (* Non-cacheable (portfolio + finite deadline) requests never
-               dedupe: each gets its own race. *)
-            let dk = if cacheable then cache_key p else Printf.sprintf "!%d" i in
-            (match Hashtbl.find_opt index_of_key dk with
-            | Some u -> Solve (u, false)
+          if budget t.config j <= now then Shed
+          else
+            let p = j.j_place in
+            let cacheable = Protocol.cacheable p in
+            match
+              if cacheable then Result_cache.find t.result_cache (cache_key p)
+              else None
+            with
+            | Some text -> Hit text
             | None ->
-              let u = !unique_count in
-              incr unique_count;
-              Hashtbl.add index_of_key dk u;
-              unique := j :: !unique;
-              Solve (u, true)))
+              (* Non-cacheable (portfolio + finite deadline) requests never
+                 dedupe: each gets its own race. *)
+              let dk =
+                if cacheable then cache_key p else Printf.sprintf "!%d" i
+              in
+              (match Hashtbl.find_opt index_of_key dk with
+              | Some u -> Solve (u, false)
+              | None ->
+                let u = !unique_count in
+                incr unique_count;
+                Hashtbl.add index_of_key dk u;
+                unique := j :: !unique;
+                Solve (u, true)))
         jobs
     in
     let t_lookup = Clock.now () in
     let unique = Array.of_list (List.rev !unique) in
-    (* Solve the misses: classic requests in one placer batch with per-job
-       absolute deadlines, portfolio requests in one portfolio batch
-       (their budget lives in [options.deadline]). *)
+    (* Solve the misses under a per-batch trace capture when the flight
+       recorder is armed (and nobody else owns the tracer): the spans land
+       on the batch's first solved record, dumpable while the daemon keeps
+       running.  Tracing also starts the placer's phase clocks, so flight
+       records carry a phase breakdown even without --telemetry. *)
+    let capture =
+      t.flight <> None && Array.length unique > 0 && not (Trace.enabled ())
+    in
+    let trace_abs = ref 0.0 in
+    if capture then begin
+      Trace.start ~capacity:4096 ();
+      trace_abs := Clock.now ()
+    end;
+    (* Classic requests solve in one placer batch with per-job absolute
+       deadlines, portfolio requests in one portfolio batch (their budget
+       lives in [options.deadline]). *)
     let outcomes = Array.make (Array.length unique) (Placer.Unplaceable "") in
     let classic = ref [] and races = ref [] in
     Array.iteri
@@ -208,16 +273,7 @@ module Engine = struct
         j.j_place.Protocol.circuit )
     in
     let budgets =
-      Array.of_list
-        (List.map
-           (fun (_, j) ->
-             match j.j_place.Protocol.deadline with
-             | Some b -> j.j_arrival +. b
-             | None -> (
-               match t.config.default_deadline with
-               | Some b -> j.j_arrival +. b
-               | None -> infinity))
-           classic)
+      Array.of_list (List.map (fun (_, j) -> budget t.config j) classic)
     in
     let classic_outcomes =
       Placer.place_batch ~jobs:t.config.jobs
@@ -234,6 +290,19 @@ module Engine = struct
     in
     List.iter2 (fun (u, _) o -> outcomes.(u) <- o) races race_outcomes;
     let t_solve = Clock.now () in
+    let spans =
+      if capture then begin
+        Trace.stop ();
+        (* Rebase span timestamps from the capture epoch onto the engine
+           timeline (seconds since engine start), matching the flight
+           records' arrival stamps. *)
+        let off = !trace_abs -. t.started in
+        List.map
+          (fun (e : Trace.event) -> { e with Trace.ts = e.Trace.ts +. off })
+          (Trace.events ())
+      end
+      else []
+    in
     (* Render unique results once; successful cacheable ones get stored. *)
     let rendered =
       Array.mapi
@@ -255,30 +324,126 @@ module Engine = struct
           | Placer.Unplaceable msg -> ("unplaceable", None, Some msg))
         outcomes
     in
+    let phases_of =
+      Array.map
+        (function
+          | Placer.Placed program ->
+            List.filter (fun (_, s) -> s > 0.0) (Placer.phase_seconds program)
+          | Placer.Unplaceable _ -> [])
+        outcomes
+    in
     let count_status = function
       | "ok" -> c.c_placed <- c.c_placed + 1
       | "timeout" -> c.c_timeouts <- c.c_timeouts + 1
       | _ -> c.c_unplaceable <- c.c_unplaceable + 1
     in
-    Array.to_list
-      (Array.mapi
-         (fun i j ->
-           let p = j.j_place in
-           let queue_wait = Float.max 0.0 (now -. j.j_arrival) in
-           match assignments.(i) with
-           | Hit text ->
-             c.c_placed <- c.c_placed + 1;
-             Protocol.response ~id:j.j_id ~status:"ok" ~cached:true
-               ~key:p.Protocol.key ~queue_wait ~wall:(t_lookup -. now)
-               ~result:text ()
-           | Solve (u, first) ->
-             let status, result, error = rendered.(u) in
-             count_status status;
-             Protocol.response ~id:j.j_id ~status
-               ~cached:(not first && status = "ok")
-               ~key:p.Protocol.key ~queue_wait ~wall:(t_solve -. now) ?result
-               ?error ())
-         jobs)
+    let spans_left = ref spans in
+    let slowest = ref 0.0 in
+    let trouble = ref false in
+    let responses =
+      Array.to_list
+        (Array.mapi
+           (fun i j ->
+             let p = j.j_place in
+             let queue_wait = Float.max 0.0 (now -. j.j_arrival) in
+             let status, cached, shed, wall, result, error, phases =
+               match assignments.(i) with
+               | Shed ->
+                 c.c_timeouts <- c.c_timeouts + 1;
+                 c.c_shed <- c.c_shed + 1;
+                 ( "timeout", false, true, 0.0, None,
+                   Some "deadline expired before dispatch", [] )
+               | Hit text ->
+                 c.c_placed <- c.c_placed + 1;
+                 ("ok", true, false, t_lookup -. now, Some text, None, [])
+               | Solve (u, first) ->
+                 let status, result, error = rendered.(u) in
+                 count_status status;
+                 ( status,
+                   (not first) && status = "ok",
+                   false, t_solve -. now, result, error, phases_of.(u) )
+             in
+             (match t.flight with
+             | None -> ()
+             | Some fl ->
+               let f_spans =
+                 match assignments.(i) with
+                 | Solve (_, true) ->
+                   let s = !spans_left in
+                   spans_left := [];
+                   s
+                 | Shed | Hit _ | Solve (_, false) -> []
+               in
+               Flight.record fl
+                 {
+                   Flight.f_seq = j.j_seq;
+                   f_id = j.j_id;
+                   f_op = "place";
+                   f_status = status;
+                   f_cached = cached;
+                   f_shed = shed;
+                   f_key = Protocol.key_hash p.Protocol.key;
+                   f_arrival = j.j_arrival -. t.started;
+                   f_queue_wait = queue_wait;
+                   f_wall = wall;
+                   f_phases = phases;
+                   f_spans;
+                 });
+             if shed then
+               Log.info "shed" (fun () ->
+                   [
+                     ("req_seq", Log.Int j.j_seq);
+                     ("id", Log.Str j.j_id);
+                     ("key", Log.Str (Protocol.key_hash p.Protocol.key));
+                     ("queue_wait_s", Log.Num queue_wait);
+                   ]);
+             Log.info "request" (fun () ->
+                 [
+                   ("req_seq", Log.Int j.j_seq);
+                   ("id", Log.Str j.j_id);
+                   ("op", Log.Str "place");
+                   ("key", Log.Str (Protocol.key_hash p.Protocol.key));
+                   ("status", Log.Str status);
+                   ("cached", Log.Bool cached);
+                   ("shed", Log.Bool shed);
+                   ("queue_wait_s", Log.Num queue_wait);
+                   ("wall_s", Log.Num wall);
+                 ]
+                 @
+                 if phases = [] then []
+                 else
+                   [
+                     ( "phases",
+                       Log.Obj
+                         (List.map (fun (name, s) -> (name, Log.Num s)) phases)
+                     );
+                   ]);
+             slowest := Float.max !slowest (queue_wait +. wall);
+             if status <> "ok" then trouble := true;
+             Protocol.response ~id:j.j_id ~status ~cached
+               ~key:p.Protocol.key ~queue_wait ~wall ?result ?error ())
+           jobs)
+    in
+    (match (t.flight, t.config.slow_dump) with
+    | Some fl, Some threshold when !slowest > threshold || !trouble ->
+      (* At most one dump per dispatch: the whole ring goes into one file
+         named by the batch counter. *)
+      let path =
+        Filename.concat t.config.dump_dir
+          (Printf.sprintf "qcp-flight-%06d.json" c.c_batches)
+      in
+      (try
+         Flight.dump_file path fl;
+         Log.warn "flight-dump" (fun () ->
+             [
+               ("path", Log.Str path);
+               ("slowest_s", Log.Num !slowest);
+               ("records", Log.Int (Flight.length fl));
+             ])
+       with Sys_error msg ->
+         Log.warn "flight-dump-failed" (fun () -> [ ("error", Log.Str msg) ]))
+    | _ -> ());
+    responses
 
   let stats_json t =
     let c = t.counters in
@@ -291,6 +456,7 @@ module Engine = struct
           ("placed", num c.c_placed);
           ("errors", num c.c_errors);
           ("timeouts", num c.c_timeouts);
+          ("shed", num c.c_shed);
           ("unplaceable", num c.c_unplaceable);
           ("overloaded", num c.c_overloaded);
           ("batches", num c.c_batches);
@@ -320,11 +486,88 @@ module Engine = struct
     in
     Json.to_string stats
 
+  (* The engine's counters as registry-style series (the [serve.*]
+     namespace), merged with the process-global registry — one snapshot
+     feeding both the Prometheus exposition and anything else that walks
+     {!Metrics.snapshot} shapes. *)
+  let metrics_snapshot t =
+    let c = t.counters in
+    let g v = Metrics.Gauge v in
+    let serve =
+      [
+        ("serve.batch_size_max", g (float_of_int c.c_max_batch));
+        ("serve.batches", Metrics.Counter c.c_batches);
+        ( "serve.cache.capacity",
+          g (float_of_int (Result_cache.capacity t.result_cache)) );
+        ( "serve.cache.entries",
+          g (float_of_int (Result_cache.length t.result_cache)) );
+        ("serve.cache.evictions", Metrics.Counter (Result_cache.evictions t.result_cache));
+        ("serve.cache.hits", Metrics.Counter (Result_cache.hits t.result_cache));
+        ("serve.cache.misses", Metrics.Counter (Result_cache.misses t.result_cache));
+        ( "serve.queue_wait_seconds",
+          Metrics.Histogram
+            {
+              bounds = qw_bounds;
+              counts = Array.copy c.qw_counts;
+              sum = c.qw_sum;
+              count = c.qw_count;
+            } );
+        ("serve.requests", Metrics.Counter c.c_requests);
+        ("serve.responses.error", Metrics.Counter c.c_errors);
+        ("serve.responses.ok", Metrics.Counter c.c_placed);
+        ("serve.responses.overloaded", Metrics.Counter c.c_overloaded);
+        ("serve.responses.shed", Metrics.Counter c.c_shed);
+        ("serve.responses.timeout", Metrics.Counter c.c_timeouts);
+        ("serve.responses.unplaceable", Metrics.Counter c.c_unplaceable);
+        ("serve.uptime_seconds", g (Clock.now () -. t.started));
+      ]
+    in
+    List.sort
+      (fun (a, _) (b, _) -> String.compare a b)
+      (serve @ Metrics.snapshot Metrics.global)
+
+  let stats_prometheus t =
+    let buf = Buffer.create 4096 in
+    Qcp_obs.Export.prometheus buf (metrics_snapshot t);
+    Buffer.contents buf
+
+  (* The wire protocol is line-delimited: a spliced result must not carry
+     raw newlines.  Structural whitespace is the only place the trace
+     renderer emits them (string content is escaped), so dropping newline
+     bytes yields the same JSON document on one line. *)
+  let compact text = String.concat "" (String.split_on_char '\n' text)
+
   let control t ~id request =
     match request with
-    | Protocol.Ping -> Some (Protocol.response ~id ~status:"ok" ())
-    | Protocol.Stats ->
-      Some (Protocol.response ~id ~status:"ok" ~result:(stats_json t) ())
+    | Protocol.Ping ->
+      Log.debug "control" (fun () ->
+          [ ("op", Log.Str "ping"); ("id", Log.Str id) ]);
+      Some (Protocol.response ~id ~status:"ok" ())
+    | Protocol.Stats fmt ->
+      Log.debug "control" (fun () ->
+          [ ("op", Log.Str "stats"); ("id", Log.Str id) ]);
+      let result =
+        match fmt with
+        | Protocol.Stats_json -> stats_json t
+        | Protocol.Stats_prometheus ->
+          Json.to_string (Json.Str (stats_prometheus t))
+      in
+      Some (Protocol.response ~id ~status:"ok" ~result ())
+    | Protocol.Dump -> (
+      Log.debug "control" (fun () ->
+          [ ("op", Log.Str "dump"); ("id", Log.Str id) ]);
+      match t.flight with
+      | None ->
+        Some
+          (Protocol.response ~id ~status:"error"
+             ~error:"flight recorder disabled (qcp serve --flight N)" ())
+      | Some fl ->
+        let buf = Buffer.create 65536 in
+        Flight.dump buf fl;
+        Some
+          (Protocol.response ~id ~status:"ok"
+             ~result:(compact (Buffer.contents buf))
+             ()))
     | Protocol.Place _ | Protocol.Shutdown -> None
 
   let count_error t = t.counters.c_errors <- t.counters.c_errors + 1
@@ -342,10 +585,6 @@ type client = {
   buf : Buffer.t;  (* bytes received, not yet split into lines *)
   mutable alive : bool;
 }
-
-let log config fmt =
-  if config.verbose then Printf.eprintf (fmt ^^ "\n%!")
-  else Printf.ifprintf stderr fmt
 
 let write_all client line =
   let data = line ^ "\n" in
@@ -404,11 +643,38 @@ let listeners config =
 let serve config =
   let engine = Engine.create config in
   if config.telemetry then Metrics.set_enabled true;
+  (* Arm the structured logger: an explicit --log level wins; --verbose
+     is an alias for debug.  The previous level is restored on drain so a
+     daemon hosted inside a test or bench domain leaves the process-global
+     logger as it found it. *)
+  let prev_level = Log.level () in
+  let level =
+    match config.log_level with
+    | Some _ as l -> l
+    | None -> if config.verbose then Some Log.Debug else None
+  in
+  Option.iter (fun path -> Log.set_sink (Log.file_sink path)) config.log_file;
+  Log.set_level level;
   if config.learn then
     Option.iter
-      (fun path -> ignore (Qcp.Portfolio.Learn.load path : bool))
+      (fun path ->
+        let loaded = Qcp.Portfolio.Learn.load path in
+        Log.info "learn-load" (fun () ->
+            [ ("path", Log.Str path); ("loaded", Log.Bool loaded) ]))
       (Qcp.Portfolio.Learn.default_path ());
   let listening = listeners config in
+  Log.info "listening" (fun () ->
+      Option.to_list
+        (Option.map (fun p -> ("socket", Log.Str p)) config.socket_path)
+      @ Option.to_list (Option.map (fun p -> ("port", Log.Int p)) config.port)
+      @ [
+          ("jobs", Log.Int config.jobs);
+          ("cache_cap", Log.Int config.cache_cap);
+          ("max_batch", Log.Int config.max_batch);
+          ("queue_cap", Log.Int config.queue_cap);
+          ("flight_cap", Log.Int config.flight_cap);
+          ("telemetry", Log.Bool config.telemetry);
+        ]);
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
   let stop = ref false in
@@ -422,7 +688,18 @@ let serve config =
   let drop client =
     client.alive <- false;
     Hashtbl.remove clients client.fd;
-    try Unix.close client.fd with Unix.Unix_error _ -> ()
+    (try Unix.close client.fd with Unix.Unix_error _ -> ());
+    Log.debug "client-disconnect" (fun () -> [])
+  in
+  let drain reason =
+    if not !stop then begin
+      stop := true;
+      Log.info "drain" (fun () ->
+          [
+            ("reason", Log.Str reason);
+            ("queued", Log.Int (Queue.length queue));
+          ])
+    end
   in
   let handle_line client line =
     let envelope = Engine.parse_line engine line in
@@ -430,17 +707,21 @@ let serve config =
     match envelope.Protocol.request with
     | Error msg ->
       Engine.count_error engine;
+      Log.warn "bad-request" (fun () ->
+          [ ("id", Log.Str id); ("error", Log.Str msg) ]);
       write_all client (Protocol.response ~id ~status:"error" ~error:msg ())
     | Ok Protocol.Shutdown ->
-      stop := true;
+      drain "shutdown-request";
       write_all client (Protocol.response ~id ~status:"ok" ())
-    | Ok ((Protocol.Ping | Protocol.Stats) as req) ->
+    | Ok ((Protocol.Ping | Protocol.Stats _ | Protocol.Dump) as req) ->
       Option.iter (write_all client) (Engine.control engine ~id req)
     | Ok (Protocol.Place place) ->
       if !stop then
         write_all client (Protocol.response ~id ~status:"shutting-down" ())
       else if Queue.length queue >= config.queue_cap then begin
         Engine.count_overloaded engine;
+        Log.warn "overloaded" (fun () ->
+            [ ("id", Log.Str id); ("queued", Log.Int (Queue.length queue)) ]);
         write_all client
           (Protocol.response ~id ~status:"overloaded"
              ~error:"request queue is full" ())
@@ -449,12 +730,7 @@ let serve config =
         Queue.add
           {
             q_client = client;
-            q_job =
-              {
-                Engine.j_id = id;
-                j_arrival = Clock.now ();
-                j_place = place;
-              };
+            q_job = Engine.make_job engine ~id ~arrival:(Clock.now ()) place;
           }
           queue
   in
@@ -465,7 +741,11 @@ let serve config =
     done;
     let batch = List.rev !batch in
     if batch <> [] then begin
-      log config "qcp serve: dispatching %d request(s)" (List.length batch);
+      Log.debug "dispatch" (fun () ->
+          [
+            ("batch", Log.Int (List.length batch));
+            ("queued", Log.Int (Queue.length queue));
+          ]);
       let responses =
         Engine.dispatch engine ~now:(Clock.now ())
           (List.map (fun q -> q.q_job) batch)
@@ -497,7 +777,7 @@ let serve config =
           if List.mem fd listening then begin
             match (try Some (Unix.accept fd) with Unix.Unix_error _ -> None) with
             | Some (cfd, _) ->
-              log config "qcp serve: client connected";
+              Log.debug "client-connect" (fun () -> []);
               Hashtbl.replace clients cfd
                 { fd = cfd; buf = Buffer.create 256; alive = true }
             | None -> ()
@@ -517,7 +797,7 @@ let serve config =
                 List.iter (handle_line client) (take_lines client.buf)))
         readable;
       dispatch_some ();
-      if budget_exhausted () then stop := true
+      if budget_exhausted () then drain "max-requests"
     end
   done;
   List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) listening;
@@ -529,6 +809,10 @@ let serve config =
   if config.learn then
     Option.iter
       (fun path ->
-        try Qcp.Portfolio.Learn.save path with Sys_error _ -> ())
+        (try Qcp.Portfolio.Learn.save path with Sys_error _ -> ());
+        Log.info "learn-save" (fun () -> [ ("path", Log.Str path) ]))
       (Qcp.Portfolio.Learn.default_path ());
-  log config "qcp serve: drained, exiting (%s)" (Engine.stats_json engine)
+  Log.info "exit" (fun () ->
+      [ ("stats", Log.Str (Engine.stats_json engine)) ]);
+  Log.set_level prev_level;
+  if config.log_file <> None then Log.set_sink Log.stderr_sink

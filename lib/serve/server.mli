@@ -30,7 +30,20 @@
     [max_requests] budget flips the loop into draining: listeners close,
     queued requests are still solved and answered, then the learn table
     is saved (under [learn]) and the process exits.  Nothing is dropped
-    silently. *)
+    silently.
+
+    {b Observability.}  Every lifecycle transition and every served
+    request emits a structured {!Qcp_obs.Log} event (one JSON object per
+    line; ["request"] records carry id, status, cache hit/miss, shed
+    flag, queue wait, solve wall and the per-phase breakdown).  With
+    [flight_cap > 0] the engine keeps a {!Qcp_obs.Flight} ring of the
+    last N requests with their solve spans, dumpable as a Chrome trace
+    via the ["dump"] op while the daemon keeps running — and dumped to
+    [dump_dir] automatically when a dispatch exceeds [slow_dump] or ends
+    in a non-["ok"] status.  The ["stats"] op (and [qcp stats]) exposes
+    the counters as JSON or Prometheus text.  All of it is disarmed by
+    default: the quiet hot path pays one atomic load and branch per
+    would-be event. *)
 
 type config = {
   socket_path : string option;  (** Unix socket path to listen on. *)
@@ -52,14 +65,28 @@ type config = {
   install_signals : bool;
       (** Install SIGINT/SIGTERM drain handlers (off when the daemon runs
           inside a test or bench domain: signals are process-global). *)
-  verbose : bool;  (** Log connections and batches to stderr. *)
+  verbose : bool;  (** Alias for [log_level = Some Debug] (kept for the
+          [-v] flag; an explicit [log_level] wins). *)
+  log_level : Qcp_obs.Log.level option;
+      (** Arm the structured logger at this level ([None] = quiet). *)
+  log_file : string option;
+      (** Append log lines to this file instead of stderr. *)
+  flight_cap : int;
+      (** Flight-recorder ring capacity ([<= 0] disables it, and with it
+          the ["dump"] op and per-batch span capture). *)
+  slow_dump : float option;
+      (** Auto-dump the flight ring to [dump_dir] when a dispatch's
+          slowest request (queue wait + wall) exceeds this many seconds,
+          or any request in it ends non-["ok"].  [None] disables. *)
+  dump_dir : string;  (** Directory for auto-dumped flight traces. *)
 }
 
 val default_config : config
 (** No listeners (callers pick at least one), [jobs = 0],
     [cache_cap = 512], [max_batch = 16], [queue_cap = 256], no default
     deadline, unlimited requests, [learn = false], [telemetry = false],
-    [install_signals = true], quiet. *)
+    [install_signals = true], quiet ([log_level = None], no log file,
+    [flight_cap = 0], no auto-dump, [dump_dir = "."]). *)
 
 (** The socket-free core: parsing, caching, batching, counters.  Tests
     and benches drive it directly; {!serve} wraps it in the socket
@@ -76,33 +103,60 @@ module Engine : sig
       the per-graph route registries hot across requests. *)
 
   type job = {
+    j_seq : int;  (** Engine-assigned request sequence number. *)
     j_id : string;  (** Echoed client correlation id. *)
     j_arrival : float;  (** {!Qcp_util.Clock.now} at admission. *)
     j_place : Protocol.place;
   }
 
+  val make_job :
+    t -> id:string -> arrival:float -> Protocol.place -> job
+  (** Build a job with the engine's next sequence number. *)
+
   val dispatch : t -> now:float -> job list -> string list
-  (** Solve one batch, returning response lines in job order.  Cache
-      hits answer immediately (the stored bytes); misses dedupe by cache
-      key (duplicate jobs in one batch solve once and share the result),
-      then solve through {!Qcp.Placer.place_batch} — classic requests with
-      per-job absolute deadlines ([arrival + budget]) via [deadline_of] —
-      and {!Qcp.Portfolio.place_batch} for portfolio requests.  Successful
+  (** Solve one batch, returning response lines in job order.  Jobs whose
+      timeout budget (own deadline or the config default, counted from
+      arrival; portfolio races are exempt) expired before [now] are shed:
+      answered ["timeout"] without solving, counted in both [timeouts]
+      and [shed].  Cache hits answer immediately (the stored bytes);
+      misses dedupe by cache key (duplicate jobs in one batch solve once
+      and share the result), then solve through
+      {!Qcp.Placer.place_batch} — classic requests with per-job absolute
+      deadlines ([arrival + budget]) via [deadline_of] — and
+      {!Qcp.Portfolio.place_batch} for portfolio requests.  Successful
       cacheable results are rendered once and stored; [status] maps
       deadline aborts to ["timeout"] and placement failures to
-      ["unplaceable"]. *)
+      ["unplaceable"].  Each response also emits one ["request"] access
+      log event, lands one record (plus, for the batch's first solve,
+      the captured solve spans) in the flight recorder when armed, and
+      may trigger the slow/error auto-dump — none of which touches the
+      response bytes. *)
 
   val control : t -> id:string -> Protocol.request -> string option
-  (** Serve [Ping] and [Stats] inline ([None] for [Place] and
-      [Shutdown] — the loop owns those). *)
+  (** Serve [Ping], [Stats] (either format) and [Dump] inline ([None]
+      for [Place] and [Shutdown] — the loop owns those).  [Dump] answers
+      the flight recorder's Chrome trace as the result (on one line), or
+      an error when the recorder is disabled. *)
 
   val stats_json : t -> string
   (** Server counters as a JSON object: uptime, request/response counts
-      by status, batch stats, cache occupancy and hit/miss/eviction
-      counts, and the queue-wait histogram
+      by status (including [shed]), batch stats, cache occupancy and
+      hit/miss/eviction counts, and the queue-wait histogram
       ({!Qcp_obs.Metrics.default_time_bounds} buckets). *)
 
+  val metrics_snapshot : t -> Qcp_obs.Metrics.snapshot
+  (** The counters as registry-style series under the [serve.*]
+      namespace (e.g. [serve.requests], [serve.responses.ok],
+      [serve.queue_wait_seconds]), merged with the process-global
+      {!Qcp_obs.Metrics.global} snapshot, sorted by name. *)
+
+  val stats_prometheus : t -> string
+  (** {!metrics_snapshot} rendered by {!Qcp_obs.Export.prometheus}. *)
+
   val cache : t -> Result_cache.t
+
+  val flight : t -> Qcp_obs.Flight.t option
+  (** The flight recorder ([None] unless [flight_cap > 0]). *)
 
   val requests_served : t -> int
   (** Place responses sent (the [max_requests] budget meter). *)

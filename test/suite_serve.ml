@@ -173,7 +173,7 @@ let job_of_line eng ?(id = "t") line =
   let envelope = Engine.parse_line eng line in
   match envelope.Protocol.request with
   | Ok (Protocol.Place p) ->
-    { Engine.j_id = id; j_arrival = Qcp_util.Clock.now (); j_place = p }
+    Engine.make_job eng ~id ~arrival:(Qcp_util.Clock.now ()) p
   | Ok _ -> Alcotest.failf "%s: not a place request" line
   | Error msg -> Alcotest.failf "%s: %s" line msg
 

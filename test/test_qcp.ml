@@ -32,4 +32,5 @@ let () =
       ("noisy", Suite_noisy.suite);
       ("scale", Suite_scale.suite);
       ("serve", Suite_serve.suite);
+      ("serve-obs", Suite_serve_obs.suite);
     ]
